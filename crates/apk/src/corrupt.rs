@@ -1,0 +1,109 @@
+//! Controlled damage for SAPK containers.
+//!
+//! Of the 146.8K APKs the paper downloaded, 242 were "discovered to be
+//! broken" and could not be analyzed (Table 2). The corpus generator uses
+//! this module to break the same fraction of containers *at the byte
+//! level*, so the pipeline's error handling — not a boolean flag — produces
+//! that row of the table.
+
+/// The ways a container can be damaged in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Cut the file off after `keep_fraction` of its bytes (interrupted
+    /// download / bad repackaging).
+    Truncate {
+        /// Numerator of the kept fraction, out of 256.
+        keep_num: u8,
+    },
+    /// Flip one bit somewhere in the body (bit rot / bad transfer).
+    BitFlip {
+        /// Byte position as a fraction of the file, out of 256.
+        pos_num: u8,
+    },
+    /// Overwrite the magic (file is not an APK at all).
+    ClobberMagic,
+}
+
+/// Apply `kind` to `bytes`, returning the damaged container.
+///
+/// The damage is deterministic given `kind`, so corpora are reproducible.
+pub fn corrupt(bytes: &[u8], kind: CorruptionKind) -> Vec<u8> {
+    match kind {
+        CorruptionKind::Truncate { keep_num } => {
+            // Keep at least the magic so the failure is a truncation error,
+            // not a magic error — mirrors real half-downloaded files.
+            let keep = ((bytes.len() as u64 * keep_num as u64) / 256) as usize;
+            let keep = keep.clamp(4.min(bytes.len()), bytes.len().saturating_sub(1));
+            bytes[..keep].to_vec()
+        }
+        CorruptionKind::BitFlip { pos_num } => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() {
+                // Flip within the checksummed region (skip the 10-byte header
+                // when possible) so the checksum is what catches it.
+                let lo = 10.min(out.len() - 1);
+                let span = out.len() - lo;
+                let pos = lo + ((span as u64 * pos_num as u64) / 256) as usize;
+                let pos = pos.min(out.len() - 1);
+                out[pos] ^= 0x10;
+            }
+            out
+        }
+        CorruptionKind::ClobberMagic => {
+            let mut out = bytes.to_vec();
+            for (i, b) in out.iter_mut().take(4).enumerate() {
+                *b = b"GARB"[i];
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{Sapk, SectionTag};
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut apk = Sapk::new();
+        apk.push(SectionTag::Manifest, vec![7u8; 100]);
+        apk.push(SectionTag::Dex, vec![9u8; 400]);
+        apk.encode().to_vec()
+    }
+
+    #[test]
+    fn every_kind_breaks_decoding() {
+        let good = sample_bytes();
+        assert!(Sapk::decode(&good).is_ok());
+        let kinds = [
+            CorruptionKind::Truncate { keep_num: 128 },
+            CorruptionKind::Truncate { keep_num: 10 },
+            CorruptionKind::BitFlip { pos_num: 0 },
+            CorruptionKind::BitFlip { pos_num: 200 },
+            CorruptionKind::ClobberMagic,
+        ];
+        for kind in kinds {
+            let bad = corrupt(&good, kind);
+            assert!(
+                Sapk::decode(&bad).is_err(),
+                "corruption {kind:?} still decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let good = sample_bytes();
+        let kind = CorruptionKind::BitFlip { pos_num: 77 };
+        assert_eq!(corrupt(&good, kind), corrupt(&good, kind));
+    }
+
+    #[test]
+    fn truncate_keeps_magic() {
+        let good = sample_bytes();
+        let bad = corrupt(&good, CorruptionKind::Truncate { keep_num: 2 });
+        assert!(bad.len() >= 4);
+        assert_eq!(&bad[..4], b"SAPK");
+        assert!(bad.len() < good.len());
+    }
+}

@@ -1,0 +1,143 @@
+//! Java binary-name helpers.
+//!
+//! The pipeline extracts the *package* of the class that invokes a
+//! content-loading method (§3.1.4 of the paper), "assuming that package
+//! names adhere to the proper Java conventions". These helpers centralize
+//! that logic so the corpus generator and the analyzer agree on naming.
+
+/// Well-known framework class names the study keys on.
+pub mod framework {
+    /// The WebView class every measurement centers on.
+    pub const WEBVIEW: &str = "android/webkit/WebView";
+    /// The Custom Tabs intent class (`androidx.browser.customtabs`).
+    pub const CUSTOM_TABS_INTENT: &str = "androidx/browser/customtabs/CustomTabsIntent";
+    /// The Custom Tabs intent builder.
+    pub const CUSTOM_TABS_BUILDER: &str = "androidx/browser/customtabs/CustomTabsIntent$Builder";
+    /// Base activity class.
+    pub const ACTIVITY: &str = "android/app/Activity";
+    /// Base service class.
+    pub const SERVICE: &str = "android/app/Service";
+    /// Base broadcast receiver class.
+    pub const RECEIVER: &str = "android/content/BroadcastReceiver";
+    /// Base content provider class.
+    pub const PROVIDER: &str = "android/content/ContentProvider";
+    /// Root of the class hierarchy.
+    pub const OBJECT: &str = "java/lang/Object";
+}
+
+/// WebView methods that load or modify web content — the exact set the
+/// paper records in Table 7.
+pub const WEBVIEW_CONTENT_METHODS: [&str; 7] = [
+    "loadUrl",
+    "addJavascriptInterface",
+    "loadDataWithBaseURL",
+    "evaluateJavascript",
+    "removeJavascriptInterface",
+    "loadData",
+    "postUrl",
+];
+
+/// The subset of WebView methods that *populate* content; package names are
+/// extracted at call sites of these (plus `launchUrl` for CTs) in §3.1.4.
+pub const WEBVIEW_LOAD_METHODS: [&str; 3] = ["loadUrl", "loadData", "loadDataWithBaseURL"];
+
+/// The CT method that populates content.
+pub const CT_LAUNCH_METHOD: &str = "launchUrl";
+
+/// The package of a binary class name: `com/foo/bar/Baz` → `com.foo.bar`.
+/// Returns `None` for classes in the default package.
+pub fn package_of(binary_name: &str) -> Option<String> {
+    let idx = binary_name.rfind('/')?;
+    Some(binary_name[..idx].replace('/', "."))
+}
+
+/// The simple (unqualified) name: `com/foo/Baz$Inner` → `Baz$Inner`.
+pub fn simple_name(binary_name: &str) -> &str {
+    match binary_name.rfind('/') {
+        Some(idx) => &binary_name[idx + 1..],
+        None => binary_name,
+    }
+}
+
+/// Convert a binary name to a Java source name: `com/foo/Baz` → `com.foo.Baz`.
+pub fn to_source_name(binary_name: &str) -> String {
+    binary_name.replace(['/', '$'], ".")
+}
+
+/// Whether a dotted package name follows Java naming conventions well enough
+/// to attribute to an SDK: at least two segments, each starting with a
+/// lowercase letter and containing only `[a-z0-9_]`. Obfuscated packages
+/// (`a.b.c`, single letters) pass this check too — the paper handles them as
+/// a separate "obfuscated" label, which [`looks_obfuscated`] detects.
+pub fn is_conventional_package(pkg: &str) -> bool {
+    let segments: Vec<&str> = pkg.split('.').collect();
+    if segments.len() < 2 {
+        return false;
+    }
+    segments.iter().all(|s| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// Heuristic for ProGuard/R8-style obfuscated packages: every segment is at
+/// most two characters (`a.b`, `com.a.b` is *not* obfuscated because `com`
+/// is 3 chars — matching how analysts eyeball these).
+pub fn looks_obfuscated(pkg: &str) -> bool {
+    let segments: Vec<&str> = pkg.split('.').collect();
+    !segments.is_empty() && segments.iter().all(|s| !s.is_empty() && s.len() <= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_extraction() {
+        assert_eq!(
+            package_of("com/applovin/adview/AdRenderer").as_deref(),
+            Some("com.applovin.adview")
+        );
+        assert_eq!(package_of("TopLevel"), None);
+        assert_eq!(package_of("a/b").as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn simple_names() {
+        assert_eq!(simple_name("com/foo/Baz$Inner"), "Baz$Inner");
+        assert_eq!(simple_name("TopLevel"), "TopLevel");
+    }
+
+    #[test]
+    fn source_names() {
+        assert_eq!(to_source_name("com/foo/Baz$Inner"), "com.foo.Baz.Inner");
+    }
+
+    #[test]
+    fn conventional_packages() {
+        assert!(is_conventional_package("com.applovin.adview"));
+        assert!(is_conventional_package("a.b.c"));
+        assert!(!is_conventional_package("single"));
+        assert!(!is_conventional_package("Com.Upper"));
+        assert!(!is_conventional_package("com..empty"));
+        assert!(!is_conventional_package("com.1digitfirst"));
+    }
+
+    #[test]
+    fn obfuscation_heuristic() {
+        assert!(looks_obfuscated("a.b.c"));
+        assert!(looks_obfuscated("ab.c"));
+        assert!(!looks_obfuscated("com.a.b"));
+        assert!(!looks_obfuscated("com.applovin"));
+    }
+
+    #[test]
+    fn method_sets_match_paper() {
+        assert_eq!(WEBVIEW_CONTENT_METHODS.len(), 7);
+        for m in WEBVIEW_LOAD_METHODS {
+            assert!(WEBVIEW_CONTENT_METHODS.contains(&m));
+        }
+    }
+}

@@ -1,0 +1,928 @@
+//! SDEX — the DEX-analog bytecode container.
+//!
+//! Mirrors the parts of real DEX that the paper's pipeline consumes:
+//!
+//! * a deduplicated **string pool** (class names, method names, descriptors,
+//!   string literals such as URLs);
+//! * a **type table** listing every class *referenced* by the file — both
+//!   classes defined in this package and framework classes such as
+//!   `android/webkit/WebView`;
+//! * a **method table** of `(class, name, descriptor)` references;
+//! * **class definitions** for the defined subset, each with a superclass
+//!   link, flags, and encoded methods whose code is a small instruction set
+//!   sufficient for call-graph construction (`invoke-*`, `const-string`,
+//!   `new-instance`, branches, returns).
+//!
+//! [`DexBuilder`] writes files; [`Dex::decode`] parses and *validates* them
+//! (index bounds, superclass acyclicity, checksum). The decoder must accept
+//! exactly the encoder's output and reject everything [`crate::corrupt`]
+//! produces.
+
+use crate::error::ApkError;
+use crate::wire::{adler32, get_string, get_uvarint, put_string, put_uvarint};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// Magic bytes at the start of every SDEX blob.
+pub const SDEX_MAGIC: [u8; 4] = *b"SDEX";
+/// Current SDEX format version.
+pub const SDEX_VERSION: u16 = 1;
+
+/// Index into the type table of a [`Dex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Index into the method table of a [`Dex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+/// A `(class, name, descriptor)` method reference — the SDEX analog of a
+/// DEX `method_id_item`. Refers to internal or framework methods alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodRef {
+    /// Type that declares (or receives) the call.
+    pub class: TypeId,
+    /// String-pool index of the method name.
+    pub name: u32,
+    /// String-pool index of the descriptor, e.g. `(Ljava/lang/String;)V`.
+    pub descriptor: u32,
+}
+
+/// Class-level flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassFlags {
+    /// Declared `public`.
+    pub public: bool,
+    /// Is an interface rather than a class.
+    pub interface: bool,
+    /// Declared `abstract`.
+    pub abstract_: bool,
+}
+
+impl ClassFlags {
+    fn to_bits(self) -> u64 {
+        (self.public as u64) | (self.interface as u64) << 1 | (self.abstract_ as u64) << 2
+    }
+
+    fn from_bits(bits: u64) -> Self {
+        ClassFlags {
+            public: bits & 1 != 0,
+            interface: bits & 2 != 0,
+            abstract_: bits & 4 != 0,
+        }
+    }
+}
+
+/// How an `invoke` instruction dispatches, mirroring DEX invoke kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// `invoke-virtual` — dispatch through the receiver's class hierarchy.
+    Virtual,
+    /// `invoke-static`.
+    Static,
+    /// `invoke-direct` — constructors and private methods.
+    Direct,
+    /// `invoke-interface`.
+    Interface,
+    /// `invoke-super`.
+    Super,
+}
+
+impl InvokeKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            InvokeKind::Virtual => 0,
+            InvokeKind::Static => 1,
+            InvokeKind::Direct => 2,
+            InvokeKind::Interface => 3,
+            InvokeKind::Super => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ApkError> {
+        Ok(match b {
+            0 => InvokeKind::Virtual,
+            1 => InvokeKind::Static,
+            2 => InvokeKind::Direct,
+            3 => InvokeKind::Interface,
+            4 => InvokeKind::Super,
+            other => return Err(ApkError::BadOpcode(0x10 | other)),
+        })
+    }
+}
+
+/// One SDEX instruction. The set is intentionally small: exactly what the
+/// call-graph builder (invokes), decompiler (all of it), and string-argument
+/// recovery (`const-string` preceding an invoke) need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Call the referenced method.
+    Invoke {
+        /// Dispatch kind.
+        kind: InvokeKind,
+        /// Callee reference.
+        method: MethodId,
+    },
+    /// Load a string-pool constant (e.g. a URL later passed to `loadUrl`).
+    ConstString {
+        /// String-pool index.
+        string: u32,
+    },
+    /// Allocate an instance of a type (e.g. `new CustomTabsIntent.Builder`).
+    NewInstance {
+        /// Type allocated.
+        ty: TypeId,
+    },
+    /// Conditional branch by a signed instruction offset.
+    IfTest {
+        /// Relative target, in instructions.
+        offset: i32,
+    },
+    /// Unconditional branch by a signed instruction offset.
+    Goto {
+        /// Relative target, in instructions.
+        offset: i32,
+    },
+    /// Return from a `void` method.
+    ReturnVoid,
+    /// No operation (padding the generator uses to vary method sizes).
+    Nop,
+}
+
+const OP_INVOKE: u8 = 0x01;
+const OP_CONST_STRING: u8 = 0x02;
+const OP_NEW_INSTANCE: u8 = 0x03;
+const OP_IF: u8 = 0x04;
+const OP_GOTO: u8 = 0x05;
+const OP_RETURN_VOID: u8 = 0x06;
+const OP_NOP: u8 = 0x07;
+
+fn zigzag_encode(v: i32) -> u64 {
+    ((v << 1) ^ (v >> 31)) as u32 as u64
+}
+
+fn zigzag_decode(v: u64) -> i32 {
+    let v = v as u32;
+    ((v >> 1) as i32) ^ -((v & 1) as i32)
+}
+
+impl Instruction {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            Instruction::Invoke { kind, method } => {
+                buf.put_u8(OP_INVOKE);
+                buf.put_u8(kind.to_byte());
+                put_uvarint(buf, method.0 as u64);
+            }
+            Instruction::ConstString { string } => {
+                buf.put_u8(OP_CONST_STRING);
+                put_uvarint(buf, *string as u64);
+            }
+            Instruction::NewInstance { ty } => {
+                buf.put_u8(OP_NEW_INSTANCE);
+                put_uvarint(buf, ty.0 as u64);
+            }
+            Instruction::IfTest { offset } => {
+                buf.put_u8(OP_IF);
+                put_uvarint(buf, zigzag_encode(*offset));
+            }
+            Instruction::Goto { offset } => {
+                buf.put_u8(OP_GOTO);
+                put_uvarint(buf, zigzag_encode(*offset));
+            }
+            Instruction::ReturnVoid => buf.put_u8(OP_RETURN_VOID),
+            Instruction::Nop => buf.put_u8(OP_NOP),
+        }
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, ApkError> {
+        if !buf.has_remaining() {
+            return Err(ApkError::Truncated {
+                context: "instruction opcode",
+            });
+        }
+        let op = buf.get_u8();
+        Ok(match op {
+            OP_INVOKE => {
+                if !buf.has_remaining() {
+                    return Err(ApkError::Truncated {
+                        context: "invoke kind",
+                    });
+                }
+                let kind = InvokeKind::from_byte(buf.get_u8())?;
+                let method = MethodId(get_uvarint(buf)? as u32);
+                Instruction::Invoke { kind, method }
+            }
+            OP_CONST_STRING => Instruction::ConstString {
+                string: get_uvarint(buf)? as u32,
+            },
+            OP_NEW_INSTANCE => Instruction::NewInstance {
+                ty: TypeId(get_uvarint(buf)? as u32),
+            },
+            OP_IF => Instruction::IfTest {
+                offset: zigzag_decode(get_uvarint(buf)?),
+            },
+            OP_GOTO => Instruction::Goto {
+                offset: zigzag_decode(get_uvarint(buf)?),
+            },
+            OP_RETURN_VOID => Instruction::ReturnVoid,
+            OP_NOP => Instruction::Nop,
+            other => return Err(ApkError::BadOpcode(other)),
+        })
+    }
+}
+
+/// A method *defined* in this SDEX file: a method-table reference plus code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDef {
+    /// Reference into the method table.
+    pub method: MethodId,
+    /// Declared `public` (affects entry-point discovery for callbacks).
+    pub public: bool,
+    /// Declared `static`.
+    pub static_: bool,
+    /// Straight-line encoded body.
+    pub code: Vec<Instruction>,
+}
+
+/// A class defined in this SDEX file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    /// This class's entry in the type table.
+    pub ty: TypeId,
+    /// Superclass link (`None` only for `java/lang/Object`-rooted synthetics).
+    pub superclass: Option<TypeId>,
+    /// Class-level flags.
+    pub flags: ClassFlags,
+    /// Methods with code.
+    pub methods: Vec<MethodDef>,
+}
+
+/// A parsed, validated SDEX file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dex {
+    strings: Vec<String>,
+    types: Vec<u32>,
+    methods: Vec<MethodRef>,
+    classes: Vec<ClassDef>,
+    /// type -> position in `classes`, for defined classes.
+    class_index: HashMap<TypeId, usize>,
+}
+
+impl Dex {
+    /// String-pool lookup. Panics only if `idx` escaped validation, which
+    /// `decode` guarantees cannot happen for parsed files.
+    pub fn string(&self, idx: u32) -> &str {
+        &self.strings[idx as usize]
+    }
+
+    /// Number of entries in the string pool.
+    pub fn string_count(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Binary name of a type, e.g. `com/example/Foo`.
+    pub fn type_name(&self, ty: TypeId) -> &str {
+        self.string(self.types[ty.0 as usize])
+    }
+
+    /// All types referenced by this file.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// The method table entry for `id`.
+    pub fn method_ref(&self, id: MethodId) -> MethodRef {
+        self.methods[id.0 as usize]
+    }
+
+    /// Method name for `id`.
+    pub fn method_name(&self, id: MethodId) -> &str {
+        self.string(self.methods[id.0 as usize].name)
+    }
+
+    /// Method descriptor for `id`.
+    pub fn method_descriptor(&self, id: MethodId) -> &str {
+        self.string(self.methods[id.0 as usize].descriptor)
+    }
+
+    /// Number of entries in the method table.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Classes defined in this file.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// Look up a defined class by type id.
+    pub fn class(&self, ty: TypeId) -> Option<&ClassDef> {
+        self.class_index.get(&ty).map(|&i| &self.classes[i])
+    }
+
+    /// Look up a type id by binary name (scans the type table).
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_ids().find(|&t| self.type_name(t) == name)
+    }
+
+    /// Look up a defined class by binary name.
+    pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
+        self.type_by_name(name).and_then(|t| self.class(t))
+    }
+
+    /// Walk the superclass chain of `ty` (excluding `ty` itself), yielding
+    /// type ids until the chain leaves the defined set.
+    pub fn superclass_chain(&self, ty: TypeId) -> Vec<TypeId> {
+        let mut chain = Vec::new();
+        let mut cur = self.class(ty).and_then(|c| c.superclass);
+        while let Some(s) = cur {
+            chain.push(s);
+            cur = self.class(s).and_then(|c| c.superclass);
+        }
+        chain
+    }
+
+    /// Total number of instructions across every defined method — a useful
+    /// size metric for benches.
+    pub fn instruction_count(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.code.len())
+            .sum()
+    }
+
+    /// Serialize to the SDEX wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::new();
+        put_uvarint(&mut body, self.strings.len() as u64);
+        for s in &self.strings {
+            put_string(&mut body, s);
+        }
+        put_uvarint(&mut body, self.types.len() as u64);
+        for &s in &self.types {
+            put_uvarint(&mut body, s as u64);
+        }
+        put_uvarint(&mut body, self.methods.len() as u64);
+        for m in &self.methods {
+            put_uvarint(&mut body, m.class.0 as u64);
+            put_uvarint(&mut body, m.name as u64);
+            put_uvarint(&mut body, m.descriptor as u64);
+        }
+        put_uvarint(&mut body, self.classes.len() as u64);
+        for c in &self.classes {
+            put_uvarint(&mut body, c.ty.0 as u64);
+            match c.superclass {
+                Some(s) => {
+                    body.put_u8(1);
+                    put_uvarint(&mut body, s.0 as u64);
+                }
+                None => body.put_u8(0),
+            }
+            put_uvarint(&mut body, c.flags.to_bits());
+            put_uvarint(&mut body, c.methods.len() as u64);
+            for m in &c.methods {
+                put_uvarint(&mut body, m.method.0 as u64);
+                body.put_u8(m.public as u8 | (m.static_ as u8) << 1);
+                put_uvarint(&mut body, m.code.len() as u64);
+                for ins in &m.code {
+                    ins.encode(&mut body);
+                }
+            }
+        }
+
+        let mut out = BytesMut::with_capacity(body.len() + 10);
+        out.put_slice(&SDEX_MAGIC);
+        out.put_u16_le(SDEX_VERSION);
+        out.put_u32_le(adler32(&body));
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Parse and validate an SDEX blob.
+    pub fn decode(raw: &[u8]) -> Result<Dex, ApkError> {
+        let mut buf = raw;
+        if buf.remaining() < 4 {
+            return Err(ApkError::Truncated { context: "magic" });
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != SDEX_MAGIC {
+            return Err(ApkError::BadMagic {
+                expected: "SDEX",
+                found: magic,
+            });
+        }
+        if buf.remaining() < 6 {
+            return Err(ApkError::Truncated { context: "header" });
+        }
+        let version = buf.get_u16_le();
+        if version != SDEX_VERSION {
+            return Err(ApkError::UnsupportedVersion(version));
+        }
+        let stored = buf.get_u32_le();
+        let computed = adler32(buf);
+        if stored != computed {
+            return Err(ApkError::ChecksumMismatch { stored, computed });
+        }
+
+        let string_count = get_uvarint(&mut buf)? as usize;
+        let mut strings = Vec::with_capacity(string_count.min(1 << 20));
+        for _ in 0..string_count {
+            strings.push(get_string(&mut buf)?);
+        }
+
+        let type_count = get_uvarint(&mut buf)? as usize;
+        let mut types = Vec::with_capacity(type_count.min(1 << 20));
+        for _ in 0..type_count {
+            let s = get_uvarint(&mut buf)? as u32;
+            check_index("string", s, strings.len())?;
+            types.push(s);
+        }
+
+        let method_count = get_uvarint(&mut buf)? as usize;
+        let mut methods = Vec::with_capacity(method_count.min(1 << 20));
+        for _ in 0..method_count {
+            let class = TypeId(get_uvarint(&mut buf)? as u32);
+            let name = get_uvarint(&mut buf)? as u32;
+            let descriptor = get_uvarint(&mut buf)? as u32;
+            check_index("type", class.0, types.len())?;
+            check_index("string", name, strings.len())?;
+            check_index("string", descriptor, strings.len())?;
+            methods.push(MethodRef {
+                class,
+                name,
+                descriptor,
+            });
+        }
+
+        let class_count = get_uvarint(&mut buf)? as usize;
+        let mut classes = Vec::with_capacity(class_count.min(1 << 20));
+        let mut class_index = HashMap::with_capacity(class_count.min(1 << 20));
+        for _ in 0..class_count {
+            let ty = TypeId(get_uvarint(&mut buf)? as u32);
+            check_index("type", ty.0, types.len())?;
+            if !buf.has_remaining() {
+                return Err(ApkError::Truncated {
+                    context: "superclass flag",
+                });
+            }
+            let superclass = match buf.get_u8() {
+                0 => None,
+                _ => {
+                    let s = TypeId(get_uvarint(&mut buf)? as u32);
+                    check_index("type", s.0, types.len())?;
+                    Some(s)
+                }
+            };
+            let flags = ClassFlags::from_bits(get_uvarint(&mut buf)?);
+            let def_count = get_uvarint(&mut buf)? as usize;
+            let mut defs = Vec::with_capacity(def_count.min(1 << 16));
+            for _ in 0..def_count {
+                let method = MethodId(get_uvarint(&mut buf)? as u32);
+                check_index("method", method.0, methods.len())?;
+                if !buf.has_remaining() {
+                    return Err(ApkError::Truncated {
+                        context: "method flags",
+                    });
+                }
+                let fl = buf.get_u8();
+                let code_len = get_uvarint(&mut buf)? as usize;
+                let mut code = Vec::with_capacity(code_len.min(1 << 16));
+                for _ in 0..code_len {
+                    let ins = Instruction::decode(&mut buf)?;
+                    validate_instruction(&ins, strings.len(), types.len(), methods.len())?;
+                    code.push(ins);
+                }
+                defs.push(MethodDef {
+                    method,
+                    public: fl & 1 != 0,
+                    static_: fl & 2 != 0,
+                    code,
+                });
+            }
+            if class_index.insert(ty, classes.len()).is_some() {
+                return Err(ApkError::Invalid("duplicate class definition"));
+            }
+            classes.push(ClassDef {
+                ty,
+                superclass,
+                flags,
+                methods: defs,
+            });
+        }
+
+        if buf.has_remaining() {
+            return Err(ApkError::Invalid("trailing bytes after class table"));
+        }
+
+        let dex = Dex {
+            strings,
+            types,
+            methods,
+            classes,
+            class_index,
+        };
+        dex.validate_hierarchy()?;
+        Ok(dex)
+    }
+
+    /// Reject superclass cycles among defined classes.
+    fn validate_hierarchy(&self) -> Result<(), ApkError> {
+        for c in &self.classes {
+            let mut seen = 0usize;
+            let mut cur = c.superclass;
+            while let Some(s) = cur {
+                seen += 1;
+                if seen > self.classes.len() {
+                    return Err(ApkError::Invalid("superclass cycle"));
+                }
+                cur = self.class(s).and_then(|d| d.superclass);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_index(table: &'static str, index: u32, len: usize) -> Result<(), ApkError> {
+    if (index as usize) < len {
+        Ok(())
+    } else {
+        Err(ApkError::IndexOutOfRange {
+            table,
+            index,
+            len: len as u32,
+        })
+    }
+}
+
+fn validate_instruction(
+    ins: &Instruction,
+    strings: usize,
+    types: usize,
+    methods: usize,
+) -> Result<(), ApkError> {
+    match ins {
+        Instruction::Invoke { method, .. } => check_index("method", method.0, methods),
+        Instruction::ConstString { string } => check_index("string", *string, strings),
+        Instruction::NewInstance { ty } => check_index("type", ty.0, types),
+        _ => Ok(()),
+    }
+}
+
+/// Incremental writer for [`Dex`] files with interning of strings, types,
+/// and method references. This is what the corpus generator lowers app
+/// behaviour through.
+#[derive(Debug, Default)]
+pub struct DexBuilder {
+    strings: Vec<String>,
+    string_index: HashMap<String, u32>,
+    types: Vec<u32>,
+    type_index: HashMap<u32, TypeId>,
+    methods: Vec<MethodRef>,
+    method_index: HashMap<(TypeId, u32, u32), MethodId>,
+    classes: Vec<ClassDef>,
+    class_index: HashMap<TypeId, usize>,
+}
+
+impl DexBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its pool index.
+    pub fn intern_string(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.string_index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.string_index.insert(s.to_owned(), i);
+        i
+    }
+
+    /// Intern a type by binary name.
+    pub fn intern_type(&mut self, name: &str) -> TypeId {
+        let s = self.intern_string(name);
+        if let Some(&t) = self.type_index.get(&s) {
+            return t;
+        }
+        let t = TypeId(self.types.len() as u32);
+        self.types.push(s);
+        self.type_index.insert(s, t);
+        t
+    }
+
+    /// Intern a method reference.
+    pub fn intern_method(&mut self, class: &str, name: &str, descriptor: &str) -> MethodId {
+        let class = self.intern_type(class);
+        let name = self.intern_string(name);
+        let descriptor = self.intern_string(descriptor);
+        let key = (class, name, descriptor);
+        if let Some(&m) = self.method_index.get(&key) {
+            return m;
+        }
+        let m = MethodId(self.methods.len() as u32);
+        self.methods.push(MethodRef {
+            class,
+            name,
+            descriptor,
+        });
+        self.method_index.insert(key, m);
+        m
+    }
+
+    /// Define a class. Returns an error token if the class already exists.
+    pub fn define_class(
+        &mut self,
+        name: &str,
+        superclass: Option<&str>,
+        flags: ClassFlags,
+        methods: Vec<MethodDef>,
+    ) -> Result<TypeId, ApkError> {
+        let ty = self.intern_type(name);
+        if self.class_index.contains_key(&ty) {
+            return Err(ApkError::Invalid("duplicate class definition"));
+        }
+        let superclass = superclass.map(|s| self.intern_type(s));
+        self.class_index.insert(ty, self.classes.len());
+        self.classes.push(ClassDef {
+            ty,
+            superclass,
+            flags,
+            methods,
+        });
+        Ok(ty)
+    }
+
+    /// Whether a class with this name is already defined.
+    pub fn has_class(&self, name: &str) -> bool {
+        self.string_index
+            .get(name)
+            .and_then(|s| self.type_index.get(s))
+            .is_some_and(|t| self.class_index.contains_key(t))
+    }
+
+    /// Finish, producing an immutable [`Dex`].
+    pub fn build(self) -> Dex {
+        Dex {
+            strings: self.strings,
+            types: self.types,
+            methods: self.methods,
+            classes: self.classes,
+            class_index: self.class_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but structurally complete dex: an activity whose `onCreate`
+    /// calls an SDK helper which calls `WebView.loadUrl`.
+    pub(crate) fn sample_dex() -> Dex {
+        let mut b = DexBuilder::new();
+        let load_url =
+            b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
+        let url = b.intern_string("https://ads.example.net/creative");
+        let helper = b.intern_method("com/applovin/adview/AdRenderer", "render", "()V");
+        b.define_class(
+            "com/applovin/adview/AdRenderer",
+            Some("java/lang/Object"),
+            ClassFlags {
+                public: true,
+                ..Default::default()
+            },
+            vec![MethodDef {
+                method: helper,
+                public: true,
+                static_: false,
+                code: vec![
+                    Instruction::ConstString { string: url },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: load_url,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+        let on_create = b.intern_method("com/example/app/MainActivity", "onCreate", "(B)V");
+        b.define_class(
+            "com/example/app/MainActivity",
+            Some("android/app/Activity"),
+            ClassFlags {
+                public: true,
+                ..Default::default()
+            },
+            vec![MethodDef {
+                method: on_create,
+                public: true,
+                static_: false,
+                code: vec![
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: helper,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let dex = sample_dex();
+        let bytes = dex.encode();
+        let back = Dex::decode(&bytes).unwrap();
+        assert_eq!(dex, back);
+    }
+
+    #[test]
+    fn builder_interns() {
+        let mut b = DexBuilder::new();
+        let a = b.intern_string("x");
+        let a2 = b.intern_string("x");
+        assert_eq!(a, a2);
+        let t = b.intern_type("com/example/T");
+        let t2 = b.intern_type("com/example/T");
+        assert_eq!(t, t2);
+        let m = b.intern_method("com/example/T", "f", "()V");
+        let m2 = b.intern_method("com/example/T", "f", "()V");
+        assert_eq!(m, m2);
+        let m3 = b.intern_method("com/example/T", "f", "(I)V");
+        assert_ne!(m, m3);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut b = DexBuilder::new();
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![])
+            .unwrap();
+        assert!(b
+            .define_class("com/x/A", None, ClassFlags::default(), vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let dex = sample_dex();
+        let act = dex.class_by_name("com/example/app/MainActivity").unwrap();
+        assert_eq!(dex.type_name(act.ty), "com/example/app/MainActivity");
+        assert_eq!(
+            dex.type_name(act.superclass.unwrap()),
+            "android/app/Activity"
+        );
+        assert!(dex.class_by_name("missing/Class").is_none());
+        let wv = dex.type_by_name("android/webkit/WebView").unwrap();
+        // WebView is referenced but not defined here.
+        assert!(dex.class(wv).is_none());
+    }
+
+    #[test]
+    fn checksum_detects_flip() {
+        let bytes = sample_dex().encode().to_vec();
+        let mut bad = bytes.clone();
+        let i = bytes.len() - 3;
+        bad[i] ^= 0x40;
+        match Dex::decode(&bad) {
+            Err(ApkError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_dex().encode().to_vec();
+        bytes[0] = b'Z';
+        assert!(matches!(
+            Dex::decode(&bytes),
+            Err(ApkError::BadMagic {
+                expected: "SDEX",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = sample_dex().encode().to_vec();
+        bytes[4] = 0xff; // version LE low byte
+        assert!(matches!(
+            Dex::decode(&bytes),
+            Err(ApkError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_dex().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Dex::decode(&bytes[..cut]).is_err(),
+                "decode accepted a {cut}-byte prefix of a {}-byte file",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn superclass_cycle_rejected() {
+        // Hand-assemble a dex whose A extends B extends A.
+        let mut b = DexBuilder::new();
+        b.intern_type("com/x/A");
+        b.intern_type("com/x/B");
+        let mut dex = b.build();
+        let a = dex.type_by_name("com/x/A").unwrap();
+        let bb = dex.type_by_name("com/x/B").unwrap();
+        dex.classes.push(ClassDef {
+            ty: a,
+            superclass: Some(bb),
+            flags: ClassFlags::default(),
+            methods: vec![],
+        });
+        dex.classes.push(ClassDef {
+            ty: bb,
+            superclass: Some(a),
+            flags: ClassFlags::default(),
+            methods: vec![],
+        });
+        dex.class_index.insert(a, 0);
+        dex.class_index.insert(bb, 1);
+        let bytes = dex.encode();
+        assert_eq!(
+            Dex::decode(&bytes),
+            Err(ApkError::Invalid("superclass cycle"))
+        );
+    }
+
+    #[test]
+    fn superclass_chain_walks_defined_classes() {
+        let mut b = DexBuilder::new();
+        let m = b.intern_method("com/x/C", "f", "()V");
+        b.define_class(
+            "com/x/A",
+            Some("android/webkit/WebView"),
+            ClassFlags::default(),
+            vec![],
+        )
+        .unwrap();
+        b.define_class("com/x/B", Some("com/x/A"), ClassFlags::default(), vec![])
+            .unwrap();
+        b.define_class(
+            "com/x/C",
+            Some("com/x/B"),
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: m,
+                public: true,
+                static_: false,
+                code: vec![Instruction::ReturnVoid],
+            }],
+        )
+        .unwrap();
+        let dex = b.build();
+        let c = dex.type_by_name("com/x/C").unwrap();
+        let chain: Vec<_> = dex
+            .superclass_chain(c)
+            .into_iter()
+            .map(|t| dex.type_name(t).to_owned())
+            .collect();
+        assert_eq!(chain, ["com/x/B", "com/x/A", "android/webkit/WebView"]);
+    }
+
+    #[test]
+    fn instruction_count() {
+        assert_eq!(sample_dex().instruction_count(), 5);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        // Appending bytes invalidates the checksum; fixing the checksum then
+        // trips the trailing-bytes rule. Cover the latter path directly.
+        let dex = sample_dex();
+        let encoded = dex.encode();
+        let mut body = encoded[10..].to_vec();
+        body.push(0x00);
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&SDEX_MAGIC);
+        forged.extend_from_slice(&SDEX_VERSION.to_le_bytes());
+        forged.extend_from_slice(&crate::wire::adler32(&body).to_le_bytes());
+        forged.extend_from_slice(&body);
+        assert!(matches!(Dex::decode(&forged), Err(ApkError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_dex_roundtrips() {
+        let dex = DexBuilder::new().build();
+        let back = Dex::decode(&dex.encode()).unwrap();
+        assert_eq!(back.classes().len(), 0);
+        assert_eq!(back.string_count(), 0);
+    }
+}

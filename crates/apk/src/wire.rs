@@ -1,0 +1,214 @@
+//! Low-level wire primitives shared by the SAPK and SDEX codecs.
+//!
+//! Everything here operates on [`bytes::Buf`]/[`bytes::BufMut`] so the same
+//! helpers serve both the in-memory writers and the parsers. Integers use
+//! LEB128 unsigned varints (as DEX itself does for most counts); strings are
+//! varint-length-prefixed UTF-8; integrity uses Adler-32 (the checksum real
+//! DEX headers carry).
+
+use crate::error::ApkError;
+use bytes::{Buf, BufMut};
+
+/// Maximum number of bytes a canonical u64 LEB128 varint may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `value` to `buf` as an unsigned LEB128 varint.
+pub fn put_uvarint<B: BufMut>(buf: &mut B, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint from `buf`.
+///
+/// Rejects varints longer than [`MAX_VARINT_LEN`] bytes and truncated input.
+pub fn get_uvarint<B: Buf>(buf: &mut B) -> Result<u64, ApkError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        if !buf.has_remaining() {
+            return Err(ApkError::Truncated { context: "varint" });
+        }
+        let byte = buf.get_u8();
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute one bit.
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return Err(ApkError::BadVarint);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(ApkError::BadVarint)
+}
+
+/// Append a varint-length-prefixed UTF-8 string.
+pub fn put_string<B: BufMut>(buf: &mut B, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a varint-length-prefixed UTF-8 string.
+pub fn get_string<B: Buf>(buf: &mut B) -> Result<String, ApkError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(ApkError::Truncated { context: "string" });
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|_| ApkError::BadUtf8)
+}
+
+/// Read exactly `n` bytes into a fresh vector.
+pub fn get_bytes<B: Buf>(
+    buf: &mut B,
+    n: usize,
+    context: &'static str,
+) -> Result<Vec<u8>, ApkError> {
+    if buf.remaining() < n {
+        return Err(ApkError::Truncated { context });
+    }
+    let mut raw = vec![0u8; n];
+    buf.copy_to_slice(&mut raw);
+    Ok(raw)
+}
+
+/// Compute the Adler-32 checksum of `data` (RFC 1950), the same checksum
+/// carried by real DEX file headers.
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    // Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) < 2^32, per zlib.
+    const NMAX: usize = 5552;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(NMAX) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty(), "varint for {v} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_error() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(get_uvarint(&mut slice).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn varint_overlong_rejected() {
+        // Eleven continuation bytes can never be canonical.
+        let raw = [0xff; 11];
+        let mut slice = &raw[..];
+        assert_eq!(get_uvarint(&mut slice), Err(ApkError::BadVarint));
+    }
+
+    #[test]
+    fn varint_tenth_byte_overflow_rejected() {
+        // 9 continuation bytes then a final byte with more than 1 bit set
+        // would overflow u64.
+        let mut raw = vec![0x80u8; 9];
+        raw.push(0x02);
+        let mut slice = &raw[..];
+        assert_eq!(get_uvarint(&mut slice), Err(ApkError::BadVarint));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        for s in ["", "a", "android/webkit/WebView", "日本語テキスト"] {
+            let mut buf = Vec::new();
+            put_string(&mut buf, s);
+            let mut slice = &buf[..];
+            assert_eq!(get_string(&mut slice).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn string_invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut slice = &buf[..];
+        assert_eq!(get_string(&mut slice), Err(ApkError::BadUtf8));
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        // Reference values from zlib.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn adler32_large_input_no_overflow() {
+        let data = vec![0xffu8; 1 << 20];
+        // Must not panic; spot-check stability.
+        let c1 = adler32(&data);
+        let c2 = adler32(&data);
+        assert_eq!(c1, c2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            prop_assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut slice = &buf[..];
+            prop_assert_eq!(get_uvarint(&mut slice).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".*") {
+            let mut buf = Vec::new();
+            put_string(&mut buf, &s);
+            let mut slice = &buf[..];
+            prop_assert_eq!(get_string(&mut slice).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_varint_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut slice = &raw[..];
+            let _ = get_uvarint(&mut slice);
+        }
+
+        #[test]
+        fn prop_adler32_differs_on_flip(data in proptest::collection::vec(any::<u8>(), 1..256), idx in any::<prop::sample::Index>()) {
+            let mut flipped = data.clone();
+            let i = idx.index(flipped.len());
+            flipped[i] ^= 0x01;
+            prop_assert_ne!(adler32(&data), adler32(&flipped));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Call-graph construction and traversal; ablation: entry-point-bounded
+//! traversal vs whole-graph site scan (DESIGN.md §6.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wla_core::wla_apk::Dex;
+use wla_core::wla_callgraph::reach::{reachable_methods, record_web_calls};
+use wla_core::wla_callgraph::scc::strongly_connected_components;
+use wla_core::wla_callgraph::{entry_points, CallGraph};
+use wla_core::wla_corpus::ecosystem::{Ecosystem, EcosystemParams};
+use wla_core::wla_corpus::lowering::lower;
+use wla_core::wla_corpus::playstore::{AppMeta, PlayCategory};
+use wla_core::wla_manifest::{wireformat, Manifest};
+use wla_core::wla_sdk_index::SdkIndex;
+
+fn fixture() -> (Dex, Manifest) {
+    // A heavyweight app: scan seeds for the spec with the most SDKs so the
+    // graph has realistic size (a mediation-stack app, not a toy).
+    let catalog = SdkIndex::paper();
+    let eco = Ecosystem::new(&catalog, EcosystemParams::default());
+    let meta = AppMeta {
+        package: "com.bench.app".into(),
+        on_play_store: true,
+        downloads: 50_000_000,
+        category: PlayCategory::News,
+        last_update_day: 900,
+    };
+    let spec = (0..200u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            eco.sample_app(&mut rng, meta.clone())
+        })
+        .max_by_key(|s| s.sdks.len())
+        .expect("non-empty seed range");
+    let mut rng = StdRng::seed_from_u64(1);
+    let apk = lower(&spec, &catalog, &mut rng);
+    let manifest = wireformat::decode(apk.manifest_bytes().unwrap()).unwrap();
+    let dex = Dex::decode(apk.dex_bytes().unwrap()).unwrap();
+    (dex, manifest)
+}
+
+fn bench(c: &mut Criterion) {
+    let (dex, manifest) = fixture();
+    let graph = CallGraph::build(&dex);
+    let roots = entry_points(&graph, &manifest);
+    let subs = std::collections::HashSet::new();
+
+    let mut group = c.benchmark_group("callgraph");
+    group.bench_function("build", |b| b.iter(|| CallGraph::build(black_box(&dex))));
+    group.bench_function("entry_points", |b| {
+        b.iter(|| entry_points(black_box(&graph), black_box(&manifest)))
+    });
+    group.bench_function("reachability", |b| {
+        b.iter(|| reachable_methods(black_box(&graph), black_box(&roots)))
+    });
+    // Ablation: traversal-bounded recording vs scanning every site.
+    group.bench_function("record_entrypoint_bounded", |b| {
+        b.iter(|| record_web_calls(black_box(&graph), black_box(&roots), &subs))
+    });
+    group.bench_function("scc_tarjan", |b| {
+        b.iter(|| strongly_connected_components(black_box(&graph)))
+    });
+    group.bench_function("record_whole_graph_scan", |b| {
+        b.iter(|| {
+            // Whole-graph scan: treat every defined method as a root.
+            let all_roots: Vec<_> = dex
+                .classes()
+                .iter()
+                .flat_map(|c| c.methods.iter().map(|m| m.method))
+                .collect();
+            record_web_calls(black_box(&graph), &all_roots, &subs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

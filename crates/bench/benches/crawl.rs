@@ -1,0 +1,21 @@
+//! Per-site crawl visit cost through a heavyweight IAB (Kik) and the
+//! baseline shell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wla_core::wla_crawler::driver::{crawl_app, crawl_baseline};
+use wla_core::wla_crawler::sites::top_100_sites;
+use wla_core::wla_device::iab::profile_for;
+
+fn bench(c: &mut Criterion) {
+    let sites: Vec<_> = top_100_sites().into_iter().take(10).collect();
+    let kik = profile_for("kik.android").unwrap();
+
+    let mut group = c.benchmark_group("crawl");
+    group.sample_size(20);
+    group.bench_function("kik_10_sites", |b| b.iter(|| crawl_app(&kik, &sites)));
+    group.bench_function("baseline_10_sites", |b| b.iter(|| crawl_baseline(&sites)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Loopback measurement-path cost: beacon round trip and controlled-page
+//! fetch over real TCP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wla_core::wla_net::beacon::encode_beacon;
+use wla_core::wla_net::{fetch, MeasurementServer, Request};
+use wla_core::wla_web::testpage::test_page_html;
+
+fn bench(c: &mut Criterion) {
+    let server = MeasurementServer::start(test_page_html()).unwrap();
+    let addr = server.addr();
+
+    let mut group = c.benchmark_group("http_loop");
+    group.sample_size(30);
+    group.bench_function("beacon_roundtrip", |b| {
+        b.iter(|| {
+            let body = encode_beacon("Document", "getElementById", Some("x"), "bench");
+            fetch(addr, Request::post("/beacon", body.into_bytes())).unwrap()
+        })
+    });
+    group.bench_function("page_fetch", |b| {
+        b.iter(|| fetch(addr, Request::get("/page")).unwrap())
+    });
+    group.finish();
+    drop(server);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

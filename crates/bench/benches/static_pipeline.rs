@@ -1,0 +1,50 @@
+//! End-to-end static pipeline cost: per-APK analysis and corpus throughput
+//! at several worker counts (parallel-width ablation, DESIGN.md §6.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wla_core::wla_corpus::{CorpusConfig, Generator};
+use wla_core::wla_sdk_index::SdkIndex;
+use wla_core::wla_static::{analyze_app, run_pipeline, CorpusInput, PipelineConfig};
+
+fn corpus(n_apps_scale: u32) -> Vec<CorpusInput> {
+    let catalog = SdkIndex::paper();
+    let cfg = CorpusConfig {
+        scale: n_apps_scale,
+        seed: 77,
+        corrupt_fraction: 0.0,
+        ..CorpusConfig::default()
+    };
+    Generator::new(&catalog, cfg)
+        .generate()
+        .into_iter()
+        .map(|g| CorpusInput {
+            meta: g.spec.meta.clone(),
+            bytes: g.bytes,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let single = corpus(2_000);
+    // ~734 apps: enough work per thread for the fan-out sweep to mean
+    // something (73 apps amortize to thread-pool overhead).
+    let inputs = corpus(200);
+
+    let mut group = c.benchmark_group("static_pipeline");
+    group.sample_size(10);
+    group.bench_function("analyze_single_apk", |b| {
+        let input = &single[0];
+        b.iter(|| analyze_app(input.meta.clone(), black_box(&input.bytes)).unwrap())
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("corpus_734_apps", workers),
+            &workers,
+            |b, &workers| b.iter(|| run_pipeline(black_box(&inputs), PipelineConfig { workers })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Runs every experiment once and prints a summary — the source of
+//! EXPERIMENTS.md's measured column.
+
+use wla_core::experiments as exp;
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+
+    eprintln!("[1/4] static pipeline (scale 1:{}) …", study.scale);
+    let static_run = study.run_static();
+    eprintln!("[2/4] metadata funnel (6.5M records) …");
+    let funnel = study.run_funnel(&static_run);
+    eprintln!("[3/4] dynamic study (top-1K classification + 10 IABs) …");
+    let dynamic_run = study.run_dynamic();
+    eprintln!("[4/4] crawl study (100 sites × 10 IABs + baseline) …");
+    let crawl_run = study.run_crawl(None);
+
+    let experiments = vec![
+        exp::table2(&study, &funnel),
+        exp::table3(&study, &static_run),
+        exp::table4(&study, &static_run),
+        exp::table5(&study, &static_run),
+        exp::table6(&dynamic_run),
+        exp::table7(&study, &static_run),
+        exp::table8(&dynamic_run),
+        exp::table9(&dynamic_run),
+        exp::fig3(&study, &static_run),
+        exp::fig4(&study, &static_run),
+        exp::fig6(&crawl_run),
+        exp::fig7(),
+    ];
+    for e in &experiments {
+        wla_bench::print_experiment(e);
+    }
+
+    println!("=== Summary ===");
+    for e in &experiments {
+        println!(
+            "{:8} {:>4.0}% of {:2} metrics within tolerance",
+            e.id,
+            e.comparison.match_fraction() * 100.0,
+            e.comparison.rows.len()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3 (SDK use-case distribution per top-10 app
+//! category, WebView and CT panels).
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_static();
+    wla_bench::print_experiment(&wla_core::experiments::fig3(&study, &run));
+}

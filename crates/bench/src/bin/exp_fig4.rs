@@ -1,0 +1,8 @@
+//! Regenerates Figure 4 (heatmap of WebView API method calls by SDK type).
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_static();
+    wla_bench::print_experiment(&wla_core::experiments::fig4(&study, &run));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Appendix Figure 7 (page-load time: CT vs Chrome vs external
+//! browser vs WebView).
+
+fn main() {
+    let _ = wla_bench::parse_args();
+    wla_bench::print_experiment(&wla_core::experiments::fig7());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (SDK counts per category × mechanism).
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_static();
+    wla_bench::print_experiment(&wla_core::experiments::table3(&study, &run));
+}

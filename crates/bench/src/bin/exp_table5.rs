@@ -1,0 +1,8 @@
+//! Regenerates Table 5 (popular SDKs using Custom Tabs).
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_static();
+    wla_bench::print_experiment(&wla_core::experiments::table5(&study, &run));
+}

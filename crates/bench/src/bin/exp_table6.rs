@@ -1,0 +1,10 @@
+//! Regenerates Table 6 (top-1K hyperlink-click classification).
+//! Always full scale: the paper's 1,000 apps are driven through the
+//! simulated device.
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_dynamic();
+    wla_bench::print_experiment(&wla_core::experiments::table6(&run));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 8 (the ten WebView-IAB apps: injections + intents),
+//! by instrumenting each IAB on the controlled page over loopback HTTP.
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_dynamic();
+    wla_bench::print_experiment(&wla_core::experiments::table8(&run));
+}

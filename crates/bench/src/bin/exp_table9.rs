@@ -1,0 +1,9 @@
+//! Regenerates Appendix Table 9 (Web APIs recorded by the controlled
+//! page's measurement server).
+
+fn main() {
+    let opts = wla_bench::parse_args();
+    let study = wla_bench::study(opts);
+    let run = study.run_dynamic();
+    wla_bench::print_experiment(&wla_core::experiments::table9(&run));
+}

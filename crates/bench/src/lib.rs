@@ -1,0 +1,104 @@
+//! # wla-bench — experiment harness
+//!
+//! One `exp_*` binary per table/figure of the paper, each a thin wrapper
+//! over [`wla_core::experiments`], plus Criterion benches for the
+//! pipeline's hot paths and the ablations DESIGN.md calls out.
+//!
+//! Every binary accepts `--scale N` (corpus scale divisor, default 100)
+//! and `--seed N`, prints the reproduced artifact, and finishes with a
+//! paper-vs-measured comparison table.
+
+use wla_core::experiments::Experiment;
+use wla_core::Study;
+
+/// CLI options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Corpus scale divisor.
+    pub scale: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 100,
+            seed: 0xDA7A_5EED,
+        }
+    }
+}
+
+/// Parse `--scale` / `--seed` from `std::env::args`.
+pub fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    opts.scale = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    opts.seed = v;
+                    i += 1;
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: exp_* [--scale N] [--seed N]");
+                std::process::exit(0);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Build the study for the parsed options.
+pub fn study(opts: Options) -> Study {
+    Study::new(opts.scale, opts.seed)
+}
+
+/// Print one experiment: its artifact(s), then the comparison.
+pub fn print_experiment(exp: &Experiment) {
+    println!("=== Experiment {} ===\n", exp.id);
+    if !exp.table.headers.is_empty() || !exp.table.rows.is_empty() {
+        println!("{}", exp.table.render());
+    }
+    for figure in &exp.figures {
+        println!("{figure}");
+    }
+    println!("{}", exp.comparison.to_table().render());
+    println!(
+        "shape agreement: {:.0}% of {} compared metrics within tolerance\n",
+        exp.comparison.match_fraction() * 100.0,
+        exp.comparison.rows.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = Options::default();
+        assert_eq!(o.scale, 100);
+    }
+
+    #[test]
+    fn print_does_not_panic_on_empty() {
+        let exp = Experiment {
+            id: "empty",
+            table: wla_core::wla_report::Table::new("t", &[]),
+            comparison: wla_core::wla_report::Comparison::new("empty"),
+            figures: vec![],
+        };
+        print_experiment(&exp);
+    }
+}

@@ -1,0 +1,178 @@
+//! Entry-point discovery.
+//!
+//! "An Android app lacks a 'main' function … in order to exhaustively
+//! identify the usage of WebViews and CTs in an app, we traversed the app's
+//! entire call graph via all entry points" (§3.1.3). Entry points are:
+//!
+//! * lifecycle methods of every manifest-declared component, looked up on
+//!   the component class *and its defined subclasses* (frameworks
+//!   instantiate the manifest class, but apps often declare a base class
+//!   and register a subclass — both directions are covered);
+//! * GUI/system event callbacks (`onClick`, `onReceive`, `run`, …) defined
+//!   on any class, since listeners can be registered from anywhere.
+
+use crate::graph::CallGraph;
+use wla_apk::sdex::MethodId;
+use wla_manifest::Manifest;
+
+/// Event-callback method names treated as externally invokable.
+pub const CALLBACK_METHODS: [&str; 8] = [
+    "onClick",
+    "onTouch",
+    "onLongClick",
+    "onItemClick",
+    "onMenuItemClick",
+    "onPageFinished",
+    "run",
+    "call",
+];
+
+/// Compute the traversal roots for `graph` given the app manifest.
+pub fn entry_points(graph: &CallGraph<'_>, manifest: &Manifest) -> Vec<MethodId> {
+    let dex = graph.dex();
+    let mut roots = Vec::new();
+
+    for class in dex.classes() {
+        let class_name = dex.type_name(class.ty);
+        // Is this class (or any defined ancestor) a manifest component?
+        let component = manifest.component_by_class(class_name).or_else(|| {
+            dex.superclass_chain(class.ty)
+                .into_iter()
+                .find_map(|a| manifest.component_by_class(dex.type_name(a)))
+        });
+
+        for m in &class.methods {
+            let name = dex.method_name(m.method);
+            let is_lifecycle = component
+                .map(|c| c.kind.lifecycle_methods().contains(&name))
+                .unwrap_or(false);
+            let is_callback = m.public && CALLBACK_METHODS.contains(&name);
+            if is_lifecycle || is_callback {
+                roots.push(m.method);
+            }
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, MethodDef};
+    use wla_manifest::{Component, ComponentKind};
+
+    fn dex_with_methods(defs: &[(&str, Option<&str>, &str, bool)]) -> wla_apk::Dex {
+        // (class, superclass, method name, public)
+        let mut b = DexBuilder::new();
+        let mut per_class: std::collections::BTreeMap<String, Vec<MethodDef>> =
+            std::collections::BTreeMap::new();
+        let mut supers: std::collections::BTreeMap<String, Option<String>> =
+            std::collections::BTreeMap::new();
+        for &(class, sup, method, public) in defs {
+            let m = b.intern_method(class, method, "()V");
+            per_class
+                .entry(class.to_owned())
+                .or_default()
+                .push(MethodDef {
+                    method: m,
+                    public,
+                    static_: false,
+                    code: vec![Instruction::ReturnVoid],
+                });
+            supers.insert(class.to_owned(), sup.map(str::to_owned));
+        }
+        for (class, methods) in per_class {
+            b.define_class(
+                &class,
+                supers[&class].as_deref(),
+                ClassFlags {
+                    public: true,
+                    ..Default::default()
+                },
+                methods,
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn component_lifecycle_methods_are_roots() {
+        let dex = dex_with_methods(&[
+            ("com/x/Main", Some("android/app/Activity"), "onCreate", true),
+            ("com/x/Main", Some("android/app/Activity"), "helper", true),
+        ]);
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::simple(ComponentKind::Activity, "com/x/Main"));
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let names: Vec<_> = roots.iter().map(|&m| dex.method_name(m)).collect();
+        assert!(names.contains(&"onCreate"));
+        assert!(!names.contains(&"helper"));
+    }
+
+    #[test]
+    fn subclass_of_component_counts() {
+        let dex = dex_with_methods(&[
+            ("com/x/Base", Some("android/app/Activity"), "util", true),
+            ("com/x/Child", Some("com/x/Base"), "onResume", true),
+        ]);
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::simple(ComponentKind::Activity, "com/x/Base"));
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let names: Vec<_> = roots.iter().map(|&m| dex.method_name(m)).collect();
+        assert!(names.contains(&"onResume"));
+    }
+
+    #[test]
+    fn service_lifecycle_differs_from_activity() {
+        let dex = dex_with_methods(&[
+            (
+                "com/x/Svc",
+                Some("android/app/Service"),
+                "onStartCommand",
+                true,
+            ),
+            ("com/x/Svc", Some("android/app/Service"), "onResume", true),
+        ]);
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::simple(ComponentKind::Service, "com/x/Svc"));
+        let g = CallGraph::build(&dex);
+        let names: Vec<_> = entry_points(&g, &manifest)
+            .iter()
+            .map(|&m| dex.method_name(m))
+            .collect();
+        assert!(names.contains(&"onStartCommand"));
+        // onResume is not a Service lifecycle method.
+        assert!(!names.contains(&"onResume"));
+    }
+
+    #[test]
+    fn public_callbacks_are_roots_anywhere() {
+        let dex = dex_with_methods(&[
+            ("com/x/Listener", None, "onClick", true),
+            ("com/x/Listener", None, "onClickPrivateish", true),
+            ("com/x/Hidden", None, "onClick", false),
+        ]);
+        let manifest = Manifest::new("com.x");
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(dex.method_name(roots[0]), "onClick");
+    }
+
+    #[test]
+    fn no_components_no_lifecycle_roots() {
+        let dex = dex_with_methods(&[("com/x/A", None, "onCreate", true)]);
+        let manifest = Manifest::new("com.x");
+        let g = CallGraph::build(&dex);
+        assert!(entry_points(&g, &manifest).is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Call-graph construction from SDEX bytecode.
+
+use std::collections::HashMap;
+use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodId, TypeId};
+
+/// One `invoke-*` site in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Method containing the call.
+    pub caller: MethodId,
+    /// Class defining the caller.
+    pub caller_class: TypeId,
+    /// The callee *reference* as written in the bytecode (its class is the
+    /// static receiver type — possibly a WebView subclass).
+    pub callee_ref: MethodId,
+    /// Dispatch kind.
+    pub kind: InvokeKind,
+    /// String-pool index of the `const-string` immediately preceding the
+    /// call, if any (the URL/JS argument heuristic the study uses).
+    pub preceding_string: Option<u32>,
+}
+
+/// A whole-app call graph over a [`Dex`].
+#[derive(Debug)]
+pub struct CallGraph<'d> {
+    dex: &'d Dex,
+    /// method-table id -> index of the class defining it (for defined
+    /// methods).
+    defined: HashMap<MethodId, TypeId>,
+    /// Resolved internal edges: caller -> defined callees.
+    edges: HashMap<MethodId, Vec<MethodId>>,
+    /// Every call site, resolved or not.
+    sites: Vec<CallSite>,
+}
+
+impl<'d> CallGraph<'d> {
+    /// Build the graph. Cost is linear in code size; virtual resolution
+    /// walks superclass chains (bounded by hierarchy depth).
+    pub fn build(dex: &'d Dex) -> Self {
+        // Index defined methods: (class, name, desc) -> MethodId, and
+        // MethodId -> defining class.
+        let mut defined: HashMap<MethodId, TypeId> = HashMap::new();
+        let mut by_signature: HashMap<(TypeId, u32, u32), MethodId> = HashMap::new();
+        for class in dex.classes() {
+            for m in &class.methods {
+                let r = dex.method_ref(m.method);
+                defined.insert(m.method, class.ty);
+                by_signature.insert((class.ty, r.name, r.descriptor), m.method);
+            }
+        }
+
+        let mut edges: HashMap<MethodId, Vec<MethodId>> = HashMap::new();
+        let mut sites = Vec::new();
+        for class in dex.classes() {
+            for m in &class.methods {
+                let mut pending_string: Option<u32> = None;
+                for ins in &m.code {
+                    match ins {
+                        Instruction::ConstString { string } => {
+                            pending_string = Some(*string);
+                        }
+                        Instruction::Invoke { kind, method } => {
+                            sites.push(CallSite {
+                                caller: m.method,
+                                caller_class: class.ty,
+                                callee_ref: *method,
+                                kind: *kind,
+                                preceding_string: pending_string.take(),
+                            });
+                            if let Some(target) = resolve(dex, &by_signature, *method, *kind) {
+                                edges.entry(m.method).or_default().push(target);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            dex,
+            defined,
+            edges,
+            sites,
+        }
+    }
+
+    /// The dex this graph was built over.
+    pub fn dex(&self) -> &'d Dex {
+        self.dex
+    }
+
+    /// Every call site in program order.
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Resolved internal callees of `m`.
+    pub fn callees(&self, m: MethodId) -> &[MethodId] {
+        self.edges.get(&m).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Class defining `m`, if `m` is defined in this dex.
+    pub fn defining_class(&self, m: MethodId) -> Option<TypeId> {
+        self.defined.get(&m).copied()
+    }
+
+    /// Number of defined methods (graph nodes with potential out-edges).
+    pub fn defined_count(&self) -> usize {
+        self.defined.len()
+    }
+
+    /// Total internal edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+}
+
+/// Resolve a callee reference to a *defined* method, or `None` for external
+/// (framework) targets. Virtual/interface/super dispatch searches the
+/// receiver class then its defined ancestors (class-hierarchy analysis on
+/// the static type — the paper's tooling does the same).
+fn resolve(
+    dex: &Dex,
+    by_signature: &HashMap<(TypeId, u32, u32), MethodId>,
+    callee_ref: MethodId,
+    kind: InvokeKind,
+) -> Option<MethodId> {
+    let r = dex.method_ref(callee_ref);
+    if let Some(&m) = by_signature.get(&(r.class, r.name, r.descriptor)) {
+        return Some(m);
+    }
+    match kind {
+        InvokeKind::Static | InvokeKind::Direct => None,
+        InvokeKind::Virtual | InvokeKind::Interface | InvokeKind::Super => {
+            // Walk defined ancestors of the static receiver type.
+            for ancestor in dex.superclass_chain(r.class) {
+                if let Some(&m) = by_signature.get(&(ancestor, r.name, r.descriptor)) {
+                    return Some(m);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, MethodDef};
+
+    fn def(b: &mut DexBuilder, class: &str, name: &str, code: Vec<Instruction>) -> MethodDef {
+        MethodDef {
+            method: b.intern_method(class, name, "()V"),
+            public: true,
+            static_: false,
+            code,
+        }
+    }
+
+    #[test]
+    fn static_edges_resolved() {
+        let mut b = DexBuilder::new();
+        let callee = b.intern_method("com/x/B", "run", "()V");
+        let a = def(
+            &mut b,
+            "com/x/A",
+            "go",
+            vec![
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: callee,
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let b_run = def(&mut b, "com/x/B", "run", vec![Instruction::ReturnVoid]);
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a])
+            .unwrap();
+        b.define_class("com/x/B", None, ClassFlags::default(), vec![b_run])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        let a_id = dex
+            .classes()
+            .iter()
+            .find(|c| dex.type_name(c.ty) == "com/x/A")
+            .unwrap()
+            .methods[0]
+            .method;
+        assert_eq!(g.callees(a_id).len(), 1);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.defined_count(), 2);
+    }
+
+    #[test]
+    fn virtual_dispatch_through_superclass() {
+        // C extends B extends A; call site references C.handle but only A
+        // defines it — resolution must walk up.
+        let mut b = DexBuilder::new();
+        let _a_handle = b.intern_method("com/x/A", "handle", "()V");
+        let c_handle = b.intern_method("com/x/C", "handle", "()V");
+        let caller = def(
+            &mut b,
+            "com/x/Main",
+            "go",
+            vec![
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    method: c_handle,
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let a_def = def(&mut b, "com/x/A", "handle", vec![Instruction::ReturnVoid]);
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a_def])
+            .unwrap();
+        b.define_class("com/x/B", Some("com/x/A"), ClassFlags::default(), vec![])
+            .unwrap();
+        b.define_class("com/x/C", Some("com/x/B"), ClassFlags::default(), vec![])
+            .unwrap();
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        let main = dex.class_by_name("com/x/Main").unwrap().methods[0].method;
+        let callees = g.callees(main);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(
+            dex.type_name(g.defining_class(callees[0]).unwrap()),
+            "com/x/A"
+        );
+    }
+
+    #[test]
+    fn external_calls_have_no_edge_but_keep_site() {
+        let mut b = DexBuilder::new();
+        let load = b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
+        let url = b.intern_string("https://x.example");
+        let caller = def(
+            &mut b,
+            "com/x/Main",
+            "go",
+            vec![
+                Instruction::ConstString { string: url },
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    method: load,
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.sites().len(), 1);
+        let site = g.sites()[0];
+        assert_eq!(dex.method_name(site.callee_ref), "loadUrl");
+        assert_eq!(
+            dex.string(site.preceding_string.unwrap()),
+            "https://x.example"
+        );
+    }
+
+    #[test]
+    fn preceding_string_does_not_leak_across_calls() {
+        let mut b = DexBuilder::new();
+        let f = b.intern_method("com/x/Ext", "f", "()V");
+        let gm = b.intern_method("com/x/Ext", "g", "()V");
+        let s = b.intern_string("only-for-f");
+        let caller = def(
+            &mut b,
+            "com/x/Main",
+            "go",
+            vec![
+                Instruction::ConstString { string: s },
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: f,
+                },
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: gm,
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        assert_eq!(g.sites().len(), 2);
+        assert!(g.sites()[0].preceding_string.is_some());
+        assert!(g.sites()[1].preceding_string.is_none());
+    }
+}

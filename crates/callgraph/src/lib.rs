@@ -1,0 +1,28 @@
+//! # wla-callgraph — whole-app call graphs (Androguard analog)
+//!
+//! Steps (4)–(5) of the paper's pipeline (Figure 1): "generate call graphs
+//! for each APK and record the instances where a WebView method is called
+//! or a CT is initialized", traversing "the app's entire call graph via all
+//! entry points" because Android apps have no `main` (§3.1.3).
+//!
+//! * [`graph`] — builds the call graph from SDEX bytecode: one node per
+//!   method-table entry, edges from `invoke-*` sites, virtual dispatch
+//!   resolved through the superclass chain (CHA-style), with every call
+//!   site retained (caller, callee reference, invoke kind, preceding
+//!   string constant);
+//! * [`entrypoints`] — discovers traversal roots from the manifest:
+//!   lifecycle methods of declared components (including components whose
+//!   class *transitively* extends a declared component class) plus GUI/event
+//!   callbacks;
+//! * [`reach`] — BFS reachability over the graph and the recording of
+//!   WebView / Custom-Tabs call sites with their reachability status.
+
+pub mod entrypoints;
+pub mod graph;
+pub mod reach;
+pub mod scc;
+
+pub use entrypoints::entry_points;
+pub use graph::{CallGraph, CallSite};
+pub use reach::{record_web_calls, CtSite, WebCallRecord, WebViewSite};
+pub use scc::{graph_shape, strongly_connected_components, GraphShape};

@@ -1,0 +1,305 @@
+//! Reachability traversal and WebView / Custom-Tabs call-site recording —
+//! step (5) of the pipeline.
+
+use crate::graph::CallGraph;
+use std::collections::HashSet;
+use wla_apk::names::{framework, WEBVIEW_CONTENT_METHODS};
+use wla_apk::sdex::MethodId;
+
+/// A recorded call to a WebView content method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebViewSite {
+    /// Method name (`loadUrl`, …).
+    pub method: String,
+    /// Binary name of the class containing the call.
+    pub caller_class: String,
+    /// Binary name of the static receiver type (WebView itself or a
+    /// subclass).
+    pub receiver_class: String,
+    /// String constant preceding the call (URL / JS / bridge name).
+    pub argument: Option<String>,
+    /// Whether the call is reachable from an entry point.
+    pub reachable: bool,
+}
+
+/// A recorded Custom-Tabs interaction (`CustomTabsIntent` construction or
+/// `launchUrl`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtSite {
+    /// `launchUrl`, `build`, or `<init>`.
+    pub method: String,
+    /// Binary name of the class containing the call.
+    pub caller_class: String,
+    /// Whether the call is reachable from an entry point.
+    pub reachable: bool,
+}
+
+/// The complete record for one app.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WebCallRecord {
+    /// WebView content-method calls.
+    pub webview: Vec<WebViewSite>,
+    /// Custom-Tabs interactions.
+    pub custom_tabs: Vec<CtSite>,
+}
+
+/// BFS over internal edges from `roots`.
+pub fn reachable_methods(graph: &CallGraph<'_>, roots: &[MethodId]) -> HashSet<MethodId> {
+    let mut seen: HashSet<MethodId> = roots.iter().copied().collect();
+    let mut queue: Vec<MethodId> = roots.to_vec();
+    while let Some(m) = queue.pop() {
+        for &callee in graph.callees(m) {
+            if seen.insert(callee) {
+                queue.push(callee);
+            }
+        }
+    }
+    seen
+}
+
+/// Record every WebView content-method call and CT interaction in `graph`,
+/// marking reachability from `roots`. `webview_subclasses` is the set of
+/// binary names the decompilation step found to extend WebView.
+pub fn record_web_calls(
+    graph: &CallGraph<'_>,
+    roots: &[MethodId],
+    webview_subclasses: &HashSet<String>,
+) -> WebCallRecord {
+    let dex = graph.dex();
+    let reachable = reachable_methods(graph, roots);
+    let mut record = WebCallRecord::default();
+
+    for site in graph.sites() {
+        let callee_ref = dex.method_ref(site.callee_ref);
+        let receiver = dex.type_name(callee_ref.class);
+        let name = dex.string(callee_ref.name);
+        let caller_class = dex.type_name(site.caller_class).to_owned();
+        let is_reachable = reachable.contains(&site.caller);
+
+        let is_webview_receiver =
+            receiver == framework::WEBVIEW || webview_subclasses.contains(receiver);
+        if is_webview_receiver && WEBVIEW_CONTENT_METHODS.contains(&name) {
+            record.webview.push(WebViewSite {
+                method: name.to_owned(),
+                caller_class: caller_class.clone(),
+                receiver_class: receiver.to_owned(),
+                argument: site.preceding_string.map(|s| dex.string(s).to_owned()),
+                reachable: is_reachable,
+            });
+        }
+
+        if receiver == framework::CUSTOM_TABS_INTENT || receiver == framework::CUSTOM_TABS_BUILDER {
+            record.custom_tabs.push(CtSite {
+                method: name.to_owned(),
+                caller_class,
+                reachable: is_reachable,
+            });
+        }
+    }
+    record
+}
+
+impl WebCallRecord {
+    /// Reachable WebView sites only.
+    pub fn reachable_webview(&self) -> impl Iterator<Item = &WebViewSite> {
+        self.webview.iter().filter(|s| s.reachable)
+    }
+
+    /// Reachable CT sites only.
+    pub fn reachable_custom_tabs(&self) -> impl Iterator<Item = &CtSite> {
+        self.custom_tabs.iter().filter(|s| s.reachable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entrypoints::entry_points;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef};
+    use wla_manifest::{Component, ComponentKind, Manifest};
+
+    /// Activity whose onCreate reaches loadUrl through one hop; plus a dead
+    /// class calling loadUrl; plus a CT launch; plus a subclass receiver.
+    fn build_fixture() -> (wla_apk::Dex, Manifest) {
+        let mut b = DexBuilder::new();
+        let load = b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
+        let sub_load = b.intern_method("com/x/MyWebView", "loadUrl", "(Ljava/lang/String;)V");
+        let launch = b.intern_method(
+            "androidx/browser/customtabs/CustomTabsIntent",
+            "launchUrl",
+            "(Landroid/content/Context;Landroid/net/Uri;)V",
+        );
+        let url = b.intern_string("https://live.example");
+        let dead_url = b.intern_string("https://dead.example");
+
+        let helper = b.intern_method("com/x/Helper", "show", "()V");
+        let on_create = b.intern_method("com/x/Main", "onCreate", "()V");
+        let dead_m = b.intern_method("com/x/Dead", "zombie", "()V");
+
+        b.define_class(
+            "com/x/MyWebView",
+            Some("android/webkit/WebView"),
+            ClassFlags::default(),
+            vec![],
+        )
+        .unwrap();
+        b.define_class(
+            "com/x/Helper",
+            None,
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: helper,
+                public: true,
+                static_: true,
+                code: vec![
+                    Instruction::ConstString { string: url },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: load,
+                    },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: sub_load,
+                    },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: launch,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+        b.define_class(
+            "com/x/Main",
+            Some("android/app/Activity"),
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: on_create,
+                public: true,
+                static_: false,
+                code: vec![
+                    Instruction::Invoke {
+                        kind: InvokeKind::Static,
+                        method: helper,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+        b.define_class(
+            "com/x/Dead",
+            None,
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: dead_m,
+                public: false,
+                static_: true,
+                code: vec![
+                    Instruction::ConstString { string: dead_url },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: load,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+
+        let mut manifest = Manifest::new("com.x");
+        manifest
+            .components
+            .push(Component::simple(ComponentKind::Activity, "com/x/Main"));
+        (b.build(), manifest)
+    }
+
+    #[test]
+    fn reachable_and_dead_sites_distinguished() {
+        let (dex, manifest) = build_fixture();
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let subs: HashSet<String> = ["com/x/MyWebView".to_owned()].into();
+        let rec = record_web_calls(&g, &roots, &subs);
+
+        // Three WebView sites total: two live (framework + subclass), one dead.
+        assert_eq!(rec.webview.len(), 3);
+        assert_eq!(rec.reachable_webview().count(), 2);
+        let dead: Vec<_> = rec.webview.iter().filter(|s| !s.reachable).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].caller_class, "com/x/Dead");
+        assert_eq!(dead[0].argument.as_deref(), Some("https://dead.example"));
+
+        // Subclass receiver recorded as WebView usage.
+        assert!(rec
+            .webview
+            .iter()
+            .any(|s| s.receiver_class == "com/x/MyWebView" && s.reachable));
+
+        // CT launch recorded and reachable.
+        assert_eq!(rec.custom_tabs.len(), 1);
+        assert!(rec.custom_tabs[0].reachable);
+        assert_eq!(rec.custom_tabs[0].method, "launchUrl");
+    }
+
+    #[test]
+    fn subclass_calls_invisible_without_subclass_set() {
+        // Without the decompiler's subclass knowledge, the subclass call is
+        // missed — this is exactly why the pipeline needs step (3).
+        let (dex, manifest) = build_fixture();
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let rec = record_web_calls(&g, &roots, &HashSet::new());
+        assert_eq!(
+            rec.webview
+                .iter()
+                .filter(|s| s.receiver_class == "com/x/MyWebView")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn reachability_is_transitive_and_terminates_on_cycles() {
+        let mut b = DexBuilder::new();
+        let f = b.intern_method("com/x/A", "f", "()V");
+        let gm = b.intern_method("com/x/A", "g", "()V");
+        b.define_class(
+            "com/x/A",
+            None,
+            ClassFlags::default(),
+            vec![
+                MethodDef {
+                    method: f,
+                    public: true,
+                    static_: true,
+                    code: vec![
+                        Instruction::Invoke {
+                            kind: InvokeKind::Static,
+                            method: gm,
+                        },
+                        Instruction::ReturnVoid,
+                    ],
+                },
+                MethodDef {
+                    method: gm,
+                    public: true,
+                    static_: true,
+                    code: vec![
+                        Instruction::Invoke {
+                            kind: InvokeKind::Static,
+                            method: f,
+                        },
+                        Instruction::ReturnVoid,
+                    ],
+                },
+            ],
+        )
+        .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        let reach = reachable_methods(&g, &[f]);
+        assert_eq!(reach.len(), 2);
+    }
+}

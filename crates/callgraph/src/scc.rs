@@ -1,0 +1,272 @@
+//! Strongly connected components of the call graph (iterative Tarjan).
+//!
+//! Mutual recursion shows up as non-trivial SCCs; the analysis uses the
+//! condensation to report call-graph shape metrics (depth, recursion), and
+//! the traversal ablation bench uses component counts as a sanity check.
+
+use crate::graph::CallGraph;
+use std::collections::HashMap;
+use wla_apk::sdex::MethodId;
+
+/// SCCs of the internal call graph, each a list of method ids. Components
+/// are emitted in reverse topological order (callees before callers), as
+/// Tarjan produces them.
+pub fn strongly_connected_components(graph: &CallGraph<'_>) -> Vec<Vec<MethodId>> {
+    // Collect all defined methods as nodes.
+    let nodes: Vec<MethodId> = graph
+        .dex()
+        .classes()
+        .iter()
+        .flat_map(|c| c.methods.iter().map(|m| m.method))
+        .collect();
+
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+
+    let mut state: HashMap<MethodId, NodeState> = HashMap::with_capacity(nodes.len());
+    let mut stack: Vec<MethodId> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut components: Vec<Vec<MethodId>> = Vec::new();
+
+    // Iterative Tarjan: explicit work stack of (node, child cursor).
+    for &root in &nodes {
+        if state.contains_key(&root) {
+            continue;
+        }
+        let mut work: Vec<(MethodId, usize)> = vec![(root, 0)];
+        state.insert(
+            root,
+            NodeState {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
+        );
+        stack.push(root);
+        next_index += 1;
+
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            let callees = graph.callees(v);
+            if *cursor < callees.len() {
+                let w = callees[*cursor];
+                *cursor += 1;
+                match state.get(&w) {
+                    None => {
+                        state.insert(
+                            w,
+                            NodeState {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        stack.push(w);
+                        next_index += 1;
+                        work.push((w, 0));
+                    }
+                    Some(ws) if ws.on_stack => {
+                        let w_index = ws.index;
+                        let vs = state.get_mut(&v).expect("visited");
+                        vs.lowlink = vs.lowlink.min(w_index);
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                work.pop();
+                let v_state = state[&v];
+                if let Some(&(parent, _)) = work.last() {
+                    let pl = state[&parent].lowlink.min(v_state.lowlink);
+                    state.get_mut(&parent).expect("visited").lowlink = pl;
+                }
+                if v_state.lowlink == v_state.index {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        state.get_mut(&w).expect("visited").on_stack = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Shape metrics derived from the SCC condensation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphShape {
+    /// Defined methods.
+    pub methods: usize,
+    /// Internal edges.
+    pub edges: usize,
+    /// Number of SCCs.
+    pub components: usize,
+    /// Methods involved in recursion (members of SCCs of size > 1, plus
+    /// self-loops).
+    pub recursive_methods: usize,
+}
+
+/// Compute shape metrics for a graph.
+pub fn graph_shape(graph: &CallGraph<'_>) -> GraphShape {
+    let sccs = strongly_connected_components(graph);
+    let recursive_methods = sccs
+        .iter()
+        .filter(|c| c.len() > 1 || (c.len() == 1 && graph.callees(c[0]).contains(&c[0])))
+        .map(Vec::len)
+        .sum();
+    GraphShape {
+        methods: graph.defined_count(),
+        edges: graph.edge_count(),
+        components: sccs.len(),
+        recursive_methods,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef};
+
+    fn chain_with_cycle() -> wla_apk::Dex {
+        // a -> b -> c -> b (cycle {b, c}), d self-loop, e isolated.
+        let mut b = DexBuilder::new();
+        let ids: Vec<_> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| b.intern_method("com/x/T", n, "()V"))
+            .collect();
+        let call = |m| Instruction::Invoke {
+            kind: InvokeKind::Static,
+            method: m,
+        };
+        let defs = vec![
+            MethodDef {
+                method: ids[0],
+                public: true,
+                static_: true,
+                code: vec![call(ids[1]), Instruction::ReturnVoid],
+            },
+            MethodDef {
+                method: ids[1],
+                public: true,
+                static_: true,
+                code: vec![call(ids[2]), Instruction::ReturnVoid],
+            },
+            MethodDef {
+                method: ids[2],
+                public: true,
+                static_: true,
+                code: vec![call(ids[1]), Instruction::ReturnVoid],
+            },
+            MethodDef {
+                method: ids[3],
+                public: true,
+                static_: true,
+                code: vec![call(ids[3]), Instruction::ReturnVoid],
+            },
+            MethodDef {
+                method: ids[4],
+                public: true,
+                static_: true,
+                code: vec![Instruction::ReturnVoid],
+            },
+        ];
+        b.define_class("com/x/T", None, ClassFlags::default(), defs)
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn sccs_found() {
+        let dex = chain_with_cycle();
+        let graph = CallGraph::build(&dex);
+        let sccs = strongly_connected_components(&graph);
+        // {b,c} is one SCC; a, d, e are singletons → 4 components.
+        assert_eq!(sccs.len(), 4);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = sccs.iter().map(Vec::len).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, [1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn callees_precede_callers() {
+        // Reverse topological order: the {b,c} component must appear
+        // before a's singleton.
+        let dex = chain_with_cycle();
+        let graph = CallGraph::build(&dex);
+        let sccs = strongly_connected_components(&graph);
+        let pos_of = |name: &str| {
+            sccs.iter()
+                .position(|c| c.iter().any(|&m| dex.method_name(m) == name))
+                .unwrap()
+        };
+        assert!(pos_of("b") < pos_of("a"));
+    }
+
+    #[test]
+    fn shape_metrics() {
+        let dex = chain_with_cycle();
+        let graph = CallGraph::build(&dex);
+        let shape = graph_shape(&graph);
+        assert_eq!(shape.methods, 5);
+        assert_eq!(shape.edges, 4);
+        assert_eq!(shape.components, 4);
+        // {b, c} (2 methods) + d's self-loop (1) = 3 recursive methods.
+        assert_eq!(shape.recursive_methods, 3);
+    }
+
+    #[test]
+    fn acyclic_graph_all_singletons() {
+        let mut b = DexBuilder::new();
+        let f = b.intern_method("com/x/T", "f", "()V");
+        let g = b.intern_method("com/x/T", "g", "()V");
+        b.define_class(
+            "com/x/T",
+            None,
+            ClassFlags::default(),
+            vec![
+                MethodDef {
+                    method: f,
+                    public: true,
+                    static_: true,
+                    code: vec![
+                        Instruction::Invoke {
+                            kind: InvokeKind::Static,
+                            method: g,
+                        },
+                        Instruction::ReturnVoid,
+                    ],
+                },
+                MethodDef {
+                    method: g,
+                    public: true,
+                    static_: true,
+                    code: vec![Instruction::ReturnVoid],
+                },
+            ],
+        )
+        .unwrap();
+        let dex = b.build();
+        let graph = CallGraph::build(&dex);
+        let shape = graph_shape(&graph);
+        assert_eq!(shape.components, 2);
+        assert_eq!(shape.recursive_methods, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dex = DexBuilder::new().build();
+        let graph = CallGraph::build(&dex);
+        assert!(strongly_connected_components(&graph).is_empty());
+    }
+}

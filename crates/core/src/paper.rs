@@ -1,0 +1,165 @@
+//! The paper's published numbers, as comparison targets.
+//!
+//! Everything here is transcribed from the IMC '24 paper; experiment
+//! binaries compare measured values against these and EXPERIMENTS.md
+//! records both sides.
+
+/// Table 2 — dataset funnel.
+pub mod table2 {
+    /// Play Store apps in AndroZoo.
+    pub const ANDROZOO: u64 = 6_507_222;
+    /// Apps found on the Play Store.
+    pub const FOUND: u64 = 2_454_488;
+    /// Apps with 100K+ downloads.
+    pub const POPULAR: u64 = 198_324;
+    /// …and updated after 2021.
+    pub const MAINTAINED: u64 = 146_800;
+    /// Apps successfully analyzed.
+    pub const ANALYZED: u64 = 146_558;
+}
+
+/// Table 3 — SDK counts by category: (label, webview, ct, both).
+pub const TABLE3: [(&str, u32, u32, u32); 10] = [
+    ("Advertising", 46, 3, 3),
+    ("Payments", 15, 6, 5),
+    ("Development Tools", 11, 7, 5),
+    ("Engagement", 12, 0, 0),
+    ("Social", 10, 6, 4),
+    ("Authentication", 7, 10, 6),
+    ("Unknown", 10, 4, 4),
+    ("Hybrid Functionality", 6, 7, 5),
+    ("Utility", 4, 2, 2),
+    ("User Support", 4, 0, 0),
+];
+
+/// Table 3 totals.
+pub const TABLE3_TOTALS: (u32, u32, u32) = (125, 45, 34);
+
+/// Table 4 — headline WebView SDKs: (name, apps).
+pub const TABLE4_TOP: [(&str, u32); 10] = [
+    ("AppLovin", 27_397),
+    ("ironSource", 16_326),
+    ("ByteDance", 13_080),
+    ("InMobi", 10_066),
+    ("Digital Turbine", 8_654),
+    ("Open Measurement", 11_333),
+    ("SafeDK", 7_427),
+    ("Flutter", 5_568),
+    ("Stripe", 1_171),
+    ("Zendesk", 1_000),
+];
+
+/// Table 5 — headline CT SDKs: (name, apps).
+pub const TABLE5_TOP: [(&str, u32); 5] = [
+    ("Facebook", 23_234),
+    ("Google Firebase", 7_565),
+    ("HyprMX", 1_257),
+    ("Linkvertise", 383),
+    ("Taboola", 317),
+];
+
+/// Table 6 — manual classification of the top 1K apps.
+pub mod table6 {
+    /// Users can post links.
+    pub const CAN_POST: usize = 38;
+    /// …link opens in browser.
+    pub const BROWSER: usize = 27;
+    /// …link opens in a WebView.
+    pub const WEBVIEW: usize = 10;
+    /// …link opens in a CT.
+    pub const CT: usize = 1;
+    /// Users cannot post links.
+    pub const NO_UGC: usize = 905;
+    /// Browser apps.
+    pub const BROWSER_APPS: usize = 9;
+    /// Could not classify.
+    pub const UNCLASSIFIED: usize = 48;
+    /// …required a phone number.
+    pub const PHONE: usize = 24;
+    /// …app incompatibility.
+    pub const INCOMPATIBLE: usize = 22;
+    /// …required a paid account.
+    pub const PAID: usize = 2;
+}
+
+/// Table 7 — per-method app counts: (method, apps, via top SDKs).
+pub const TABLE7_METHODS: [(&str, u64, u64); 7] = [
+    ("loadUrl", 77_930, 50_984),
+    ("addJavascriptInterface", 36_899, 23_087),
+    ("loadDataWithBaseURL", 35_680, 27_474),
+    ("evaluateJavascript", 26_891, 18_716),
+    ("removeJavascriptInterface", 19_684, 15_034),
+    ("loadData", 8_275, 918),
+    ("postUrl", 5_028, 2_678),
+];
+
+/// Table 7 — headline app counts.
+pub mod table7 {
+    /// Apps using WebViews.
+    pub const WEBVIEW_APPS: u64 = 81_720;
+    /// …via top SDKs.
+    pub const WEBVIEW_VIA_SDK: u64 = 54_833;
+    /// Apps using CTs.
+    pub const CT_APPS: u64 = 29_130;
+    /// …via top SDKs.
+    pub const CT_VIA_SDK: u64 = 27_891;
+    /// Apps using both.
+    pub const BOTH_APPS: u64 = 21_938;
+    /// …via top SDKs.
+    pub const BOTH_VIA_SDK: u64 = 16_810;
+}
+
+/// Headline shares (§4.1): WebView 55.7%, CT ~20%, both ~15%.
+pub mod shares {
+    /// Apps using WebViews.
+    pub const WEBVIEW: f64 = 0.557;
+    /// Apps using CTs.
+    pub const CUSTOM_TABS: f64 = 0.199;
+    /// Apps using both.
+    pub const BOTH: f64 = 0.150;
+}
+
+/// Figure 7's headline ratio: CT loads ≈ 2× faster than a WebView.
+pub const FIG7_CT_SPEEDUP: f64 = 2.0;
+
+/// §4.2.2: LinkedIn's IAB contacts "more than 2 trackers on average" on
+/// content-rich sites.
+pub const FIG6A_MIN_TRACKERS_RICH: f64 = 2.0;
+
+/// §4.2.4: Kik's IAB contacts "over 15 ad network endpoints" on rich sites.
+pub const FIG6B_MIN_ENDPOINTS_RICH: f64 = 15.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals_consistent() {
+        let wv: u32 = TABLE3.iter().map(|r| r.1).sum();
+        let ct: u32 = TABLE3.iter().map(|r| r.2).sum();
+        let both: u32 = TABLE3.iter().map(|r| r.3).sum();
+        assert_eq!((wv, ct, both), TABLE3_TOTALS);
+    }
+
+    #[test]
+    fn table6_composition_sums_to_1000() {
+        use table6::*;
+        assert_eq!(CAN_POST + NO_UGC + BROWSER_APPS + UNCLASSIFIED, 1_000);
+        assert_eq!(BROWSER + WEBVIEW + CT, CAN_POST);
+        assert_eq!(PHONE + INCOMPATIBLE + PAID, UNCLASSIFIED);
+    }
+
+    #[test]
+    fn funnel_is_monotonic() {
+        use table2::*;
+        const { assert!(ANDROZOO > FOUND && FOUND > POPULAR && POPULAR > MAINTAINED) };
+        assert_eq!(MAINTAINED - ANALYZED, 242);
+    }
+
+    #[test]
+    fn method_rows_are_descending_in_total() {
+        for w in TABLE7_METHODS.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

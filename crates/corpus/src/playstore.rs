@@ -1,0 +1,408 @@
+//! Play Store metadata model and the Table 2 funnel universe.
+//!
+//! The paper starts from the AndroZoo snapshot of 2023-01-13 (6,507,222
+//! Play-Store apps), joins Google Play metadata, and filters to apps with
+//! ≥100K downloads updated after 2021-01-01. This module generates a
+//! metadata universe whose marginals are calibrated so that *running the
+//! filter code* reproduces the funnel — the rows are measured, not copied.
+
+use crate::distributions::{coin, log10_downloads};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Days between 2020-01-01 (our epoch) and the AndroZoo snapshot date
+/// (2023-01-13).
+pub const SNAPSHOT_DAY: u32 = 1_108;
+/// Day number of 2021-01-01 in our epoch — the paper's maintenance cutoff.
+pub const CUTOFF_2021: u32 = 366;
+
+/// Google Play app categories (the subset that covers the paper's Figure 3
+/// top-10 charts plus the long tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum PlayCategory {
+    Education,
+    Entertainment,
+    Tools,
+    Music,
+    Puzzle,
+    Arcade,
+    Action,
+    Simulation,
+    Casual,
+    Racing,
+    Communication,
+    Social,
+    Shopping,
+    Finance,
+    Productivity,
+    Photography,
+    Sports,
+    News,
+    Travel,
+    Lifestyle,
+    Health,
+    Books,
+    Business,
+    Video,
+    Weather,
+}
+
+impl PlayCategory {
+    /// All categories, in a stable order.
+    pub const ALL: [PlayCategory; 25] = [
+        PlayCategory::Education,
+        PlayCategory::Entertainment,
+        PlayCategory::Tools,
+        PlayCategory::Music,
+        PlayCategory::Puzzle,
+        PlayCategory::Arcade,
+        PlayCategory::Action,
+        PlayCategory::Simulation,
+        PlayCategory::Casual,
+        PlayCategory::Racing,
+        PlayCategory::Communication,
+        PlayCategory::Social,
+        PlayCategory::Shopping,
+        PlayCategory::Finance,
+        PlayCategory::Productivity,
+        PlayCategory::Photography,
+        PlayCategory::Sports,
+        PlayCategory::News,
+        PlayCategory::Travel,
+        PlayCategory::Lifestyle,
+        PlayCategory::Health,
+        PlayCategory::Books,
+        PlayCategory::Business,
+        PlayCategory::Video,
+        PlayCategory::Weather,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlayCategory::Education => "Education",
+            PlayCategory::Entertainment => "Entertainment",
+            PlayCategory::Tools => "Tools",
+            PlayCategory::Music => "Music",
+            PlayCategory::Puzzle => "Puzzle",
+            PlayCategory::Arcade => "Arcade",
+            PlayCategory::Action => "Action",
+            PlayCategory::Simulation => "Simulation",
+            PlayCategory::Casual => "Casual",
+            PlayCategory::Racing => "Racing",
+            PlayCategory::Communication => "Communication",
+            PlayCategory::Social => "Social",
+            PlayCategory::Shopping => "Shopping",
+            PlayCategory::Finance => "Finance",
+            PlayCategory::Productivity => "Productivity",
+            PlayCategory::Photography => "Photography",
+            PlayCategory::Sports => "Sports",
+            PlayCategory::News => "News",
+            PlayCategory::Travel => "Travel",
+            PlayCategory::Lifestyle => "Lifestyle",
+            PlayCategory::Health => "Health",
+            PlayCategory::Books => "Books",
+            PlayCategory::Business => "Business",
+            PlayCategory::Video => "Video",
+            PlayCategory::Weather => "Weather",
+        }
+    }
+
+    /// Whether this is a gaming category (Figure 3 notes gaming apps'
+    /// heavier use of CT-based social SDKs).
+    pub fn is_game(self) -> bool {
+        matches!(
+            self,
+            PlayCategory::Puzzle
+                | PlayCategory::Arcade
+                | PlayCategory::Action
+                | PlayCategory::Simulation
+                | PlayCategory::Casual
+                | PlayCategory::Racing
+        )
+    }
+
+    /// Relative prevalence among popular apps (unnormalized). Games and
+    /// education dominate high-download populations.
+    pub fn weight(self) -> f64 {
+        match self {
+            PlayCategory::Education => 9.0,
+            PlayCategory::Entertainment => 7.0,
+            PlayCategory::Tools => 7.5,
+            PlayCategory::Music => 4.5,
+            PlayCategory::Puzzle => 8.0,
+            PlayCategory::Arcade => 6.5,
+            PlayCategory::Action => 5.5,
+            PlayCategory::Simulation => 5.0,
+            PlayCategory::Casual => 6.0,
+            PlayCategory::Racing => 3.0,
+            PlayCategory::Communication => 3.5,
+            PlayCategory::Social => 3.0,
+            PlayCategory::Shopping => 4.0,
+            PlayCategory::Finance => 4.5,
+            PlayCategory::Productivity => 4.0,
+            PlayCategory::Photography => 3.5,
+            PlayCategory::Sports => 3.0,
+            PlayCategory::News => 2.5,
+            PlayCategory::Travel => 2.5,
+            PlayCategory::Lifestyle => 3.5,
+            PlayCategory::Health => 3.0,
+            PlayCategory::Books => 2.5,
+            PlayCategory::Business => 3.0,
+            PlayCategory::Video => 3.5,
+            PlayCategory::Weather => 1.5,
+        }
+    }
+}
+
+/// Metadata for one app, as scraped from the Play Store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppMeta {
+    /// Application package name.
+    pub package: String,
+    /// Whether the Play Store still lists the app (AndroZoo retains
+    /// delisted apps; the paper found metadata for only 2.45M of 6.5M).
+    pub on_play_store: bool,
+    /// Install count.
+    pub downloads: u64,
+    /// Play category.
+    pub category: PlayCategory,
+    /// Last update, in days since 2020-01-01.
+    pub last_update_day: u32,
+}
+
+/// The §3.1.1 selection filter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    /// Minimum download count (paper: 100K).
+    pub min_downloads: u64,
+    /// Minimum last-update day (paper: 2021-01-01).
+    pub updated_after_day: u32,
+}
+
+impl Default for FilterSpec {
+    fn default() -> Self {
+        FilterSpec {
+            min_downloads: 100_000,
+            updated_after_day: CUTOFF_2021,
+        }
+    }
+}
+
+impl FilterSpec {
+    /// Does `meta` pass the popularity filter (ignoring maintenance)?
+    pub fn is_popular(&self, meta: &AppMeta) -> bool {
+        meta.on_play_store && meta.downloads >= self.min_downloads
+    }
+
+    /// Does `meta` pass the full filter?
+    pub fn accepts(&self, meta: &AppMeta) -> bool {
+        self.is_popular(meta) && meta.last_update_day >= self.updated_after_day
+    }
+}
+
+/// Calibration for the metadata universe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniverseConfig {
+    /// Total AndroZoo Play apps to generate.
+    pub total_apps: u64,
+    /// Probability an app's metadata is still on the Play Store.
+    pub on_play_probability: f64,
+    /// Mean of log10(downloads) for listed apps.
+    pub log_downloads_mu: f64,
+    /// Std-dev of log10(downloads).
+    pub log_downloads_sigma: f64,
+    /// Cap on log10(downloads) (5e9 installs ≈ 9.7).
+    pub log_downloads_cap: f64,
+    /// Base of the maintenance probability (see [`maintained_probability`]).
+    pub maintenance_base: f64,
+    /// Slope of maintenance probability per log10(download).
+    pub maintenance_slope: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            total_apps: crate::ANDROZOO_PLAY_APPS,
+            // 2,454,488 / 6,507,222.
+            on_play_probability: 0.377_2,
+            // P(log10 d >= 5) = P(Z >= (5 - 2.2) / 2.0 = 1.4) ≈ 8.08% —
+            // the found → 100K+ ratio of Table 2.
+            log_downloads_mu: 2.2,
+            log_downloads_sigma: 2.0,
+            log_downloads_cap: 9.7,
+            // Tuned so that P(updated after 2021 | downloads >= 100K) ≈
+            // 146,800 / 198,324 = 74.0%.
+            maintenance_base: 0.27,
+            maintenance_slope: 0.079,
+            seed: 0x5EED_AB00,
+        }
+    }
+}
+
+/// Probability that an app with `downloads` was updated after the cutoff.
+/// Popular apps are better maintained; the linear-in-log10 model is clamped
+/// to a sane range.
+pub fn maintained_probability(cfg: &UniverseConfig, downloads: u64) -> f64 {
+    let logd = (downloads.max(1) as f64).log10();
+    (cfg.maintenance_base + cfg.maintenance_slope * logd).clamp(0.02, 0.98)
+}
+
+/// Streaming generator for the metadata universe. Generating 6.5M records
+/// allocates only per-record strings; memory stays flat.
+#[derive(Debug)]
+pub struct MetadataUniverse {
+    cfg: UniverseConfig,
+    rng: StdRng,
+    produced: u64,
+    category_weights: Vec<f64>,
+}
+
+impl MetadataUniverse {
+    /// New universe with the given calibration.
+    pub fn new(cfg: UniverseConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let category_weights = PlayCategory::ALL.iter().map(|c| c.weight()).collect();
+        MetadataUniverse {
+            cfg,
+            rng,
+            produced: 0,
+            category_weights,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &UniverseConfig {
+        &self.cfg
+    }
+}
+
+impl Iterator for MetadataUniverse {
+    type Item = AppMeta;
+
+    fn next(&mut self) -> Option<AppMeta> {
+        if self.produced >= self.cfg.total_apps {
+            return None;
+        }
+        let i = self.produced;
+        self.produced += 1;
+        let rng = &mut self.rng;
+
+        let on_play_store = coin(rng, self.cfg.on_play_probability);
+        // Downloads exist in AndroZoo even for delisted apps, but the paper
+        // can only filter on scraped metadata; model both the same way.
+        let downloads = log10_downloads(
+            rng,
+            self.cfg.log_downloads_mu,
+            self.cfg.log_downloads_sigma,
+            self.cfg.log_downloads_cap,
+        );
+        let maintained = coin(rng, maintained_probability(&self.cfg, downloads));
+        let last_update_day = if maintained {
+            rng.gen_range(CUTOFF_2021..=SNAPSHOT_DAY)
+        } else {
+            rng.gen_range(0..CUTOFF_2021)
+        };
+        let cat_idx = crate::distributions::weighted_index(rng, &self.category_weights);
+
+        Some(AppMeta {
+            package: format!("com.vendor{:05}.app{:03}", i / 512, i % 512),
+            on_play_store,
+            downloads,
+            category: PlayCategory::ALL[cat_idx],
+            last_update_day,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_universe(n: u64) -> Vec<AppMeta> {
+        let cfg = UniverseConfig {
+            total_apps: n,
+            ..UniverseConfig::default()
+        };
+        MetadataUniverse::new(cfg).collect()
+    }
+
+    #[test]
+    fn produces_exactly_n() {
+        assert_eq!(small_universe(1_000).len(), 1_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_universe(500);
+        let b = small_universe(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn funnel_ratios_hold_on_sample() {
+        let n = 400_000u64;
+        let metas = small_universe(n);
+        let filter = FilterSpec::default();
+        let found = metas.iter().filter(|m| m.on_play_store).count() as f64;
+        let popular = metas.iter().filter(|m| filter.is_popular(m)).count() as f64;
+        let maintained = metas.iter().filter(|m| filter.accepts(m)).count() as f64;
+
+        let found_ratio = found / n as f64;
+        assert!((found_ratio - 0.3772).abs() < 0.01, "found {found_ratio}");
+
+        let popular_ratio = popular / found;
+        assert!(
+            (popular_ratio - 0.0808).abs() < 0.006,
+            "popular {popular_ratio}"
+        );
+
+        let maintained_ratio = maintained / popular;
+        assert!(
+            (maintained_ratio - 0.7402).abs() < 0.03,
+            "maintained {maintained_ratio}"
+        );
+    }
+
+    #[test]
+    fn filter_edges() {
+        let filter = FilterSpec::default();
+        let mut m = AppMeta {
+            package: "com.x.y".into(),
+            on_play_store: true,
+            downloads: 100_000,
+            category: PlayCategory::Tools,
+            last_update_day: CUTOFF_2021,
+        };
+        assert!(filter.accepts(&m));
+        m.downloads = 99_999;
+        assert!(!filter.accepts(&m));
+        m.downloads = 100_000;
+        m.last_update_day = CUTOFF_2021 - 1;
+        assert!(!filter.accepts(&m));
+        m.last_update_day = CUTOFF_2021;
+        m.on_play_store = false;
+        assert!(!filter.accepts(&m));
+    }
+
+    #[test]
+    fn maintenance_grows_with_popularity() {
+        let cfg = UniverseConfig::default();
+        assert!(maintained_probability(&cfg, 10_000_000) > maintained_probability(&cfg, 100_000));
+        // Clamped on both ends.
+        assert!(maintained_probability(&cfg, 0) >= 0.02);
+        assert!(maintained_probability(&cfg, u64::MAX) <= 0.98);
+    }
+
+    #[test]
+    fn categories_cover_games_and_apps() {
+        let metas = small_universe(20_000);
+        let games = metas.iter().filter(|m| m.category.is_game()).count();
+        assert!(games > 2_000, "games {games}");
+        assert!(games < 18_000, "games {games}");
+    }
+}

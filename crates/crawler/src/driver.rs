@@ -1,0 +1,323 @@
+//! The ADB-analog crawl driver and Figure 6 aggregation.
+//!
+//! Per visit the paper's script "(i) launch\[es\] the app, (ii) navigate\[s\]
+//! to the intended activity …, (iii) insert\[s\] the desired crawl URL,
+//! (iv) tap\[s\] on the URL …, (v) swipe\[s\] upwards … Following a 20-second
+//! wait …, we gather the device's network log. To ready the system for the
+//! next crawl, we also purge the logs on the device, terminate the app,
+//! and wait for 1 minute." [`crawl_app`] executes exactly that loop on the
+//! simulated device; [`crawl_baseline`] is the System WebView Shell run.
+
+use crate::classify::{classify_endpoint, EndpointKind};
+use crate::sites::{site_extra_requests, site_html, SiteCategory, TopSite};
+use std::collections::{BTreeMap, BTreeSet};
+use wla_device::iab::{open_in_iab, IabProfile};
+use wla_device::webview::{PageSource, WebViewInstance};
+use wla_device::{FridaRecorder, Logcat};
+use wla_net::NetLog;
+
+/// One step of the scripted UI traversal (kept explicit so logcat shows
+/// the same sequence a real ADB transcript would).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlStep {
+    /// `adb shell monkey -p <pkg> 1` — launch.
+    LaunchApp,
+    /// Simulated screen taps to the target activity.
+    NavigateToActivity,
+    /// `adb shell input text <url>`.
+    InsertUrl(String),
+    /// Tap the URL to open the IAB.
+    TapUrl,
+    /// Swipe to the end of the page.
+    ScrollToEnd,
+    /// Fixed wait for resources to load (ms).
+    Wait(u64),
+    /// Pull the netlog.
+    CollectLog,
+    /// Purge device logs.
+    PurgeLogs,
+    /// Force-stop the app.
+    KillApp,
+}
+
+/// The canonical per-visit script.
+pub fn visit_script(url: &str) -> Vec<CrawlStep> {
+    vec![
+        CrawlStep::LaunchApp,
+        CrawlStep::NavigateToActivity,
+        CrawlStep::InsertUrl(url.to_owned()),
+        CrawlStep::TapUrl,
+        CrawlStep::ScrollToEnd,
+        CrawlStep::Wait(20_000),
+        CrawlStep::CollectLog,
+        CrawlStep::PurgeLogs,
+        CrawlStep::KillApp,
+        CrawlStep::Wait(60_000),
+    ]
+}
+
+/// Result of one (app, site) visit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrawlRecord {
+    /// App package (or `"system-webview-shell"` for the baseline).
+    pub app: String,
+    /// Site visited.
+    pub site_host: String,
+    /// Site category.
+    pub category: SiteCategory,
+    /// Distinct hosts contacted during the visit.
+    pub hosts: BTreeSet<String>,
+}
+
+impl CrawlRecord {
+    /// Hosts classified by kind (relative to the visited site).
+    pub fn classified(&self) -> BTreeMap<EndpointKind, usize> {
+        let mut out = BTreeMap::new();
+        for h in &self.hosts {
+            *out.entry(classify_endpoint(h, &self.site_host))
+                .or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+fn run_visit(
+    site: &TopSite,
+    profile: Option<&IabProfile>,
+    source_id: u32,
+    netlog: &NetLog,
+    logcat: &Logcat,
+) -> CrawlRecord {
+    let app = profile
+        .map(|p| p.package.to_owned())
+        .unwrap_or_else(|| "system-webview-shell".to_owned());
+    let url = site.url();
+
+    for step in visit_script(&url) {
+        match step {
+            CrawlStep::LaunchApp => logcat.info("adb", &format!("monkey -p {app} 1")),
+            CrawlStep::NavigateToActivity => logcat.info("adb", "input tap 540 1200"),
+            CrawlStep::InsertUrl(u) => logcat.info("adb", &format!("input text {u}")),
+            CrawlStep::TapUrl => {
+                let source = PageSource::Synthetic {
+                    url: url.clone(),
+                    html: site_html(site),
+                    extra_requests: site_extra_requests(site),
+                };
+                match profile {
+                    Some(profile) => {
+                        let _ = open_in_iab(
+                            profile,
+                            source_id,
+                            source,
+                            site.category.richness(),
+                            FridaRecorder::new(),
+                            netlog.clone(),
+                            logcat.clone(),
+                            None,
+                        );
+                    }
+                    None => {
+                        // System WebView Shell: a bare WebView, no app logic.
+                        let mut wv = WebViewInstance::new(
+                            source_id,
+                            "org.chromium.webview_shell",
+                            FridaRecorder::new(),
+                            netlog.clone(),
+                            logcat.clone(),
+                        );
+                        wv.load(source);
+                    }
+                }
+            }
+            CrawlStep::ScrollToEnd => logcat.info("adb", "input swipe 540 1600 540 400"),
+            CrawlStep::Wait(ms) => netlog.advance_clock(ms),
+            CrawlStep::CollectLog => {}
+            CrawlStep::PurgeLogs | CrawlStep::KillApp => {}
+        }
+    }
+
+    let hosts = netlog.distinct_hosts_for(source_id);
+    // Purge for the next visit, as the script does.
+    netlog.clear();
+    logcat.clear();
+
+    CrawlRecord {
+        app,
+        site_host: site.host.clone(),
+        category: site.category,
+        hosts,
+    }
+}
+
+/// Crawl every site through one app's IAB.
+pub fn crawl_app(profile: &IabProfile, sites: &[TopSite]) -> Vec<CrawlRecord> {
+    let netlog = NetLog::new();
+    let logcat = Logcat::new();
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| run_visit(site, Some(profile), i as u32 + 1, &netlog, &logcat))
+        .collect()
+}
+
+/// Crawl every site through the System WebView Shell (baseline: "the
+/// network requests expected to be made from a WebView without any
+/// injections").
+pub fn crawl_baseline(sites: &[TopSite]) -> Vec<CrawlRecord> {
+    let netlog = NetLog::new();
+    let logcat = Logcat::new();
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| run_visit(site, None, i as u32 + 1, &netlog, &logcat))
+        .collect()
+}
+
+/// One Figure 6 bar: per site category, the average number of distinct
+/// endpoints contacted *specifically by the app's IAB* (baseline hosts
+/// subtracted), broken down by endpoint kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure6Row {
+    /// Site category.
+    pub category: SiteCategory,
+    /// Average IAB-specific distinct endpoints per visit.
+    pub avg_endpoints: f64,
+    /// Average per endpoint kind.
+    pub by_kind: BTreeMap<EndpointKind, f64>,
+}
+
+/// Aggregate app-vs-baseline crawls into Figure 6 rows.
+pub fn figure6(app_records: &[CrawlRecord], baseline: &[CrawlRecord]) -> Vec<Figure6Row> {
+    let baseline_by_site: BTreeMap<&str, &CrawlRecord> =
+        baseline.iter().map(|r| (r.site_host.as_str(), r)).collect();
+    let mut per_cat: BTreeMap<SiteCategory, Vec<BTreeMap<EndpointKind, usize>>> = BTreeMap::new();
+    for rec in app_records {
+        let base_hosts: &BTreeSet<String> = match baseline_by_site.get(rec.site_host.as_str()) {
+            Some(b) => &b.hosts,
+            None => continue,
+        };
+        let specific: BTreeSet<&String> = rec.hosts.difference(base_hosts).collect();
+        let mut kinds: BTreeMap<EndpointKind, usize> = BTreeMap::new();
+        for h in specific {
+            *kinds
+                .entry(classify_endpoint(h, &rec.site_host))
+                .or_insert(0) += 1;
+        }
+        per_cat.entry(rec.category).or_default().push(kinds);
+    }
+    per_cat
+        .into_iter()
+        .map(|(category, visits)| {
+            let n = visits.len() as f64;
+            let mut by_kind: BTreeMap<EndpointKind, f64> = BTreeMap::new();
+            let mut total = 0usize;
+            for v in &visits {
+                for (&k, &c) in v {
+                    *by_kind.entry(k).or_insert(0.0) += c as f64;
+                    total += c;
+                }
+            }
+            for v in by_kind.values_mut() {
+                *v /= n;
+            }
+            Figure6Row {
+                category,
+                avg_endpoints: total as f64 / n,
+                by_kind,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::top_100_sites;
+    use wla_device::iab::profile_for;
+
+    #[test]
+    fn baseline_contacts_only_site_resources() {
+        let sites: Vec<TopSite> = top_100_sites().into_iter().take(10).collect();
+        let records = crawl_baseline(&sites);
+        assert_eq!(records.len(), 10);
+        for rec in &records {
+            // No IAB-specific hosts in the baseline.
+            assert!(!rec.hosts.contains("radar.cedexis.com"), "{rec:?}");
+            assert!(!rec.hosts.contains("ads.mopub.com"), "{rec:?}");
+            assert!(rec.hosts.contains(&rec.site_host));
+        }
+    }
+
+    #[test]
+    fn linkedin_figure6_shape() {
+        let sites = top_100_sites();
+        let profile = profile_for("com.linkedin.android").unwrap();
+        let rows = figure6(&crawl_app(&profile, &sites), &crawl_baseline(&sites));
+        let get = |cat: SiteCategory| {
+            rows.iter()
+                .find(|r| r.category == cat)
+                .map(|r| r.avg_endpoints)
+                .unwrap_or(0.0)
+        };
+        // News-rich pages trigger more IAB endpoints than Search.
+        assert!(get(SiteCategory::News) > get(SiteCategory::Search));
+        // At least 2 trackers on rich content (§4.2.2).
+        let news = rows
+            .iter()
+            .find(|r| r.category == SiteCategory::News)
+            .unwrap();
+        assert!(
+            news.by_kind
+                .get(&EndpointKind::Tracker)
+                .copied()
+                .unwrap_or(0.0)
+                >= 2.0,
+            "{news:?}"
+        );
+    }
+
+    #[test]
+    fn kik_contacts_many_ad_networks_on_rich_sites() {
+        let sites = top_100_sites();
+        let profile = profile_for("kik.android").unwrap();
+        let rows = figure6(&crawl_app(&profile, &sites), &crawl_baseline(&sites));
+        let news = rows
+            .iter()
+            .find(|r| r.category == SiteCategory::News)
+            .unwrap();
+        // "over 15 ad network endpoints" on content-rich sites.
+        assert!(news.avg_endpoints >= 15.0, "{news:?}");
+        assert!(
+            news.by_kind
+                .get(&EndpointKind::AdNetwork)
+                .copied()
+                .unwrap_or(0.0)
+                >= 10.0,
+            "{news:?}"
+        );
+        let search = rows
+            .iter()
+            .find(|r| r.category == SiteCategory::Search)
+            .unwrap();
+        assert!(search.avg_endpoints < news.avg_endpoints);
+    }
+
+    #[test]
+    fn snapchat_is_indistinguishable_from_baseline() {
+        let sites: Vec<TopSite> = top_100_sites().into_iter().take(20).collect();
+        let profile = profile_for("com.snapchat.android").unwrap();
+        let rows = figure6(&crawl_app(&profile, &sites), &crawl_baseline(&sites));
+        for row in rows {
+            assert_eq!(row.avg_endpoints, 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn visit_script_matches_paper_sequence() {
+        let script = visit_script("https://x.example/");
+        assert!(matches!(script[0], CrawlStep::LaunchApp));
+        assert!(matches!(script[5], CrawlStep::Wait(20_000)));
+        assert!(matches!(script.last(), Some(CrawlStep::Wait(60_000))));
+    }
+}

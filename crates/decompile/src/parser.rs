@@ -1,0 +1,442 @@
+//! The javalang analog: parse decompiled Java source and recover the facts
+//! §3.1.2 needs — package, imports, class name, and `extends` target.
+//!
+//! The parser is a real lexer + recursive-descent header parser: it strips
+//! line and block comments, understands string/char literals (so braces and
+//! keywords inside strings don't confuse it), skips annotations and
+//! generics, and stops after the type header — the study never needs method
+//! bodies from source (those come from bytecode).
+
+use std::fmt;
+
+/// Facts recovered from one source file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedClass {
+    /// Declared package, if any.
+    pub package: Option<String>,
+    /// Imported qualified names.
+    pub imports: Vec<String>,
+    /// Simple class (or interface) name.
+    pub class_name: String,
+    /// The raw `extends` target as written (simple or qualified).
+    pub extends: Option<String>,
+    /// Whether the declaration is an interface.
+    pub is_interface: bool,
+}
+
+impl ParsedClass {
+    /// Resolve the `extends` target to a qualified source name using the
+    /// imports, the declaring package, and `java.lang` defaults — standard
+    /// Java name resolution for the cases decompiled code produces.
+    pub fn resolved_superclass(&self) -> Option<String> {
+        let target = self.extends.as_deref()?;
+        if target.contains('.') {
+            return Some(target.to_owned());
+        }
+        for imp in &self.imports {
+            if imp.rsplit('.').next() == Some(target) {
+                return Some(imp.clone());
+            }
+        }
+        match &self.package {
+            Some(pkg) => Some(format!("{pkg}.{target}")),
+            None => Some(target.to_owned()),
+        }
+    }
+
+    /// Qualified source name of this class.
+    pub fn qualified_name(&self) -> String {
+        match &self.package {
+            Some(pkg) => format!("{pkg}.{}", self.class_name),
+            None => self.class_name.clone(),
+        }
+    }
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input ended before a type declaration was found.
+    NoTypeDeclaration,
+    /// A declaration was malformed at roughly this byte offset.
+    Malformed {
+        /// Approximate byte offset.
+        at: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NoTypeDeclaration => write!(f, "no class/interface declaration found"),
+            ParseError::Malformed { at, expected } => {
+                write!(f, "malformed declaration at byte {at}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+/// Lex the source into identifiers and punctuation, discarding comments,
+/// whitespace, and literal contents. Returns `(token, byte_offset)` pairs.
+fn lex(src: &str) -> Vec<(Tok, usize)> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            // Line comment.
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            // Block comment.
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            // String literal — skip contents, honoring escapes.
+            '"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                i += 1;
+                toks.push((Tok::Punct('s'), i)); // literal marker (unused)
+            }
+            // Char literal.
+            '\'' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            c if c.is_whitespace() => i += 1,
+            other => {
+                toks.push((Tok::Punct(other), i));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Read a dotted qualified name starting at `pos`; returns (name, new pos).
+fn qualified_name(toks: &[(Tok, usize)], mut pos: usize) -> Option<(String, usize)> {
+    let mut name = match toks.get(pos) {
+        Some((Tok::Ident(id), _)) => id.clone(),
+        _ => return None,
+    };
+    pos += 1;
+    while let (Some((Tok::Punct('.'), _)), Some((Tok::Ident(id), _))) =
+        (toks.get(pos), toks.get(pos + 1))
+    {
+        name.push('.');
+        name.push_str(id);
+        pos += 2;
+    }
+    Some((name, pos))
+}
+
+/// Skip an annotation (`@Name` optionally followed by a balanced argument
+/// list) starting at the `@`.
+fn skip_annotation(toks: &[(Tok, usize)], mut pos: usize) -> usize {
+    pos += 1; // '@'
+    if let Some((name, after)) = qualified_name(toks, pos) {
+        let _ = name;
+        pos = after;
+    }
+    if let Some((Tok::Punct('('), _)) = toks.get(pos) {
+        let mut depth = 0i32;
+        while pos < toks.len() {
+            match toks[pos].0 {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        pos += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Skip a generics argument list starting at `<`.
+fn skip_generics(toks: &[(Tok, usize)], mut pos: usize) -> usize {
+    let mut depth = 0i32;
+    while pos < toks.len() {
+        match toks[pos].0 {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    pos += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        pos += 1;
+    }
+    pos
+}
+
+const MODIFIERS: [&str; 8] = [
+    "public",
+    "private",
+    "protected",
+    "static",
+    "final",
+    "abstract",
+    "sealed",
+    "strictfp",
+];
+
+/// Parse one source file.
+pub fn parse_source(src: &str) -> Result<ParsedClass, ParseError> {
+    let toks = lex(src);
+    let mut out = ParsedClass::default();
+    let mut pos = 0usize;
+
+    while pos < toks.len() {
+        match &toks[pos].0 {
+            Tok::Ident(kw) if kw == "package" => {
+                let (name, after) =
+                    qualified_name(&toks, pos + 1).ok_or(ParseError::Malformed {
+                        at: toks[pos].1,
+                        expected: "package name",
+                    })?;
+                out.package = Some(name);
+                pos = after;
+            }
+            Tok::Ident(kw) if kw == "import" => {
+                // `import static` and wildcard imports both occur in the wild.
+                let mut p = pos + 1;
+                if matches!(&toks.get(p), Some((Tok::Ident(s), _)) if s == "static") {
+                    p += 1;
+                }
+                let (mut name, mut after) =
+                    qualified_name(&toks, p).ok_or(ParseError::Malformed {
+                        at: toks[pos].1,
+                        expected: "import name",
+                    })?;
+                if let (Some((Tok::Punct('.'), _)), Some((Tok::Punct('*'), _))) =
+                    (toks.get(after), toks.get(after + 1))
+                {
+                    name.push_str(".*");
+                    after += 2;
+                }
+                out.imports.push(name);
+                pos = after;
+            }
+            Tok::Punct('@') => pos = skip_annotation(&toks, pos),
+            Tok::Ident(kw) if MODIFIERS.contains(&kw.as_str()) => pos += 1,
+            Tok::Ident(kw) if kw == "class" || kw == "interface" || kw == "enum" => {
+                out.is_interface = kw == "interface";
+                let at = toks[pos].1;
+                pos += 1;
+                let name = match toks.get(pos) {
+                    Some((Tok::Ident(id), _)) => id.clone(),
+                    _ => {
+                        return Err(ParseError::Malformed {
+                            at,
+                            expected: "type name",
+                        })
+                    }
+                };
+                out.class_name = name;
+                pos += 1;
+                if let Some((Tok::Punct('<'), _)) = toks.get(pos) {
+                    pos = skip_generics(&toks, pos);
+                }
+                // Optional extends / implements clauses before '{'.
+                while pos < toks.len() {
+                    match &toks[pos].0 {
+                        Tok::Ident(kw) if kw == "extends" => {
+                            let (sup, after) =
+                                qualified_name(&toks, pos + 1).ok_or(ParseError::Malformed {
+                                    at: toks[pos].1,
+                                    expected: "superclass name",
+                                })?;
+                            out.extends = Some(sup);
+                            pos = after;
+                            if let Some((Tok::Punct('<'), _)) = toks.get(pos) {
+                                pos = skip_generics(&toks, pos);
+                            }
+                        }
+                        Tok::Ident(kw) if kw == "implements" => {
+                            // Skip the interface list.
+                            pos += 1;
+                            while pos < toks.len() {
+                                match &toks[pos].0 {
+                                    Tok::Punct('{') => break,
+                                    Tok::Ident(k2) if k2 == "extends" => break,
+                                    _ => pos += 1,
+                                }
+                            }
+                        }
+                        Tok::Punct('{') => return Ok(out),
+                        _ => {
+                            return Err(ParseError::Malformed {
+                                at: toks[pos].1,
+                                expected: "extends/implements/{",
+                            })
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+            _ => pos += 1,
+        }
+    }
+    Err(ParseError::NoTypeDeclaration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_class() {
+        let src = r#"
+            package com.example.app;
+
+            import android.webkit.WebView;
+
+            public class CustomWebView extends WebView {
+                void x() { }
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.package.as_deref(), Some("com.example.app"));
+        assert_eq!(p.class_name, "CustomWebView");
+        assert_eq!(p.extends.as_deref(), Some("WebView"));
+        assert_eq!(
+            p.resolved_superclass().as_deref(),
+            Some("android.webkit.WebView")
+        );
+        assert_eq!(p.qualified_name(), "com.example.app.CustomWebView");
+    }
+
+    #[test]
+    fn qualified_extends_wins_over_imports() {
+        let src = "package a.b; import c.d.WebView; class X extends e.f.WebView { }";
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.resolved_superclass().as_deref(), Some("e.f.WebView"));
+    }
+
+    #[test]
+    fn same_package_resolution() {
+        let src = "package a.b; class X extends Base { }";
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.resolved_superclass().as_deref(), Some("a.b.Base"));
+    }
+
+    #[test]
+    fn comments_and_strings_ignored() {
+        let src = r#"
+            // class Fake extends WebView {
+            /* class AlsoFake extends WebView { */
+            package p;
+            public class Real {
+                String s = "class InString extends WebView {";
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.class_name, "Real");
+        assert_eq!(p.extends, None);
+    }
+
+    #[test]
+    fn annotations_and_generics_skipped() {
+        let src = r#"
+            package p;
+            @SuppressWarnings("unchecked")
+            @Keep
+            public final class Holder<T extends Object> extends java.util.AbstractList<T> implements Cloneable {
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.class_name, "Holder");
+        assert_eq!(p.extends.as_deref(), Some("java.util.AbstractList"),);
+    }
+
+    #[test]
+    fn interface_detected() {
+        let p = parse_source("package p; interface Callbacks { }").unwrap();
+        assert!(p.is_interface);
+        assert_eq!(p.class_name, "Callbacks");
+    }
+
+    #[test]
+    fn static_and_wildcard_imports() {
+        let src = "package p; import static java.lang.Math.max; import java.util.*; class A {}";
+        let p = parse_source(src).unwrap();
+        assert!(p.imports.contains(&"java.lang.Math.max".to_owned()));
+        assert!(p.imports.contains(&"java.util.*".to_owned()));
+    }
+
+    #[test]
+    fn missing_declaration_is_error() {
+        assert_eq!(
+            parse_source("package p; // nothing else"),
+            Err(ParseError::NoTypeDeclaration)
+        );
+    }
+
+    #[test]
+    fn malformed_class_is_error() {
+        assert!(matches!(
+            parse_source("class { }"),
+            Err(ParseError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise() {
+        // Exercise with byte noise; thorough fuzzing lives in proptests.
+        for s in [
+            "",
+            "@",
+            "class",
+            "class X extends",
+            "\"unterminated",
+            "'c",
+            "/*",
+        ] {
+            let _ = parse_source(s);
+        }
+    }
+}

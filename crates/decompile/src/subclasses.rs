@@ -1,0 +1,141 @@
+//! Transitive `extends WebView` closure over parsed sources — the paper's
+//! "custom WebView class implementations" (§3.1.2).
+
+use crate::lifter::SourceFile;
+use crate::parser::{parse_source, ParsedClass};
+use std::collections::{HashMap, HashSet};
+
+/// Qualified source name of the WebView class.
+pub const WEBVIEW_SOURCE_NAME: &str = "android.webkit.WebView";
+
+/// Parse every source file and return the binary names of classes that
+/// extend `android.webkit.WebView` directly or transitively. Files that
+/// fail to parse are skipped, as the paper's tooling skips decompilation
+/// failures.
+pub fn webview_subclasses(files: &[SourceFile]) -> HashSet<String> {
+    // qualified source name -> (binary name, resolved superclass).
+    let mut classes: HashMap<String, (String, Option<String>)> = HashMap::new();
+    for f in files {
+        let parsed: ParsedClass = match parse_source(&f.source) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let sup = parsed.resolved_superclass();
+        classes.insert(parsed.qualified_name(), (f.binary_name.clone(), sup));
+    }
+
+    // Fixed-point: a class is a WebView subclass if its superclass is
+    // WebView or an already-known subclass.
+    let mut subclass_qualified: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for (qname, (_, sup)) in &classes {
+            if subclass_qualified.contains(qname) {
+                continue;
+            }
+            if let Some(sup) = sup {
+                if sup == WEBVIEW_SOURCE_NAME || subclass_qualified.contains(sup) {
+                    subclass_qualified.insert(qname.clone());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    classes
+        .into_iter()
+        .filter(|(q, _)| subclass_qualified.contains(q))
+        .map(|(_, (binary, _))| binary)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(binary: &str, source: &str) -> SourceFile {
+        SourceFile {
+            binary_name: binary.to_owned(),
+            source: source.to_owned(),
+        }
+    }
+
+    #[test]
+    fn direct_subclass_found() {
+        let files = vec![file(
+            "com/x/Custom",
+            "package com.x; import android.webkit.WebView; public class Custom extends WebView {}",
+        )];
+        let subs = webview_subclasses(&files);
+        assert!(subs.contains("com/x/Custom"));
+    }
+
+    #[test]
+    fn transitive_subclass_found() {
+        let files = vec![
+            file(
+                "com/x/A",
+                "package com.x; import android.webkit.WebView; class A extends WebView {}",
+            ),
+            file("com/x/B", "package com.x; class B extends A {}"),
+            file("com/x/C", "package com.x; class C extends B {}"),
+            file("com/x/Other", "package com.x; class Other {}"),
+        ];
+        let subs = webview_subclasses(&files);
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains("com/x/C"));
+        assert!(!subs.contains("com/x/Other"));
+    }
+
+    #[test]
+    fn cross_package_via_import() {
+        let files = vec![
+            file(
+                "com/a/Base",
+                "package com.a; import android.webkit.WebView; public class Base extends WebView {}",
+            ),
+            file(
+                "com/b/Child",
+                "package com.b; import com.a.Base; public class Child extends Base {}",
+            ),
+        ];
+        let subs = webview_subclasses(&files);
+        assert!(subs.contains("com/b/Child"));
+    }
+
+    #[test]
+    fn lookalike_names_not_confused() {
+        // A class extending an unrelated `WebView` from a different package
+        // must not be flagged.
+        let files = vec![file(
+            "com/x/NotReally",
+            "package com.x; import com.other.WebView; class NotReally extends WebView {}",
+        )];
+        assert!(webview_subclasses(&files).is_empty());
+    }
+
+    #[test]
+    fn unparseable_files_skipped() {
+        let files = vec![
+            file("bad/File", "%%% not java %%%"),
+            file(
+                "com/x/Ok",
+                "package com.x; import android.webkit.WebView; class Ok extends WebView {}",
+            ),
+        ];
+        let subs = webview_subclasses(&files);
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn superclass_cycles_terminate() {
+        let files = vec![
+            file("com/x/A", "package com.x; class A extends B {}"),
+            file("com/x/B", "package com.x; class B extends A {}"),
+        ];
+        assert!(webview_subclasses(&files).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Web URI intents and their resolution.
+//!
+//! "As per Android's documentation, the default browser handles the Web URI
+//! intent on Android 12 and later versions, unless there is an app
+//! installed that can handle URLs from that specific domain" (§4.2). The
+//! IAB apps of Table 8 never raise the intent at all — they intercept the
+//! tap in app logic — which is exactly what the classification probe
+//! observes.
+
+use wla_manifest::Manifest;
+use wla_net::netlog::host_of;
+
+/// A (simplified) Android intent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intent {
+    /// Intent action (`android.intent.action.VIEW`).
+    pub action: String,
+    /// Data URI.
+    pub data: String,
+}
+
+impl Intent {
+    /// A VIEW intent for a web URL.
+    pub fn view(url: &str) -> Intent {
+        Intent {
+            action: wla_manifest::ACTION_VIEW.to_owned(),
+            data: url.to_owned(),
+        }
+    }
+
+    /// Host of the data URI, if it is a web URL.
+    pub fn host(&self) -> Option<&str> {
+        if self.data.starts_with("http://") || self.data.starts_with("https://") {
+            host_of(&self.data)
+        } else {
+            None
+        }
+    }
+}
+
+/// Where an intent lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentTarget {
+    /// The default browser.
+    DefaultBrowser,
+    /// A specific installed app (package name) claimed the host via a
+    /// verified deep link.
+    App(String),
+    /// Nothing can handle it.
+    Unresolved,
+}
+
+/// Resolve a web intent against the installed apps' manifests.
+pub fn resolve_intent(intent: &Intent, installed: &[&Manifest]) -> IntentTarget {
+    let Some(host) = intent.host() else {
+        // Non-web URIs would consult custom schemes; out of scope.
+        return IntentTarget::Unresolved;
+    };
+    for manifest in installed {
+        if manifest.handles_web_host(host) {
+            return IntentTarget::App(manifest.package.clone());
+        }
+    }
+    IntentTarget::DefaultBrowser
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_manifest::{Component, ComponentKind, IntentFilter};
+
+    fn maps_manifest() -> Manifest {
+        let mut m = Manifest::new("com.google.maps");
+        m.components.push(Component {
+            kind: ComponentKind::Activity,
+            class_name: "com/google/maps/DeepLink".into(),
+            exported: true,
+            intent_filters: vec![IntentFilter {
+                actions: vec![wla_manifest::ACTION_VIEW.into()],
+                categories: vec![wla_manifest::CATEGORY_BROWSABLE.into()],
+                data_schemes: vec!["https".into()],
+                data_hosts: vec!["maps.google.com".into()],
+            }],
+        });
+        m
+    }
+
+    #[test]
+    fn claimed_host_routes_to_app() {
+        // "a maps.google.com URL clicked from a social media app will
+        // launch the Google Maps app if it is present" (§4.2).
+        let maps = maps_manifest();
+        let target = resolve_intent(&Intent::view("https://maps.google.com/place/x"), &[&maps]);
+        assert_eq!(target, IntentTarget::App("com.google.maps".into()));
+    }
+
+    #[test]
+    fn unclaimed_host_routes_to_browser() {
+        let maps = maps_manifest();
+        let target = resolve_intent(&Intent::view("https://example.com/"), &[&maps]);
+        assert_eq!(target, IntentTarget::DefaultBrowser);
+    }
+
+    #[test]
+    fn non_web_uri_unresolved() {
+        let target = resolve_intent(&Intent::view("myapp://open"), &[]);
+        assert_eq!(target, IntentTarget::Unresolved);
+    }
+
+    #[test]
+    fn no_installed_apps_routes_to_browser() {
+        let target = resolve_intent(&Intent::view("https://example.com/"), &[]);
+        assert_eq!(target, IntentTarget::DefaultBrowser);
+    }
+}

@@ -1,0 +1,46 @@
+//! # wla-device — simulated Android device
+//!
+//! The dynamic study (§3.2) runs on a rooted Pixel 3: apps are installed,
+//! links are tapped, WebView methods are hooked with Frida, and Chrome
+//! netlogs are pulled per WebView instance. This crate is that device:
+//!
+//! * [`intent`] — Web URI intents and Android-12 resolution (default
+//!   browser unless an installed app claims the host);
+//! * [`webview`] — the WebView runtime: settings, JS bridges
+//!   (`addJavascriptInterface`), page loading over real loopback HTTP or
+//!   from synthetic page content, script injection via
+//!   `evaluateJavascript`/`loadUrl("javascript:…")`, per-instance netlog
+//!   attribution, and cookie isolation;
+//! * [`customtabs`] — the Custom Tabs runtime: browser-context loading,
+//!   shared browser cookies (sessions persist), warmup/pre-init, and *no*
+//!   injection surface — the security contrast the paper centers on;
+//! * [`frida`] — the dynamic-instrumentation analog: a recorder that
+//!   intercepts every WebView API call with its arguments;
+//! * [`logcat`] — the device log buffer;
+//! * [`iab`] — In-App Browser behaviour profiles for the ten WebView-IAB
+//!   apps of Table 8 (plus Discord's CT IAB), and the machinery to drive a
+//!   profile through a page visit;
+//! * [`browser`] — the default browser: cookie persistence and a netlog
+//!   source of its own.
+
+pub mod browser;
+pub mod customtabs;
+pub mod frida;
+pub mod iab;
+pub mod intent;
+pub mod logcat;
+pub mod monkey;
+pub mod oauth;
+pub mod security;
+pub mod webview;
+
+pub use browser::Browser;
+pub use customtabs::{CustomTab, NavigationEvent, PartialCustomTab};
+pub use frida::{FridaRecorder, HookedCall};
+pub use iab::{profile_for, IabProfile, IabVisit};
+pub use intent::{resolve_intent, Intent, IntentTarget};
+pub use logcat::Logcat;
+pub use monkey::{monkey_success_rate, run_monkey, MonkeyOutcome};
+pub use oauth::{run_oauth_flow, AuthMechanism, OAuthOutcome};
+pub use security::{page_invoke_bridge, BridgeData, BridgeHost, LoadVerdict, SafeBrowsing};
+pub use webview::{PageSource, WebViewInstance, WebViewSettings};

@@ -1,0 +1,203 @@
+//! UI/Application Exerciser Monkey analog — the automation the paper
+//! considered and rejected (§3.2.3): "Automating account creation is
+//! challenging … Android's Monkey, despite its efficacy in other studies,
+//! may also not be effective in our context."
+//!
+//! The monkey fires random UI events at an app; reaching a user-posted
+//! link requires (1) passing any access gate — which random input cannot —
+//! and (2) landing the specific navigate → focus-field → type-URL → tap
+//! sequence. [`run_monkey`] models that event walk so the limitation is
+//! *measured* rather than asserted; the scripted crawler in `wla-crawler`
+//! is the contrast.
+
+use rand_like::MonkeyRng;
+use wla_corpus::ecosystem::TopAppSpec;
+
+/// Random UI events the monkey emits (Monkey's touch/motion/nav mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonkeyEvent {
+    /// Random screen tap.
+    Tap,
+    /// Random swipe.
+    Swipe,
+    /// Back button.
+    Back,
+    /// Random text input.
+    Text,
+}
+
+/// Outcome of a monkey session against one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonkeyOutcome {
+    /// The monkey got past the app's entry (login/registration) screen.
+    pub passed_entry: bool,
+    /// The monkey reached a surface where user links appear.
+    pub reached_link_surface: bool,
+    /// The monkey actually opened a posted link.
+    pub opened_link: bool,
+    /// Events consumed.
+    pub events_used: u32,
+}
+
+/// A tiny deterministic xorshift RNG so this module needs no external
+/// crates (the monkey is not statistically demanding).
+mod rand_like {
+    /// xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct MonkeyRng(u64);
+
+    impl MonkeyRng {
+        /// Seeded generator (0 is mapped to a fixed non-zero state).
+        pub fn new(seed: u64) -> MonkeyRng {
+            MonkeyRng(if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            })
+        }
+
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Per-event probabilities of the three hurdles. An app behind an access
+/// gate has entry probability 0 — the paper's core point: "the creation of
+/// dummy accounts was a prerequisite" in all ten IAB apps.
+fn entry_probability(app: &TopAppSpec) -> f64 {
+    if app.gate.is_some() {
+        0.0
+    } else {
+        // Random input very occasionally lands the exact taps that
+        // dismiss onboarding, accept prompts, and skip sign-in.
+        0.000_5
+    }
+}
+
+/// Run a monkey session of `max_events` random events.
+pub fn run_monkey(app: &TopAppSpec, seed: u64, max_events: u32) -> MonkeyOutcome {
+    let mut rng = MonkeyRng::new(seed ^ 0xFEED_FACE);
+    let mut passed_entry = false;
+    let mut reached_link_surface = false;
+    let mut opened_link = false;
+    let mut events_used = 0;
+
+    for _ in 0..max_events {
+        events_used += 1;
+        if !passed_entry {
+            if rng.unit() < entry_probability(app) {
+                passed_entry = true;
+            }
+            continue;
+        }
+        if app.ugc.is_none() {
+            // Nothing to find; the monkey wanders forever.
+            continue;
+        }
+        if !reached_link_surface {
+            // Random taps occasionally land on the right tab/screen.
+            if rng.unit() < 0.002 {
+                reached_link_surface = true;
+            }
+            continue;
+        }
+        if !opened_link {
+            // Must hit the link itself (and a Back event loses the screen).
+            let draw = rng.unit();
+            if draw < 0.01 {
+                opened_link = true;
+                break;
+            } else if draw > 0.9 {
+                reached_link_surface = false; // pressed Back / navigated away
+            }
+        }
+    }
+
+    MonkeyOutcome {
+        passed_entry,
+        reached_link_surface,
+        opened_link,
+        events_used,
+    }
+}
+
+/// Success rate of the monkey over the UGC-bearing apps of a population.
+pub fn monkey_success_rate(apps: &[TopAppSpec], seed: u64, max_events: u32) -> f64 {
+    let targets: Vec<&TopAppSpec> = apps.iter().filter(|a| a.ugc.is_some()).collect();
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let hits = targets
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| run_monkey(a, seed ^ *i as u64, max_events).opened_link)
+        .count();
+    hits as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_corpus::ecosystem::top_thousand;
+
+    #[test]
+    fn gated_apps_never_pass_entry() {
+        let apps = top_thousand(3);
+        let gated = apps.iter().find(|a| a.gate.is_some()).unwrap();
+        for seed in 0..20 {
+            let out = run_monkey(gated, seed, 10_000);
+            assert!(!out.passed_entry, "seed {seed}");
+            assert!(!out.opened_link);
+        }
+    }
+
+    #[test]
+    fn monkey_is_deterministic() {
+        let apps = top_thousand(3);
+        let app = apps.iter().find(|a| a.ugc.is_some()).unwrap();
+        assert_eq!(run_monkey(app, 7, 5_000), run_monkey(app, 7, 5_000));
+    }
+
+    #[test]
+    fn monkey_sometimes_succeeds_with_huge_budgets() {
+        // Not impossible — just unreliable.
+        let apps = top_thousand(3);
+        let rate = monkey_success_rate(&apps, 11, 50_000);
+        assert!(rate > 0.0, "monkey never succeeded at all");
+    }
+
+    #[test]
+    fn monkey_is_ineffective_at_realistic_budgets() {
+        // The §3.2.3 claim: at a realistic event budget the monkey reaches
+        // only a fraction of what the scripted driver reaches (the
+        // scripted driver reaches 100% of accessible UGC apps by
+        // construction).
+        let apps = top_thousand(3);
+        let rate = monkey_success_rate(&apps, 11, 500);
+        assert!(rate < 0.5, "monkey rate {rate}");
+    }
+
+    #[test]
+    fn apps_without_ugc_never_yield_links() {
+        let apps = top_thousand(3);
+        let no_ugc = apps
+            .iter()
+            .find(|a| a.ugc.is_none() && a.gate.is_none() && !a.is_browser)
+            .unwrap();
+        let out = run_monkey(no_ugc, 5, 20_000);
+        assert!(!out.opened_link);
+        assert!(!out.reached_link_surface);
+    }
+}

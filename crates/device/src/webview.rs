@@ -1,0 +1,435 @@
+//! The WebView runtime.
+//!
+//! Every public method interposes through the attached [`FridaRecorder`]
+//! (method name + arguments) before acting — that is the paper's
+//! measurement surface. Pages load either over real loopback HTTP (the
+//! controlled page) or from synthetic site content (the top-site crawl);
+//! either way the instance's netlog records the main document and every
+//! subresource the parsed DOM references, attributable to this instance's
+//! source id.
+
+use crate::browser::CookieJar;
+use crate::frida::FridaRecorder;
+use crate::logcat::Logcat;
+use std::net::SocketAddr;
+use wla_net::netlog::host_of;
+use wla_net::{fetch, NetLog, NetLogPhase, Request};
+use wla_web::script::{execute, ScriptEffect, ScriptOutcome};
+use wla_web::webapi::DomSession;
+use wla_web::{html, Document};
+
+/// WebView settings (the knobs §4.1.1 discusses — Ad SDKs can disable Safe
+/// Browsing in a WebView; a CT is always subject to the browser's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WebViewSettings {
+    /// `setJavaScriptEnabled`.
+    pub javascript_enabled: bool,
+    /// `setSafeBrowsingEnabled`.
+    pub safe_browsing_enabled: bool,
+}
+
+impl Default for WebViewSettings {
+    fn default() -> Self {
+        WebViewSettings {
+            javascript_enabled: true,
+            safe_browsing_enabled: true,
+        }
+    }
+}
+
+/// Where a page's content comes from.
+#[derive(Debug, Clone)]
+pub enum PageSource {
+    /// Fetch `path` from a real loopback server; the page is *addressed*
+    /// as `url` for netlog purposes.
+    Http {
+        /// Server to fetch from.
+        server: SocketAddr,
+        /// Request path (e.g. `/page`).
+        path: String,
+        /// Logical URL of the page.
+        url: String,
+    },
+    /// Synthetic content (top-site model).
+    Synthetic {
+        /// Logical URL.
+        url: String,
+        /// Page markup.
+        html: String,
+        /// Additional requests the page makes beyond DOM-referenced
+        /// subresources (XHR endpoints, trackers).
+        extra_requests: Vec<String>,
+    },
+}
+
+impl PageSource {
+    /// Logical URL of the page.
+    pub fn url(&self) -> &str {
+        match self {
+            PageSource::Http { url, .. } | PageSource::Synthetic { url, .. } => url,
+        }
+    }
+}
+
+/// One WebView instance inside an app.
+#[derive(Debug)]
+pub struct WebViewInstance {
+    /// Netlog source id of this instance.
+    pub source_id: u32,
+    /// Owning app package (sent as `X-Requested-With`, §5).
+    pub app_package: String,
+    /// Settings.
+    pub settings: WebViewSettings,
+    /// This WebView's own cookie jar — *not* shared with the browser,
+    /// which is why sessions don't persist (Table 1).
+    pub cookies: CookieJar,
+    recorder: FridaRecorder,
+    netlog: NetLog,
+    logcat: Logcat,
+    bridges: Vec<String>,
+    session: Option<DomSession>,
+    current_url: Option<String>,
+    reporter: Option<SocketAddr>,
+}
+
+impl WebViewInstance {
+    /// Create an instance wired to the device's recorder/netlog/logcat.
+    pub fn new(
+        source_id: u32,
+        app_package: &str,
+        recorder: FridaRecorder,
+        netlog: NetLog,
+        logcat: Logcat,
+    ) -> WebViewInstance {
+        WebViewInstance {
+            source_id,
+            app_package: app_package.to_owned(),
+            settings: WebViewSettings::default(),
+            cookies: CookieJar::new(),
+            recorder,
+            netlog,
+            logcat,
+            bridges: Vec::new(),
+            session: None,
+            current_url: None,
+            reporter: None,
+        }
+    }
+
+    /// Attach a measurement server: Web-API calls made by injected scripts
+    /// will beacon to it over real HTTP.
+    pub fn with_reporter(mut self, server: SocketAddr) -> WebViewInstance {
+        self.reporter = Some(server);
+        self
+    }
+
+    /// Exposed JS bridge names.
+    pub fn bridges(&self) -> &[String] {
+        &self.bridges
+    }
+
+    /// The instrumented DOM session of the loaded page.
+    pub fn session(&self) -> Option<&DomSession> {
+        self.session.as_ref()
+    }
+
+    /// Mutable session access (for assertions and follow-up effects).
+    pub fn session_mut(&mut self) -> Option<&mut DomSession> {
+        self.session.as_mut()
+    }
+
+    /// Currently loaded URL.
+    pub fn current_url(&self) -> Option<&str> {
+        self.current_url.as_deref()
+    }
+
+    /// `addJavascriptInterface` — expose a JS bridge.
+    pub fn add_javascript_interface(&mut self, object_class: &str, name: &str) {
+        self.recorder
+            .record("addJavascriptInterface", &[object_class, name]);
+        self.logcat
+            .info("WebView", &format!("bridge exposed: {name}"));
+        self.bridges.push(name.to_owned());
+    }
+
+    /// `removeJavascriptInterface`.
+    pub fn remove_javascript_interface(&mut self, name: &str) {
+        self.recorder.record("removeJavascriptInterface", &[name]);
+        self.bridges.retain(|b| b != name);
+    }
+
+    /// `loadUrl` with a page source. Records the hook, fetches/parses the
+    /// content, logs the main document and every subresource.
+    pub fn load(&mut self, source: PageSource) {
+        let url = source.url().to_owned();
+        self.recorder.record("loadUrl", &[&url]);
+        self.logcat
+            .info("WebView", &format!("loading {url} in {}", self.app_package));
+        self.netlog
+            .record(self.source_id, &url, NetLogPhase::RequestSent);
+
+        let (doc, extra) = match &source {
+            PageSource::Http { server, path, .. } => {
+                let request =
+                    Request::get(path.clone()).with_header("X-Requested-With", &self.app_package);
+                match fetch(*server, request) {
+                    Ok(resp) => {
+                        self.netlog
+                            .record(self.source_id, &url, NetLogPhase::ResponseReceived);
+                        let body = String::from_utf8_lossy(&resp.body).into_owned();
+                        (html::parse(&body), Vec::new())
+                    }
+                    Err(e) => {
+                        self.netlog
+                            .record(self.source_id, &url, NetLogPhase::Failed);
+                        self.logcat
+                            .info("WebView", &format!("load failed for {url}: {e}"));
+                        (Document::new(), Vec::new())
+                    }
+                }
+            }
+            PageSource::Synthetic {
+                html: markup,
+                extra_requests,
+                ..
+            } => {
+                self.netlog
+                    .record(self.source_id, &url, NetLogPhase::ResponseReceived);
+                (html::parse(markup), extra_requests.clone())
+            }
+        };
+
+        // Subresources referenced by the DOM.
+        let page_host = host_of(&url).unwrap_or("localhost").to_owned();
+        let mut sub_urls = Vec::new();
+        for node in doc.walk() {
+            let attr = match doc.tag(node) {
+                Some("script") | Some("img") | Some("iframe") => doc.get_attr(node, "src"),
+                Some("link") => doc.get_attr(node, "href"),
+                _ => None,
+            };
+            if let Some(raw) = attr {
+                sub_urls.push(resolve_url(raw, &page_host));
+            }
+        }
+        sub_urls.extend(extra);
+        for sub in sub_urls {
+            self.netlog.advance_clock(2);
+            self.netlog
+                .record(self.source_id, &sub, NetLogPhase::RequestSent);
+            self.netlog
+                .record(self.source_id, &sub, NetLogPhase::ResponseReceived);
+        }
+
+        self.session = Some(match self.reporter {
+            Some(addr) => DomSession::with_reporter(doc, addr, &self.app_package),
+            None => DomSession::new(doc),
+        });
+        self.current_url = Some(url);
+    }
+
+    /// `evaluateJavascript` — inject and run a script effect.
+    /// Returns `None` when JavaScript is disabled or no page is loaded.
+    pub fn evaluate_javascript(&mut self, effect: &ScriptEffect) -> Option<ScriptOutcome> {
+        self.recorder
+            .record("evaluateJavascript", &[&effect_js(effect)]);
+        self.run_effect(effect)
+    }
+
+    /// `loadUrl("javascript:…")` — the other injection route (§3.2.2).
+    pub fn load_javascript_url(&mut self, effect: &ScriptEffect) -> Option<ScriptOutcome> {
+        self.recorder
+            .record("loadUrl", &[&format!("javascript:{}", effect_js(effect))]);
+        self.run_effect(effect)
+    }
+
+    fn run_effect(&mut self, effect: &ScriptEffect) -> Option<ScriptOutcome> {
+        if !self.settings.javascript_enabled {
+            self.logcat
+                .info("WebView", "JS disabled; injection ignored");
+            return None;
+        }
+        let session = self.session.as_mut()?;
+        Some(execute(effect, session))
+    }
+}
+
+/// Resolve a (possibly relative) resource URL against the page host.
+fn resolve_url(raw: &str, page_host: &str) -> String {
+    if raw.starts_with("http://") || raw.starts_with("https://") {
+        raw.to_owned()
+    } else if let Some(rest) = raw.strip_prefix("//") {
+        format!("https://{rest}")
+    } else if raw.starts_with('/') {
+        format!("https://{page_host}{raw}")
+    } else {
+        format!("https://{page_host}/{raw}")
+    }
+}
+
+/// Compact pseudo-JS rendering of an effect — what the Frida hook sees as
+/// the injected argument.
+pub fn effect_js(effect: &ScriptEffect) -> String {
+    match effect {
+        ScriptEffect::InsertScriptElement { src, element_id } => format!(
+            "(function(d,s,id){{var js,fjs=d.getElementsByTagName(s)[0];if(d.getElementById(id)){{return;}}js=d.createElement(s);js.id=id;js.src=\"{src}\";fjs.parentNode.insertBefore(js,fjs);}}(document,'script','{element_id}'))"
+        ),
+        ScriptEffect::DomTagCounts => {
+            "(function(){var c={};document.querySelectorAll('*')…return c;})()".to_owned()
+        }
+        ScriptEffect::SimHashPage => {
+            "(function(){/* cloaker-catcher simhash: text+dom, text, dom */})()".to_owned()
+        }
+        ScriptEffect::LogPerformance { .. } => {
+            "(function(){console.log('perf', performance.timing)})()".to_owned()
+        }
+        ScriptEffect::AdProbe(p) => format!(
+            "(function(){{var ad={{\"adUnit\":\"{}\",\"src\":\"{}\",\"width\":{},\"height\":{}}};/* obfuscated */}})()",
+            p.ad_unit, p.source_host, p.width, p.height
+        ),
+        ScriptEffect::ReadOnlyScan => {
+            "(function(){document.querySelectorAll('ins,.adsbygoogle')})()".to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_net::MeasurementServer;
+    use wla_web::testpage::test_page_html;
+
+    fn instance() -> WebViewInstance {
+        WebViewInstance::new(
+            1,
+            "com.example.app",
+            FridaRecorder::new(),
+            NetLog::new(),
+            Logcat::new(),
+        )
+    }
+
+    #[test]
+    fn load_real_page_over_http() {
+        let server = MeasurementServer::start(test_page_html()).unwrap();
+        let recorder = FridaRecorder::new();
+        let netlog = NetLog::new();
+        let mut wv = WebViewInstance::new(
+            7,
+            "com.facebook.katana",
+            recorder.clone(),
+            netlog.clone(),
+            Logcat::new(),
+        )
+        .with_reporter(server.addr());
+        wv.load(PageSource::Http {
+            server: server.addr(),
+            path: "/page".into(),
+            url: "https://measurement.example/page".into(),
+        });
+        assert!(wv.session().is_some());
+        // Hook saw the load.
+        assert_eq!(recorder.calls_to("loadUrl").len(), 1);
+        // Netlog attributed the main document + subresources to source 7.
+        let events = netlog.events_for(7);
+        assert!(events.len() >= 3, "{events:?}");
+        // DOM-referenced subresources appear (page.js etc.).
+        assert!(events.iter().any(|e| e.url.contains("page.js")));
+    }
+
+    #[test]
+    fn synthetic_page_logs_extras() {
+        let netlog = NetLog::new();
+        let mut wv = WebViewInstance::new(
+            2,
+            "kik.android",
+            FridaRecorder::new(),
+            netlog.clone(),
+            Logcat::new(),
+        );
+        wv.load(PageSource::Synthetic {
+            url: "https://news.example.com/".into(),
+            html: "<img src=\"/hero.png\"><script src=\"https://cdn.site/app.js\"></script>".into(),
+            extra_requests: vec!["https://ads.mopub.com/bid".into()],
+        });
+        let hosts = netlog.distinct_hosts_for(2);
+        assert!(hosts.contains("news.example.com"));
+        assert!(hosts.contains("cdn.site"));
+        assert!(hosts.contains("ads.mopub.com"));
+    }
+
+    #[test]
+    fn injection_requires_js_enabled() {
+        let mut wv = instance();
+        wv.load(PageSource::Synthetic {
+            url: "https://x.example/".into(),
+            html: "<p>hi</p>".into(),
+            extra_requests: vec![],
+        });
+        wv.settings.javascript_enabled = false;
+        assert!(wv
+            .evaluate_javascript(&ScriptEffect::DomTagCounts)
+            .is_none());
+        wv.settings.javascript_enabled = true;
+        assert!(wv
+            .evaluate_javascript(&ScriptEffect::DomTagCounts)
+            .is_some());
+    }
+
+    #[test]
+    fn injection_without_page_is_none() {
+        let mut wv = instance();
+        assert!(wv
+            .evaluate_javascript(&ScriptEffect::DomTagCounts)
+            .is_none());
+    }
+
+    #[test]
+    fn bridges_are_recorded_and_tracked() {
+        let recorder = FridaRecorder::new();
+        let mut wv = WebViewInstance::new(
+            3,
+            "in.mohalla.video",
+            recorder.clone(),
+            NetLog::new(),
+            Logcat::new(),
+        );
+        wv.add_javascript_interface("com.google.ads.JsBridge", "googleAdsJsInterface");
+        assert_eq!(wv.bridges(), ["googleAdsJsInterface"]);
+        wv.remove_javascript_interface("googleAdsJsInterface");
+        assert!(wv.bridges().is_empty());
+        assert_eq!(recorder.calls_to("addJavascriptInterface").len(), 1);
+        assert_eq!(recorder.calls_to("removeJavascriptInterface").len(), 1);
+    }
+
+    #[test]
+    fn javascript_url_injection_recorded_as_loadurl() {
+        let recorder = FridaRecorder::new();
+        let mut wv =
+            WebViewInstance::new(4, "com.app", recorder.clone(), NetLog::new(), Logcat::new());
+        wv.load(PageSource::Synthetic {
+            url: "https://x.example/".into(),
+            html: "<p>t</p>".into(),
+            extra_requests: vec![],
+        });
+        wv.load_javascript_url(&ScriptEffect::DomTagCounts);
+        let loads = recorder.calls_to("loadUrl");
+        assert_eq!(loads.len(), 2);
+        assert!(loads[1].args[0].starts_with("javascript:"));
+        assert!(recorder.interacts_beyond_loading());
+    }
+
+    #[test]
+    fn url_resolution() {
+        assert_eq!(resolve_url("https://a/b", "h"), "https://a/b");
+        assert_eq!(resolve_url("//cdn.x/y", "h"), "https://cdn.x/y");
+        assert_eq!(
+            resolve_url("/p.png", "host.example"),
+            "https://host.example/p.png"
+        );
+        assert_eq!(
+            resolve_url("r.js", "host.example"),
+            "https://host.example/r.js"
+        );
+    }
+}

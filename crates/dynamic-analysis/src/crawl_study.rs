@@ -1,0 +1,97 @@
+//! The 100-top-site crawl study — Figures 6a and 6b.
+//!
+//! Crawls the synthetic top-100 list through each WebView-IAB app plus the
+//! System WebView Shell baseline, and aggregates the IAB-specific distinct
+//! endpoints per site category.
+
+use std::collections::BTreeMap;
+use wla_crawler::driver::{crawl_app, crawl_baseline, figure6, CrawlRecord, Figure6Row};
+use wla_crawler::sites::{top_100_sites, TopSite};
+use wla_device::iab::all_profiles;
+
+/// The crawl study output.
+#[derive(Debug, Clone)]
+pub struct CrawlStudy {
+    /// Baseline (System WebView Shell) records.
+    pub baseline: Vec<CrawlRecord>,
+    /// Per-app crawl records.
+    pub per_app: BTreeMap<String, Vec<CrawlRecord>>,
+    /// Per-app Figure 6 rows (baseline-subtracted).
+    pub figures: BTreeMap<String, Vec<Figure6Row>>,
+}
+
+impl CrawlStudy {
+    /// Figure 6 rows for one app.
+    pub fn figure_for(&self, app_name: &str) -> Option<&Vec<Figure6Row>> {
+        self.figures.get(app_name)
+    }
+}
+
+/// Run the full crawl study over `sites` (pass [`top_100_sites`] for the
+/// paper's configuration) for the given app names (None = all ten).
+pub fn run_crawl_study(sites: Option<Vec<TopSite>>, apps: Option<&[&str]>) -> CrawlStudy {
+    let sites = sites.unwrap_or_else(top_100_sites);
+    let baseline = crawl_baseline(&sites);
+    let mut per_app = BTreeMap::new();
+    let mut figures = BTreeMap::new();
+    for profile in all_profiles() {
+        if let Some(filter) = apps {
+            if !filter.contains(&profile.app_name) {
+                continue;
+            }
+        }
+        let records = crawl_app(&profile, &sites);
+        figures.insert(profile.app_name.to_owned(), figure6(&records, &baseline));
+        per_app.insert(profile.app_name.to_owned(), records);
+    }
+    CrawlStudy {
+        baseline,
+        per_app,
+        figures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_crawler::sites::SiteCategory;
+
+    #[test]
+    fn linkedin_and_kik_figures_present() {
+        let study = run_crawl_study(None, Some(&["LinkedIn", "Kik"]));
+        assert_eq!(study.figures.len(), 2);
+        let li = study.figure_for("LinkedIn").unwrap();
+        let kik = study.figure_for("Kik").unwrap();
+        assert_eq!(li.len(), 10); // one row per site category
+        assert_eq!(kik.len(), 10);
+    }
+
+    #[test]
+    fn endpoints_isolated_to_the_iab() {
+        // "These endpoints were specific to LinkedIn's IAB and were not
+        // contacted by any other app's IAB" (§4.2.2).
+        let study = run_crawl_study(None, Some(&["LinkedIn", "Kik", "Snapchat"]));
+        let li_hosts: std::collections::BTreeSet<&String> = study.per_app["LinkedIn"]
+            .iter()
+            .flat_map(|r| r.hosts.iter())
+            .collect();
+        let kik_hosts: std::collections::BTreeSet<&String> = study.per_app["Kik"]
+            .iter()
+            .flat_map(|r| r.hosts.iter())
+            .collect();
+        assert!(li_hosts.iter().any(|h| h.contains("cedexis")));
+        assert!(!kik_hosts.iter().any(|h| h.contains("cedexis")));
+        assert!(kik_hosts.iter().any(|h| h.contains("mopub")));
+        assert!(!li_hosts.iter().any(|h| h.contains("mopub")));
+    }
+
+    #[test]
+    fn rich_categories_dominate_poor_ones() {
+        let study = run_crawl_study(None, Some(&["Kik"]));
+        let rows = study.figure_for("Kik").unwrap();
+        let by_cat: BTreeMap<SiteCategory, f64> =
+            rows.iter().map(|r| (r.category, r.avg_endpoints)).collect();
+        assert!(by_cat[&SiteCategory::News] > by_cat[&SiteCategory::Technology]);
+        assert!(by_cat[&SiteCategory::Shopping] > by_cat[&SiteCategory::Search]);
+    }
+}

@@ -1,0 +1,308 @@
+//! The WebView-IAB instrumentation study — Tables 8 and 9.
+//!
+//! For each of the ten WebView-IAB apps: hook every WebView method
+//! (Frida analog), navigate the IAB to the controlled page served by the
+//! measurement server over real loopback HTTP, record the Web-API beacons
+//! the instrumented page sends back, capture the netlog, and infer the
+//! intent of each injection from the observed behaviour.
+
+use std::collections::BTreeSet;
+use wla_device::iab::{all_profiles, open_in_iab, IabProfile};
+use wla_device::webview::PageSource;
+use wla_device::{FridaRecorder, HookedCall, Logcat};
+use wla_net::{MeasurementServer, NetLog};
+use wla_web::script::ScriptOutcome;
+use wla_web::testpage::test_page_html;
+
+/// The study's report for one app (one Table 8 row + its Table 9 rows).
+#[derive(Debug, Clone)]
+pub struct IabAppReport {
+    /// App name.
+    pub app_name: String,
+    /// Package.
+    pub package: String,
+    /// UGC surface ("WebView Via" column).
+    pub surface: String,
+    /// Whether any JS was injected (beyond loading the URL).
+    pub injects_js: bool,
+    /// Whether any JS bridge was injected.
+    pub injects_bridge: bool,
+    /// Bridge names observed via the `addJavascriptInterface` hook.
+    pub bridges: Vec<String>,
+    /// Whether the bridge class was obfuscated.
+    pub obfuscated_bridge: bool,
+    /// Inferred intents for the injected content (Table 8's last columns).
+    pub inferred_intents: Vec<String>,
+    /// Distinct `(interface, method)` Web-API pairs the measurement server
+    /// recorded for this app (Table 9).
+    pub web_api_usage: Vec<(String, String)>,
+    /// Redirector URL observed, if any.
+    pub redirector: Option<String>,
+    /// Distinct hosts the IAB contacted during the controlled visit.
+    pub hosts: BTreeSet<String>,
+    /// Raw hooked WebView calls.
+    pub hooked_calls: Vec<HookedCall>,
+}
+
+/// The full study output.
+#[derive(Debug, Clone)]
+pub struct IabStudy {
+    /// One report per app, in Table 8 order (by downloads, descending).
+    pub reports: Vec<IabAppReport>,
+}
+
+impl IabStudy {
+    /// Report lookup by app name.
+    pub fn report(&self, app_name: &str) -> Option<&IabAppReport> {
+        self.reports.iter().find(|r| r.app_name == app_name)
+    }
+}
+
+/// Infer the intent of injected content from observed outcomes and hook
+/// data — the analysis the paper performs manually with logcat and remote
+/// debugging (§4.2.1–§4.2.4).
+fn infer_intents(profile: &IabProfile, outcomes: &[ScriptOutcome]) -> Vec<String> {
+    let mut intents = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            ScriptOutcome::ScriptInserted { src, .. } => {
+                if src.contains("autofill") {
+                    intents.push(
+                        "Insert FB Autofill SDK JS script (populates merchant checkouts)".into(),
+                    );
+                } else {
+                    intents.push(format!("Insert JS script: {src}"));
+                }
+            }
+            ScriptOutcome::TagCounts(_) => intents.push("Returns DOM tag counts".into()),
+            ScriptOutcome::SimHashes { .. } => {
+                intents.push("Returns simHash for page to detect cloaking".into())
+            }
+            ScriptOutcome::Performance { .. } => intents.push("Logs performance metrics".into()),
+            ScriptOutcome::AdResult {
+                displayed,
+                not_visible_reason,
+            } => {
+                let detail = if *displayed {
+                    "ad displayed".to_owned()
+                } else {
+                    format!(
+                        "no ad displayed ({})",
+                        not_visible_reason.as_deref().unwrap_or("unknown")
+                    )
+                };
+                intents.push(format!(
+                    "Insert and manage a video ad via Google Ads SDK ({detail})"
+                ));
+            }
+            ScriptOutcome::ScanResult { .. } => {
+                if profile.app_name == "Kik" {
+                    intents.push("Scan page for ad slots (ad networks: MoPub, InMobi)".into());
+                } else if profile.app_name == "LinkedIn" {
+                    intents.push("Calls to Cedexis traffic management API".into());
+                } else {
+                    intents.push("Read-only page scan".into());
+                }
+            }
+        }
+    }
+    if intents.is_empty() {
+        intents.push("No injection".into());
+    }
+    intents
+}
+
+/// Run the controlled-page visit for one profile.
+pub fn study_app(profile: &IabProfile, source_id: u32) -> IabAppReport {
+    let mut server = MeasurementServer::start(test_page_html()).expect("measurement server");
+    let recorder = FridaRecorder::new();
+    let netlog = NetLog::new();
+    let logcat = Logcat::new();
+
+    let visit = open_in_iab(
+        profile,
+        source_id,
+        PageSource::Http {
+            server: server.addr(),
+            path: "/page".into(),
+            url: "https://measurement.wla.example/page".into(),
+        },
+        0, // the controlled page is deliberately plain
+        recorder.clone(),
+        netlog.clone(),
+        logcat.clone(),
+        Some(server.addr()),
+    );
+
+    // Table 9: distinct Web-API pairs recorded server-side.
+    let mut web_api_usage: Vec<(String, String)> = server
+        .records()
+        .iter()
+        .map(|r| (r.interface.clone(), r.method.clone()))
+        .collect();
+    web_api_usage.sort();
+    web_api_usage.dedup();
+
+    let bridges: Vec<String> = visit.webview.bridges().to_vec();
+    let hooked_calls = recorder.calls();
+    let injects_js = hooked_calls.iter().any(|c| {
+        c.method == "evaluateJavascript"
+            || (c.method == "loadUrl" && c.args.iter().any(|a| a.starts_with("javascript:")))
+    });
+
+    let report = IabAppReport {
+        app_name: profile.app_name.to_owned(),
+        package: profile.package.to_owned(),
+        surface: profile.surface.to_owned(),
+        injects_js,
+        injects_bridge: !bridges.is_empty(),
+        bridges,
+        obfuscated_bridge: profile.obfuscated_bridge,
+        inferred_intents: infer_intents(profile, &visit.outcomes),
+        web_api_usage,
+        redirector: visit.redirector_url,
+        hosts: netlog.distinct_hosts_for(source_id),
+        hooked_calls,
+    };
+    server.shutdown();
+    report
+}
+
+/// Run the full ten-app study.
+pub fn run_iab_study() -> IabStudy {
+    let reports = all_profiles()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| study_app(p, i as u32 + 1))
+        .collect();
+    IabStudy { reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_reports() {
+        let study = run_iab_study();
+        assert_eq!(study.reports.len(), 10);
+    }
+
+    #[test]
+    fn facebook_report_matches_table8_and_table9() {
+        let study = run_iab_study();
+        let fb = study.report("Facebook").unwrap();
+        assert!(fb.injects_js && fb.injects_bridge);
+        assert_eq!(
+            fb.bridges,
+            [
+                "fbpayIAWBridge",
+                "metaCheckoutIAWBridge",
+                "_AutofillExtensions"
+            ]
+        );
+        // Inferred intents cover the four injections.
+        let all = fb.inferred_intents.join("; ");
+        assert!(all.contains("Autofill"), "{all}");
+        assert!(all.contains("DOM tag counts"), "{all}");
+        assert!(all.contains("simHash"), "{all}");
+        assert!(all.contains("performance"), "{all}");
+        // Table 9 row: every expected (interface, method) pair observed,
+        // via real HTTP beacons.
+        for (iface, method) in [
+            ("Document", "getElementById"),
+            ("Document", "createElement"),
+            ("Document", "querySelectorAll"),
+            ("Document", "getElementsByTagName"),
+            ("Document", "addEventListener"),
+            ("Document", "removeEventListener"),
+            ("Element", "insertBefore"),
+            ("Element", "hasAttribute"),
+            ("Element", "getElementsByTagName"),
+            ("HTMLBodyElement", "insertBefore"),
+            ("HTMLCollection", "item"),
+            ("NodeList", "item"),
+            ("HTMLMetaElement", "getAttribute"),
+        ] {
+            assert!(
+                fb.web_api_usage
+                    .contains(&(iface.to_owned(), method.to_owned())),
+                "missing {iface}.{method}: {:?}",
+                fb.web_api_usage
+            );
+        }
+        // Redirector observed.
+        assert!(fb
+            .redirector
+            .as_deref()
+            .unwrap()
+            .contains("lm.facebook.com"));
+    }
+
+    #[test]
+    fn instagram_matches_facebook_behaviour() {
+        // "Facebook and Instagram exhibited identical behavior" (§4.2).
+        let study = run_iab_study();
+        let fb = study.report("Facebook").unwrap();
+        let ig = study.report("Instagram").unwrap();
+        assert_eq!(fb.web_api_usage, ig.web_api_usage);
+        assert_eq!(fb.bridges, ig.bridges);
+    }
+
+    #[test]
+    fn no_injection_apps_are_clean() {
+        let study = run_iab_study();
+        for app in ["Snapchat", "Twitter", "Reddit"] {
+            let r = study.report(app).unwrap();
+            assert!(!r.injects_js, "{app}");
+            assert!(!r.injects_bridge, "{app}");
+            assert!(r.web_api_usage.is_empty(), "{app}: {:?}", r.web_api_usage);
+            assert_eq!(r.inferred_intents, ["No injection"], "{app}");
+        }
+    }
+
+    #[test]
+    fn kik_uses_only_read_only_apis() {
+        let study = run_iab_study();
+        let kik = study.report("Kik").unwrap();
+        // Table 9's Kik row, exactly.
+        assert_eq!(
+            kik.web_api_usage,
+            vec![
+                ("Document".to_owned(), "querySelectorAll".to_owned()),
+                ("HTMLDocument".to_owned(), "querySelectorAll".to_owned()),
+                ("HTMLMetaElement".to_owned(), "getAttribute".to_owned()),
+            ]
+        );
+        assert!(kik.bridges.contains(&"googleAdsJsInterface".to_owned()));
+    }
+
+    #[test]
+    fn moj_and_chingari_record_no_web_api_usage() {
+        // "we did not observe any ads on our test page, nor did our server
+        // record any Web API usage" (§4.2.3).
+        let study = run_iab_study();
+        for app in ["Moj", "Chingari"] {
+            let r = study.report(app).unwrap();
+            assert!(r.web_api_usage.is_empty(), "{app}: {:?}", r.web_api_usage);
+            assert!(r.injects_js, "{app} still injects (obfuscated) JS");
+            let intents = r.inferred_intents.join("; ");
+            assert!(intents.contains("noAdView"), "{intents}");
+        }
+    }
+
+    #[test]
+    fn pinterest_bridge_is_obfuscated() {
+        let study = run_iab_study();
+        let p = study.report("Pinterest").unwrap();
+        assert!(p.injects_bridge && p.obfuscated_bridge);
+        assert!(!p.injects_js);
+    }
+
+    #[test]
+    fn twitter_uses_tco_redirector() {
+        let study = run_iab_study();
+        let t = study.report("Twitter").unwrap();
+        assert!(t.redirector.as_deref().unwrap().contains("t.co"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Binary (de)serialization of [`Manifest`] for the SAPK manifest section.
+//!
+//! Layout: magic `"MFST"`, format version, then length-prefixed fields using
+//! the shared `wla-apk` wire primitives. Validated on decode: unknown kinds,
+//! truncation, and trailing bytes are all rejected.
+
+use crate::model::{Component, ComponentKind, IntentFilter, Manifest};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use wla_apk::wire::{get_string, get_uvarint, put_string, put_uvarint};
+use wla_apk::ApkError;
+
+/// Magic bytes of a serialized manifest blob.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"MFST";
+/// Current manifest wire version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+fn kind_to_byte(kind: ComponentKind) -> u8 {
+    match kind {
+        ComponentKind::Activity => 0,
+        ComponentKind::Service => 1,
+        ComponentKind::Receiver => 2,
+        ComponentKind::Provider => 3,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<ComponentKind, ApkError> {
+    Ok(match b {
+        0 => ComponentKind::Activity,
+        1 => ComponentKind::Service,
+        2 => ComponentKind::Receiver,
+        3 => ComponentKind::Provider,
+        _ => return Err(ApkError::Invalid("unknown component kind")),
+    })
+}
+
+fn put_string_list<B: BufMut>(buf: &mut B, items: &[String]) {
+    put_uvarint(buf, items.len() as u64);
+    for s in items {
+        put_string(buf, s);
+    }
+}
+
+fn get_string_list<B: Buf>(buf: &mut B) -> Result<Vec<String>, ApkError> {
+    let n = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        out.push(get_string(buf)?);
+    }
+    Ok(out)
+}
+
+/// Serialize a manifest to its SAPK-section byte form.
+pub fn encode(m: &Manifest) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(&MANIFEST_MAGIC);
+    buf.put_u16_le(MANIFEST_VERSION);
+    put_string(&mut buf, &m.package);
+    put_uvarint(&mut buf, m.version_code as u64);
+    put_uvarint(&mut buf, m.min_sdk as u64);
+    put_uvarint(&mut buf, m.target_sdk as u64);
+    put_uvarint(&mut buf, m.components.len() as u64);
+    for c in &m.components {
+        buf.put_u8(kind_to_byte(c.kind));
+        put_string(&mut buf, &c.class_name);
+        buf.put_u8(c.exported as u8);
+        put_uvarint(&mut buf, c.intent_filters.len() as u64);
+        for f in &c.intent_filters {
+            put_string_list(&mut buf, &f.actions);
+            put_string_list(&mut buf, &f.categories);
+            put_string_list(&mut buf, &f.data_schemes);
+            put_string_list(&mut buf, &f.data_hosts);
+        }
+    }
+    buf.freeze()
+}
+
+/// Parse a manifest blob, validating structure end-to-end.
+pub fn decode(raw: &[u8]) -> Result<Manifest, ApkError> {
+    let mut buf = raw;
+    if buf.remaining() < 4 {
+        return Err(ApkError::Truncated { context: "magic" });
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MANIFEST_MAGIC {
+        return Err(ApkError::BadMagic {
+            expected: "MFST",
+            found: magic,
+        });
+    }
+    if buf.remaining() < 2 {
+        return Err(ApkError::Truncated { context: "version" });
+    }
+    let version = buf.get_u16_le();
+    if version != MANIFEST_VERSION {
+        return Err(ApkError::UnsupportedVersion(version));
+    }
+    let package = get_string(&mut buf)?;
+    let version_code = get_uvarint(&mut buf)? as u32;
+    let min_sdk = get_uvarint(&mut buf)? as u16;
+    let target_sdk = get_uvarint(&mut buf)? as u16;
+    let n_components = get_uvarint(&mut buf)? as usize;
+    let mut components = Vec::with_capacity(n_components.min(1 << 12));
+    for _ in 0..n_components {
+        if !buf.has_remaining() {
+            return Err(ApkError::Truncated {
+                context: "component kind",
+            });
+        }
+        let kind = kind_from_byte(buf.get_u8())?;
+        let class_name = get_string(&mut buf)?;
+        if !buf.has_remaining() {
+            return Err(ApkError::Truncated {
+                context: "exported flag",
+            });
+        }
+        let exported = buf.get_u8() != 0;
+        let n_filters = get_uvarint(&mut buf)? as usize;
+        let mut intent_filters = Vec::with_capacity(n_filters.min(1 << 8));
+        for _ in 0..n_filters {
+            intent_filters.push(IntentFilter {
+                actions: get_string_list(&mut buf)?,
+                categories: get_string_list(&mut buf)?,
+                data_schemes: get_string_list(&mut buf)?,
+                data_hosts: get_string_list(&mut buf)?,
+            });
+        }
+        components.push(Component {
+            kind,
+            class_name,
+            exported,
+            intent_filters,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(ApkError::Invalid("trailing bytes after manifest"));
+    }
+    Ok(Manifest {
+        package,
+        version_code,
+        min_sdk,
+        target_sdk,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("com.example.app");
+        m.version_code = 42;
+        m.components.push(Component {
+            kind: ComponentKind::Activity,
+            class_name: "com/example/app/MainActivity".into(),
+            exported: true,
+            intent_filters: vec![IntentFilter {
+                actions: vec![crate::ACTION_VIEW.into()],
+                categories: vec![crate::CATEGORY_BROWSABLE.into()],
+                data_schemes: vec!["https".into()],
+                data_hosts: vec!["example.com".into()],
+            }],
+        });
+        m
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = encode(&m);
+        assert_eq!(decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_manifest_roundtrips() {
+        let m = Manifest::new("");
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        // The component kind byte follows the fixed header + package string
+        // + 3 varints + component count varint. Locate it by scanning for
+        // the known class name and stepping back.
+        let needle = b"com/example/app/MainActivity";
+        let pos = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap();
+        // kind byte sits before the class-name length varint (1 byte here).
+        bytes[pos - 2] = 9;
+        assert!(matches!(decode(&bytes), Err(ApkError::Invalid(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(ApkError::Invalid(_))));
+    }
+
+    fn arb_filter() -> impl Strategy<Value = IntentFilter> {
+        (
+            proptest::collection::vec("[a-z.]{1,20}", 0..3),
+            proptest::collection::vec("[a-z.]{1,20}", 0..3),
+            proptest::collection::vec("[a-z]{1,6}", 0..3),
+            proptest::collection::vec("[a-z.]{1,20}", 0..3),
+        )
+            .prop_map(
+                |(actions, categories, data_schemes, data_hosts)| IntentFilter {
+                    actions,
+                    categories,
+                    data_schemes,
+                    data_hosts,
+                },
+            )
+    }
+
+    fn arb_component() -> impl Strategy<Value = Component> {
+        (
+            prop_oneof![
+                Just(ComponentKind::Activity),
+                Just(ComponentKind::Service),
+                Just(ComponentKind::Receiver),
+                Just(ComponentKind::Provider)
+            ],
+            "[a-z/A-Z$0-9]{1,40}",
+            any::<bool>(),
+            proptest::collection::vec(arb_filter(), 0..3),
+        )
+            .prop_map(|(kind, class_name, exported, intent_filters)| Component {
+                kind,
+                class_name,
+                exported,
+                intent_filters,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            package in "[a-z.]{0,30}",
+            version_code in any::<u32>(),
+            min_sdk in any::<u16>(),
+            target_sdk in any::<u16>(),
+            components in proptest::collection::vec(arb_component(), 0..5),
+        ) {
+            let m = Manifest { package, version_code, min_sdk, target_sdk, components };
+            let bytes = encode(&m);
+            prop_assert_eq!(decode(&bytes).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode(&raw);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The measurement server of §3.2.2.
+//!
+//! The paper hosts an HTML5 test page whose only script overrides all Web
+//! API methods and submits each intercepted call back to the researchers'
+//! server. This module is that server: it serves the controlled page at
+//! `GET /page`, accepts interception reports at `POST /beacon`
+//! (form-encoded `interface`, `method`, `argument`, `visitor`), and records
+//! them for later analysis.
+
+use crate::http::{parse_form, Method, Request, Response, Status};
+use crate::server::Server;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// One intercepted Web-API call, as reported by the instrumented page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconRecord {
+    /// Web API interface (`Document`, `Element`, …).
+    pub interface: String,
+    /// Method name (`getElementById`, …).
+    pub method: String,
+    /// Stringified first argument, if reported.
+    pub argument: Option<String>,
+    /// Identifier of the visiting WebView/app (from the `visitor` field or
+    /// the `X-Requested-With` header WebView requests carry).
+    pub visitor: Option<String>,
+}
+
+/// Shared store of beacon records.
+#[derive(Debug, Default, Clone)]
+pub struct BeaconStore(Arc<Mutex<Vec<BeaconRecord>>>);
+
+impl BeaconStore {
+    /// Snapshot of all records.
+    pub fn records(&self) -> Vec<BeaconRecord> {
+        self.0.lock().clone()
+    }
+
+    /// Clear between crawl visits ("purge the logs on the device").
+    pub fn clear(&self) {
+        self.0.lock().clear();
+    }
+
+    fn push(&self, record: BeaconRecord) {
+        self.0.lock().push(record);
+    }
+}
+
+/// The measurement server: controlled page + beacon endpoint.
+#[derive(Debug)]
+pub struct MeasurementServer {
+    server: Server,
+    store: BeaconStore,
+}
+
+impl MeasurementServer {
+    /// Start with the given controlled-page HTML.
+    pub fn start(page_html: String) -> std::io::Result<MeasurementServer> {
+        let store = BeaconStore::default();
+        let handler_store = store.clone();
+        let page = Arc::new(page_html);
+        let server = Server::start(Arc::new(move |req: &Request| {
+            match (req.method, req.path()) {
+                (Method::Get, "/page") => Response::ok("text/html", page.as_bytes().to_vec()),
+                (Method::Post, "/beacon") => {
+                    let body = String::from_utf8_lossy(&req.body);
+                    let pairs = parse_form(&body);
+                    let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+                    match (get("interface"), get("method")) {
+                        (Some(interface), Some(method)) => {
+                            handler_store.push(BeaconRecord {
+                                interface,
+                                method,
+                                argument: get("argument"),
+                                visitor: get("visitor")
+                                    .or_else(|| req.header("x-requested-with").map(str::to_owned)),
+                            });
+                            Response::no_content()
+                        }
+                        _ => Response::error(Status::BadRequest, "missing interface/method"),
+                    }
+                }
+                _ => Response::error(Status::NotFound, "unknown route"),
+            }
+        }))?;
+        Ok(MeasurementServer { server, store })
+    }
+
+    /// Server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Recorded beacons.
+    pub fn records(&self) -> Vec<BeaconRecord> {
+        self.store.records()
+    }
+
+    /// Clear recorded beacons.
+    pub fn clear(&self) {
+        self.store.clear()
+    }
+
+    /// Stop the server.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+    }
+}
+
+/// Build a form-encoded beacon body — used by the instrumented Web-API
+/// layer in `wla-web`.
+pub fn encode_beacon(
+    interface: &str,
+    method: &str,
+    argument: Option<&str>,
+    visitor: &str,
+) -> String {
+    use crate::http::form_encode;
+    let mut body = format!(
+        "interface={}&method={}&visitor={}",
+        form_encode(interface),
+        form_encode(method),
+        form_encode(visitor)
+    );
+    if let Some(arg) = argument {
+        body.push_str(&format!("&argument={}", form_encode(arg)));
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::fetch;
+
+    #[test]
+    fn beacons_recorded_over_real_sockets() {
+        let server = MeasurementServer::start("<html><body>test</body></html>".into()).unwrap();
+
+        let page = fetch(server.addr(), Request::get("/page")).unwrap();
+        assert_eq!(page.status, Status::Ok);
+        assert!(std::str::from_utf8(&page.body).unwrap().contains("test"));
+
+        let body = encode_beacon(
+            "Document",
+            "getElementById",
+            Some("checkout & pay"),
+            "com.facebook.katana",
+        );
+        let resp = fetch(server.addr(), Request::post("/beacon", body.into_bytes())).unwrap();
+        assert_eq!(resp.status, Status::NoContent);
+
+        let records = server.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].interface, "Document");
+        assert_eq!(records[0].method, "getElementById");
+        assert_eq!(records[0].argument.as_deref(), Some("checkout & pay"));
+        assert_eq!(records[0].visitor.as_deref(), Some("com.facebook.katana"));
+    }
+
+    #[test]
+    fn visitor_falls_back_to_x_requested_with() {
+        let server = MeasurementServer::start(String::new()).unwrap();
+        let body = encode_beacon("Element", "insertBefore", None, "");
+        // Strip the empty visitor param to force fallback.
+        let body = body.replace("&visitor=", "&ignored=");
+        let req = Request::post("/beacon", body.into_bytes())
+            .with_header("X-Requested-With", "kik.android");
+        fetch(server.addr(), req).unwrap();
+        let records = server.records();
+        assert_eq!(records[0].visitor.as_deref(), Some("kik.android"));
+    }
+
+    #[test]
+    fn malformed_beacon_rejected() {
+        let server = MeasurementServer::start(String::new()).unwrap();
+        let resp = fetch(
+            server.addr(),
+            Request::post("/beacon", &b"nothing=here"[..]),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(server.records().is_empty());
+    }
+
+    #[test]
+    fn clear_purges_between_visits() {
+        let server = MeasurementServer::start(String::new()).unwrap();
+        let body = encode_beacon("Document", "querySelectorAll", None, "v");
+        fetch(server.addr(), Request::post("/beacon", body.into_bytes())).unwrap();
+        assert_eq!(server.records().len(), 1);
+        server.clear();
+        assert!(server.records().is_empty());
+    }
+}

@@ -1,0 +1,583 @@
+//! HTTP/1.1 request/response types and codec.
+//!
+//! Scope: exactly what the measurement path needs — GET/POST/HEAD,
+//! Content-Length framing, case-insensitive headers, bounded header and
+//! body sizes. Deliberately omitted (documented, smoltcp-style): chunked
+//! transfer encoding, trailers, pipelining, HTTP/2, and TLS.
+
+use bytes::Bytes;
+use std::fmt;
+use std::io::{BufReader, Read, Write};
+
+/// Hard cap on the header block, matching common server defaults.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Hard cap on bodies accepted by this stack.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(String),
+    /// The peer closed before a full message arrived.
+    UnexpectedEof,
+    /// Malformed request/status line or header.
+    Malformed(&'static str),
+    /// Unsupported method.
+    BadMethod(String),
+    /// Header block exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::Malformed(what) => write!(f, "malformed {what}"),
+            HttpError::BadMethod(m) => write!(f, "unsupported method {m:?}"),
+            HttpError::HeadersTooLarge => write!(f, "header block too large"),
+            HttpError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e.to_string())
+    }
+}
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// HEAD.
+    Head,
+}
+
+impl Method {
+    fn parse(s: &str) -> Result<Method, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::BadMethod(other.to_owned())),
+        }
+    }
+
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+/// Response status subset used by the measurement stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 204.
+    NoContent,
+    /// 302 with a Location header (the IAB redirector experiments).
+    Found,
+    /// 400.
+    BadRequest,
+    /// 404.
+    NotFound,
+    /// 413.
+    PayloadTooLarge,
+    /// 500.
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NoContent => 204,
+            Status::Found => 302,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::PayloadTooLarge => 413,
+            Status::InternalError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::NoContent => "No Content",
+            Status::Found => "Found",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::PayloadTooLarge => "Payload Too Large",
+            Status::InternalError => "Internal Server Error",
+        }
+    }
+
+    fn from_code(code: u16) -> Status {
+        match code {
+            200 => Status::Ok,
+            204 => Status::NoContent,
+            302 => Status::Found,
+            400 => Status::BadRequest,
+            404 => Status::NotFound,
+            413 => Status::PayloadTooLarge,
+            _ => Status::InternalError,
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Request target (path + optional query).
+    pub target: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Request {
+    /// New GET request.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// New POST request with a body.
+    pub fn post(target: impl Into<String>, body: impl Into<Bytes>) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Add a header (name lowercased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Request {
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_owned()));
+        self
+    }
+
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path portion of the target (before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Query portion of the target, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Serialize onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
+        write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), self.target)?;
+        let mut has_len = false;
+        for (n, v) in &self.headers {
+            if n == "content-length" {
+                has_len = true;
+            }
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        if !has_len && (!self.body.is_empty() || self.method == Method::Post) {
+            write!(w, "content-length: {}\r\n", self.body.len())?;
+        }
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        Ok(())
+    }
+
+    /// Parse a request from a buffered reader.
+    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
+        let start = read_line_limited(reader)?;
+        let mut parts = start.split_whitespace();
+        let method = Method::parse(parts.next().ok_or(HttpError::Malformed("request line"))?)?;
+        let target = parts
+            .next()
+            .ok_or(HttpError::Malformed("request target"))?
+            .to_owned();
+        let version = parts.next().ok_or(HttpError::Malformed("http version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("http version"));
+        }
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers)?;
+        Ok(Request {
+            method,
+            target,
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status.
+    pub status: Status,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// 200 response with a body and content type.
+    pub fn ok(content_type: &str, body: impl Into<Bytes>) -> Response {
+        Response {
+            status: Status::Ok,
+            headers: vec![("content-type".into(), content_type.into())],
+            body: body.into(),
+        }
+    }
+
+    /// 204 response.
+    pub fn no_content() -> Response {
+        Response {
+            status: Status::NoContent,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// 302 redirect.
+    pub fn redirect(location: &str) -> Response {
+        Response {
+            status: Status::Found,
+            headers: vec![("location".into(), location.into())],
+            body: Bytes::new(),
+        }
+    }
+
+    /// Error response with a plain-text body.
+    pub fn error(status: Status, message: &str) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: Bytes::copy_from_slice(message.as_bytes()),
+        }
+    }
+
+    /// First header value by name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialize onto a writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        )?;
+        for (n, v) in &self.headers {
+            write!(w, "{n}: {v}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        Ok(())
+    }
+
+    /// Parse a response from a buffered reader.
+    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Response, HttpError> {
+        let start = read_line_limited(reader)?;
+        let mut parts = start.split_whitespace();
+        let version = parts.next().ok_or(HttpError::Malformed("status line"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("http version"));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or(HttpError::Malformed("status code"))?;
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers)?;
+        Ok(Response {
+            status: Status::from_code(code),
+            headers,
+            body,
+        })
+    }
+}
+
+fn read_line_limited<R: Read>(reader: &mut BufReader<R>) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        let n = reader.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        total += 1;
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        match byte[0] {
+            b'\n' => break,
+            b'\r' => {}
+            other => line.push(other as char),
+        }
+    }
+    Ok(line)
+}
+
+fn read_headers<R: Read>(reader: &mut BufReader<R>) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line_limited(reader)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+}
+
+fn read_body<R: Read>(
+    reader: &mut BufReader<R>,
+    headers: &[(String, String)],
+) -> Result<Bytes, HttpError> {
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| HttpError::UnexpectedEof)?;
+    Ok(Bytes::from(body))
+}
+
+/// Percent-decode a form-encoded component (`+` and `%XX`).
+pub fn form_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a form component.
+pub fn form_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Parse an `application/x-www-form-urlencoded` body into pairs.
+pub fn parse_form(body: &str) -> Vec<(String, String)> {
+    body.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (form_decode(k), form_decode(v)),
+            None => (form_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        Request::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        Response::read_from(&mut BufReader::new(Cursor::new(buf))).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post("/beacon?x=1", &b"interface=Document"[..])
+            .with_header("X-Requested-With", "com.facebook.katana");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(back.target, "/beacon?x=1");
+        assert_eq!(back.path(), "/beacon");
+        assert_eq!(back.query(), Some("x=1"));
+        assert_eq!(back.header("x-requested-with"), Some("com.facebook.katana"));
+        assert_eq!(&back.body[..], b"interface=Document");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::ok("text/html", &b"<html></html>"[..]);
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.status, Status::Ok);
+        assert_eq!(back.header("content-type"), Some("text/html"));
+        assert_eq!(&back.body[..], b"<html></html>");
+    }
+
+    #[test]
+    fn redirect_roundtrip() {
+        let resp = Response::redirect("https://example.com/next");
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.status, Status::Found);
+        assert_eq!(back.header("location"), Some("https://example.com/next"));
+    }
+
+    #[test]
+    fn empty_get_has_no_body() {
+        let back = roundtrip_request(&Request::get("/"));
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        let raw = b"BREW /pot HTTP/1.1\r\n\r\n";
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(&raw[..]))).unwrap_err();
+        assert!(matches!(err, HttpError::BadMethod(_)));
+    }
+
+    #[test]
+    fn truncated_body_is_eof() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(&raw[..]))).unwrap_err();
+        assert_eq!(err, HttpError::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_body_rejected_without_reading() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err =
+            Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge(_)));
+    }
+
+    #[test]
+    fn header_bomb_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..4000 {
+            raw.push_str(&format!("x-filler-{i}: aaaaaaaaaaaaaaaa\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err =
+            Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn form_codec() {
+        let pairs = parse_form("interface=Document&method=getElementById&arg=a+b%26c");
+        assert_eq!(
+            pairs,
+            vec![
+                ("interface".into(), "Document".into()),
+                ("method".into(), "getElementById".into()),
+                ("arg".into(), "a b&c".into()),
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_form_roundtrip(s in ".{0,80}") {
+            prop_assert_eq!(form_decode(&form_encode(&s)), s);
+        }
+
+        #[test]
+        fn prop_request_body_roundtrip(body in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let req = Request::post("/b", body.clone());
+            let back = roundtrip_request(&req);
+            prop_assert_eq!(&back.body[..], &body[..]);
+        }
+
+        #[test]
+        fn prop_parser_never_panics(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Request::read_from(&mut BufReader::new(Cursor::new(raw.clone())));
+            let _ = Response::read_from(&mut BufReader::new(Cursor::new(raw)));
+        }
+    }
+}

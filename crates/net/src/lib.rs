@@ -1,0 +1,50 @@
+//! # wla-net — loopback HTTP and network logging
+//!
+//! The dynamic half of the study (§3.2.2) needs a *real* network path:
+//!
+//! * a **controlled web page** served from the researchers' own server;
+//! * a **measurement endpoint** that the instrumented page posts
+//!   intercepted Web-API calls back to;
+//! * **NetLog**-style per-WebView network capture (the paper pulls Chrome's
+//!   netlog from a rooted Pixel 3 rather than using a device-wide proxy).
+//!
+//! This crate implements that path over `std::net` TCP with a blocking
+//! HTTP/1.1 stack:
+//!
+//! * [`http`] — request/response types and a hardened codec (header-size
+//!   limits, Content-Length framing; no chunked encoding — the measurement
+//!   traffic never needs it and simplicity wins per the smoltcp ethos);
+//! * [`server`] — a thread-per-connection listener with graceful shutdown
+//!   (CPU cost per request is trivial, concurrency is tiny — a blocking
+//!   design is the simplest robust one, exactly the case the async guides
+//!   say *not* to bring a runtime to);
+//! * [`client`] — a blocking `Connection: close` client;
+//! * [`beacon`] — the measurement server: serves the controlled page,
+//!   records `POST /beacon` Web-API reports;
+//! * [`netlog`] — structured per-source network event capture with
+//!   simulated-clock timestamps.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wla_net::{fetch, Request, Response, Server, Status};
+//!
+//! let server = Server::start(Arc::new(|req: &Request| match req.path() {
+//!     "/hello" => Response::ok("text/plain", &b"world"[..]),
+//!     _ => Response::error(Status::NotFound, "nope"),
+//! })).unwrap();
+//!
+//! let resp = fetch(server.addr(), Request::get("/hello")).unwrap();
+//! assert_eq!(&resp.body[..], b"world");
+//! ```
+
+pub mod beacon;
+pub mod client;
+pub mod http;
+pub mod netlog;
+pub mod server;
+
+pub use beacon::{BeaconRecord, MeasurementServer};
+pub use client::{fetch, ClientError};
+pub use http::{HttpError, Method, Request, Response, Status};
+pub use netlog::{NetLog, NetLogEvent, NetLogPhase};
+pub use server::{Handler, Server};

@@ -1,0 +1,196 @@
+//! NetLog — Chrome-style structured network event capture.
+//!
+//! The paper records "network logs directly from Chrome's network stack" on
+//! a rooted device, attributing each request to a specific WebView instance
+//! (more precise than a device-wide proxy). [`NetLog`] plays that role for
+//! the simulated device: every URL request a WebView (or CT/browser) makes
+//! is logged with a source id, phase, and simulated-clock timestamp.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Request lifecycle phases (a compact subset of Chrome's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetLogPhase {
+    /// URL request issued.
+    RequestSent,
+    /// Response headers received.
+    ResponseReceived,
+    /// Request failed.
+    Failed,
+}
+
+/// One captured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetLogEvent {
+    /// Identifier of the requesting WebView / tab instance.
+    pub source_id: u32,
+    /// Requested URL.
+    pub url: String,
+    /// Phase.
+    pub phase: NetLogPhase,
+    /// Simulated milliseconds since capture start.
+    pub timestamp_ms: u64,
+}
+
+/// Thread-safe event log with a monotonically advancing simulated clock.
+#[derive(Debug, Default, Clone)]
+pub struct NetLog {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<NetLogEvent>,
+    clock_ms: u64,
+}
+
+impl NetLog {
+    /// Fresh empty log.
+    pub fn new() -> NetLog {
+        NetLog::default()
+    }
+
+    /// Advance the simulated clock.
+    pub fn advance_clock(&self, ms: u64) {
+        self.inner.lock().clock_ms += ms;
+    }
+
+    /// Current simulated time.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.lock().clock_ms
+    }
+
+    /// Record an event at the current simulated time.
+    pub fn record(&self, source_id: u32, url: &str, phase: NetLogPhase) {
+        let mut inner = self.inner.lock();
+        let timestamp_ms = inner.clock_ms;
+        inner.events.push(NetLogEvent {
+            source_id,
+            url: url.to_owned(),
+            phase,
+            timestamp_ms,
+        });
+    }
+
+    /// Snapshot of all events.
+    pub fn events(&self) -> Vec<NetLogEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Events for one source (one WebView instance).
+    pub fn events_for(&self, source_id: u32) -> Vec<NetLogEvent> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.source_id == source_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct hosts contacted by one source — the unit Figures 6a/6b
+    /// count ("distinct endpoints contacted by an IAB").
+    pub fn distinct_hosts_for(&self, source_id: u32) -> BTreeSet<String> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.source_id == source_id && e.phase == NetLogPhase::RequestSent)
+            .filter_map(|e| host_of(&e.url).map(str::to_owned))
+            .collect()
+    }
+
+    /// Purge all events ("purge the logs on the device" between crawls).
+    pub fn clear(&self) {
+        self.inner.lock().events.clear();
+    }
+}
+
+/// Extract the host from a URL (scheme-optional).
+pub fn host_of(url: &str) -> Option<&str> {
+    let rest = url.split("://").nth(1).unwrap_or(url);
+    let host = rest.split(['/', '?', '#']).next()?;
+    let host = host.split('@').next_back()?; // strip userinfo
+    let host = host.split(':').next()?; // strip port
+    if host.is_empty() {
+        None
+    } else {
+        Some(host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters_by_source() {
+        let log = NetLog::new();
+        log.record(1, "https://a.example/x", NetLogPhase::RequestSent);
+        log.advance_clock(10);
+        log.record(2, "https://b.example/y", NetLogPhase::RequestSent);
+        log.record(1, "https://a.example/x", NetLogPhase::ResponseReceived);
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.events_for(1).len(), 2);
+        assert_eq!(log.events_for(2)[0].timestamp_ms, 10);
+    }
+
+    #[test]
+    fn distinct_hosts_deduplicate() {
+        let log = NetLog::new();
+        log.record(1, "https://cdn.x.com/a.js", NetLogPhase::RequestSent);
+        log.record(1, "https://cdn.x.com/b.js", NetLogPhase::RequestSent);
+        log.record(1, "https://ads.mopub.com/bid", NetLogPhase::RequestSent);
+        log.record(1, "https://fail.example/", NetLogPhase::Failed); // not a request
+        let hosts = log.distinct_hosts_for(1);
+        assert_eq!(
+            hosts.into_iter().collect::<Vec<_>>(),
+            vec!["ads.mopub.com".to_owned(), "cdn.x.com".to_owned()]
+        );
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of("https://a.b.c/path?q=1"), Some("a.b.c"));
+        assert_eq!(host_of("http://host:8080/"), Some("host"));
+        assert_eq!(host_of("host.only"), Some("host.only"));
+        assert_eq!(host_of("https://user@host/p"), Some("host"));
+        assert_eq!(host_of("https:///nohost"), None);
+    }
+
+    #[test]
+    fn clear_purges() {
+        let log = NetLog::new();
+        log.record(1, "https://x/", NetLogPhase::RequestSent);
+        log.clear();
+        assert!(log.events().is_empty());
+        // Clock survives the purge.
+        log.advance_clock(5);
+        assert_eq!(log.now_ms(), 5);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let log = NetLog::new();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        log.record(
+                            i,
+                            &format!("https://h{i}.example/{j}"),
+                            NetLogPhase::RequestSent,
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.events().len(), 800);
+    }
+}

@@ -1,0 +1,234 @@
+//! Thread-per-connection HTTP server with graceful shutdown.
+
+use crate::http::{HttpError, Request, Response, Status};
+use parking_lot::Mutex;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Request handler: pure function from request to response. Handlers run on
+/// connection threads, so they must be `Send + Sync`.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server bound to a loopback port.
+///
+/// Dropping the server (or calling [`shutdown`](Server::shutdown)) stops
+/// the accept loop and joins every worker.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+/// Per-connection read timeout. Generous for loopback; prevents a stuck
+/// client from pinning a thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+impl Server {
+    /// Bind to an ephemeral loopback port and start serving.
+    pub fn start(handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_workers = Arc::clone(&workers);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let handler = Arc::clone(&handler);
+                        let handle = std::thread::spawn(move || serve_connection(stream, handler));
+                        let mut guard = accept_workers.lock();
+                        // Opportunistically reap finished workers so the
+                        // vector doesn't grow with connection count.
+                        guard.retain(|h| !h.is_finished());
+                        guard.push(handle);
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// Address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, then join every thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: Handler) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let peer = stream.try_clone();
+    let mut reader = BufReader::new(stream);
+    let mut head_request = false;
+    let response = match Request::read_from(&mut reader) {
+        Ok(request) => {
+            head_request = request.method == crate::http::Method::Head;
+            handler(&request)
+        }
+        Err(HttpError::UnexpectedEof) => return, // probe/shutdown connection
+        Err(HttpError::BodyTooLarge(_)) => {
+            Response::error(Status::PayloadTooLarge, "body too large")
+        }
+        Err(e) => Response::error(Status::BadRequest, &e.to_string()),
+    };
+    // RFC 9110 §9.3.2: HEAD responses carry the GET's metadata but no
+    // body. Our codec frames strictly on content-length, so the would-be
+    // entity size is advertised in `x-entity-length` instead of lying in
+    // content-length (documented codec deviation).
+    let response = if head_request {
+        let mut r = response;
+        r.headers
+            .push(("x-entity-length".into(), r.body.len().to_string()));
+        r.body = bytes::Bytes::new();
+        r
+    } else {
+        response
+    };
+    if let Ok(mut out) = peer {
+        let _ = response.write_to(&mut out);
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::fetch;
+    use crate::http::Method;
+
+    fn echo_server() -> Server {
+        Server::start(Arc::new(|req: &Request| match (req.method, req.path()) {
+            (Method::Get, "/hello") => Response::ok("text/plain", &b"world"[..]),
+            (Method::Post, "/echo") => Response::ok("application/octet-stream", req.body.clone()),
+            _ => Response::error(Status::NotFound, "nope"),
+        }))
+        .expect("bind")
+    }
+
+    #[test]
+    fn get_and_post_roundtrip() {
+        let server = echo_server();
+        let resp = fetch(server.addr(), Request::get("/hello")).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(&resp.body[..], b"world");
+
+        let resp = fetch(server.addr(), Request::post("/echo", &b"payload"[..])).unwrap();
+        assert_eq!(&resp.body[..], b"payload");
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let server = echo_server();
+        let resp = fetch(server.addr(), Request::get("/missing")).unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let body = format!("req-{i}");
+                    let resp = fetch(addr, Request::post("/echo", body.clone().into_bytes()))
+                        .expect("fetch");
+                    assert_eq!(&resp.body[..], body.as_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unbinds() {
+        let mut server = echo_server();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        // After shutdown the port stops answering HTTP.
+        let result = fetch(addr, Request::get("/hello"));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+}
+
+#[cfg(test)]
+mod head_tests {
+    use super::*;
+    use crate::client::fetch;
+    use crate::http::{Method, Request};
+
+    #[test]
+    fn head_gets_headers_without_body() {
+        let server = Server::start(Arc::new(|_req: &Request| {
+            Response::ok("text/html", &b"<html>full body</html>"[..])
+        }))
+        .expect("bind");
+        let mut req = Request::get("/page");
+        req.method = Method::Head;
+        let resp = fetch(server.addr(), req).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert!(resp.body.is_empty());
+        // The would-be entity length is advertised.
+        assert_eq!(resp.header("x-entity-length"), Some("22"));
+    }
+}

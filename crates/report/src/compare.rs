@@ -1,0 +1,186 @@
+//! Paper-vs-measured comparison tables — the backbone of EXPERIMENTS.md.
+
+use crate::table::Table;
+use crate::thousands;
+
+/// Shape verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Match,
+    /// Outside tolerance but same ordering/shape.
+    Close,
+    /// Wrong shape.
+    Mismatch,
+}
+
+impl Verdict {
+    /// Display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Verdict::Match => "OK",
+            Verdict::Close => "~",
+            Verdict::Mismatch => "X",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Metric name.
+    pub metric: String,
+    /// Paper-reported value.
+    pub paper: f64,
+    /// Our measured value (rescaled to paper scale where applicable).
+    pub measured: f64,
+}
+
+impl ComparisonRow {
+    /// Relative error of measured vs paper (0 when both are 0).
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.paper).abs() / self.paper.abs()
+        }
+    }
+
+    /// Verdict at the given tolerance (e.g. 0.15 ⇒ within 15% is a match,
+    /// within 3× tolerance is close).
+    pub fn verdict(&self, tolerance: f64) -> Verdict {
+        let err = self.relative_error();
+        if err <= tolerance {
+            Verdict::Match
+        } else if err <= tolerance * 3.0 {
+            Verdict::Close
+        } else {
+            Verdict::Mismatch
+        }
+    }
+}
+
+/// A comparison set for one experiment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    /// Experiment id (e.g. `table7`).
+    pub experiment: String,
+    /// Compared metrics.
+    pub rows: Vec<ComparisonRow>,
+    /// Tolerance used for verdicts.
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// New comparison with the default 15% tolerance.
+    pub fn new(experiment: impl Into<String>) -> Comparison {
+        Comparison {
+            experiment: experiment.into(),
+            rows: Vec::new(),
+            tolerance: 0.15,
+        }
+    }
+
+    /// Add one metric.
+    pub fn add(&mut self, metric: impl Into<String>, paper: f64, measured: f64) -> &mut Comparison {
+        self.rows.push(ComparisonRow {
+            metric: metric.into(),
+            paper,
+            measured,
+        });
+        self
+    }
+
+    /// Fraction of rows that match.
+    pub fn match_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.verdict(self.tolerance) == Verdict::Match)
+            .count() as f64
+            / self.rows.len() as f64
+    }
+
+    /// Render as a table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("{} — paper vs measured", self.experiment),
+            &["Metric", "Paper", "Measured", "Rel. err", "Verdict"],
+        );
+        for r in &self.rows {
+            let fmt = |v: f64| {
+                if v.fract() == 0.0 && v.abs() < 1e15 && v.abs() >= 1000.0 {
+                    thousands(v.abs() as u64)
+                } else if v.fract() == 0.0 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.2}")
+                }
+            };
+            t.row_owned(vec![
+                r.metric.clone(),
+                fmt(r.paper),
+                fmt(r.measured),
+                if r.relative_error().is_finite() {
+                    format!("{:.1}%", r.relative_error() * 100.0)
+                } else {
+                    "inf".to_owned()
+                },
+                r.verdict(self.tolerance).symbol().to_owned(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_and_verdicts() {
+        let row = ComparisonRow {
+            metric: "webview apps".into(),
+            paper: 100.0,
+            measured: 110.0,
+        };
+        assert!((row.relative_error() - 0.1).abs() < 1e-9);
+        assert_eq!(row.verdict(0.15), Verdict::Match);
+        assert_eq!(row.verdict(0.05), Verdict::Close);
+        assert_eq!(row.verdict(0.01), Verdict::Mismatch);
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        let exact = ComparisonRow {
+            metric: "x".into(),
+            paper: 0.0,
+            measured: 0.0,
+        };
+        assert_eq!(exact.relative_error(), 0.0);
+        let off = ComparisonRow {
+            metric: "x".into(),
+            paper: 0.0,
+            measured: 1.0,
+        };
+        assert!(off.relative_error().is_infinite());
+        assert_eq!(off.verdict(0.15), Verdict::Mismatch);
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let mut c = Comparison::new("table7");
+        c.add("Apps using WebViews", 81_720.0, 80_100.0);
+        c.add("Apps using CTs", 29_130.0, 29_900.0);
+        assert_eq!(c.match_fraction(), 1.0);
+        let rendered = c.to_table().render();
+        assert!(rendered.contains("81,720"));
+        assert!(rendered.contains("OK"));
+    }
+}

@@ -1,0 +1,675 @@
+//! The paper's SDK catalog.
+//!
+//! Every SDK named in Table 4 (WebView) or Table 5 (Custom Tabs) appears
+//! here with its published app count as a calibration target. The paper
+//! additionally *counted* SDKs it did not name (Table 3: 46 advertising
+//! SDKs use WebViews, but Table 4 names only five, and §4.1.2 names
+//! AdColony and Ogury with approximate counts). For those we synthesize
+//! entries with real-world SDK names and plausible package prefixes so the
+//! per-category SDK counts of Table 3 are met exactly:
+//!
+//! | Category            | WebView | CT | Both |
+//! |---------------------|---------|----|------|
+//! | Advertising         | 46      | 3  | 3    |
+//! | Payments            | 15      | 6  | 5    |
+//! | Development Tools   | 11      | 7  | 5    |
+//! | Engagement          | 12      | 0  | 0    |
+//! | Social              | 10      | 6  | 4    |
+//! | Authentication      | 7       | 10 | 6    |
+//! | Unknown             | 10      | 4  | 4    |
+//! | Hybrid Functionality| 6       | 7  | 5    |
+//! | Utility             | 4       | 2  | 2    |
+//! | User Support        | 4       | 0  | 0    |
+//! | **Total**           | **125** | **45** | **34** |
+//!
+//! Plus 4 obfuscated packages (not in Table 3's category counts) — with the
+//! excluded `com.google.android`, that is the paper's 141 packages each used
+//! by more than 100 apps.
+
+use crate::{Sdk, SdkCategory, WebMechanism};
+
+/// Shorthand constructor used by the tables below.
+fn sdk(
+    name: &str,
+    category: SdkCategory,
+    mechanism: WebMechanism,
+    prefixes: &[&str],
+    wv_apps: u32,
+    ct_apps: u32,
+) -> Sdk {
+    Sdk {
+        name: name.to_owned(),
+        category,
+        prefixes: prefixes.iter().map(|p| (*p).to_owned()).collect(),
+        mechanism,
+        wv_apps,
+        ct_apps,
+        obfuscated: false,
+    }
+}
+
+/// Build the full catalog (140 entries: 136 categorized + 10 unknown-category
+/// already included + 4 obfuscated).
+pub fn paper_catalog() -> Vec<Sdk> {
+    use SdkCategory::*;
+    use WebMechanism::{Both, CustomTabs as Ct, WebView as Wv};
+
+    let mut v: Vec<Sdk> = Vec::with_capacity(140);
+
+    // ---------------- Advertising: 46 WV / 3 CT / 3 both ----------------
+    // Table 4 names the top five; §4.1.2 names AdColony and Ogury; §4.1.1
+    // says the three CT ad SDKs all also use WebViews.
+    v.push(sdk(
+        "AppLovin",
+        Advertising,
+        Wv,
+        &["com.applovin"],
+        27_397,
+        0,
+    ));
+    v.push(sdk(
+        "ironSource",
+        Advertising,
+        Wv,
+        &["com.ironsource"],
+        16_326,
+        0,
+    ));
+    v.push(sdk(
+        "ByteDance",
+        Advertising,
+        Wv,
+        &["com.bytedance"],
+        13_080,
+        0,
+    ));
+    v.push(sdk("InMobi", Advertising, Wv, &["com.inmobi"], 10_066, 0));
+    v.push(sdk(
+        "Digital Turbine",
+        Advertising,
+        Wv,
+        &["com.fyber", "com.digitalturbine"],
+        8_654,
+        0,
+    ));
+    v.push(sdk(
+        "HyprMX",
+        Advertising,
+        Both,
+        &["com.hyprmx"],
+        1_257,
+        1_257,
+    ));
+    v.push(sdk(
+        "Linkvertise",
+        Advertising,
+        Both,
+        &["com.linkvertise"],
+        383,
+        383,
+    ));
+    v.push(sdk(
+        "Taboola",
+        Advertising,
+        Both,
+        &["com.taboola"],
+        317,
+        317,
+    ));
+    // Unnamed members of the 46 (real ad networks, synthesized counts).
+    let ad_fillers: &[(&str, &str, u32)] = &[
+        ("AdColony", "com.adcolony", 10_600),
+        ("Unity Ads", "com.unity3d.ads", 8_900),
+        ("Vungle", "com.vungle", 7_200),
+        ("Chartboost", "com.chartboost", 5_100),
+        ("Mintegral", "com.mintegral", 4_800),
+        ("Tapjoy", "com.tapjoy", 3_900),
+        ("Start.io", "com.startapp", 3_400),
+        ("Smaato", "com.smaato", 2_900),
+        ("Appodeal", "com.appodeal", 2_600),
+        ("Criteo", "com.criteo", 2_300),
+        ("Amazon Ads", "com.amazon.device.ads", 2_100),
+        ("Yandex Ads", "com.yandex.mobile.ads", 1_900),
+        ("myTarget", "com.my.target", 1_700),
+        ("MoPub", "com.mopub", 1_600),
+        ("Ogury", "io.presage", 1_400),
+        ("Adfurikun", "jp.tjkapp.adfurikun", 1_200),
+        ("Five Ads", "com.five_corp", 1_100),
+        ("Nend", "net.nend", 950),
+        ("Maio", "jp.maio", 900),
+        ("Zucks", "net.zucks", 850),
+        ("Kakao AdFit", "com.kakao.adfit", 800),
+        ("GreedyGame", "com.greedygame", 700),
+        ("AdGeneration", "com.socdm.d.adgeneration", 650),
+        ("i-mobile", "jp.co.imobile", 600),
+        ("AdStir", "com.ad_stir", 550),
+        ("Fluct", "jp.fluct", 500),
+        ("AppNext", "com.appnext", 480),
+        ("Adivery", "ir.adivery", 450),
+        ("Tapsell", "ir.tapsell", 420),
+        ("Verve", "net.pubnative", 400),
+        ("BidMachine", "io.bidmachine", 380),
+        ("Leadbolt", "com.apptracker", 350),
+        ("Airpush", "com.airpush", 330),
+        ("Madvertise", "de.madvertise", 310),
+        ("AppBrain", "com.appbrain", 290),
+        ("AdinCube", "com.adincube", 270),
+        ("MobFox", "com.mobfox", 250),
+        ("LoopMe", "com.loopme", 230),
+    ];
+    for &(name, prefix, n) in ad_fillers {
+        v.push(sdk(name, Advertising, Wv, &[prefix], n, 0));
+    }
+
+    // ---------------- Engagement: 12 WV / 0 CT / 0 both -----------------
+    v.push(sdk(
+        "Open Measurement",
+        Engagement,
+        Wv,
+        &["com.iab.omid"],
+        11_333,
+        0,
+    ));
+    v.push(sdk("SafeDK", Engagement, Wv, &["com.safedk"], 7_427, 0));
+    v.push(sdk(
+        "Airship",
+        Engagement,
+        Wv,
+        &["com.urbanairship"],
+        652,
+        0,
+    ));
+    v.push(sdk("Branch", Engagement, Wv, &["io.branch"], 514, 0));
+    let eng_fillers: &[(&str, &str, u32)] = &[
+        ("Adjust", "com.adjust", 2_400),
+        ("AppsFlyer", "com.appsflyer", 2_100),
+        ("CleverTap", "com.clevertap", 900),
+        ("MoEngage", "com.moengage", 700),
+        ("Kochava", "com.kochava", 500),
+        ("Singular", "com.singular", 400),
+        ("Mixpanel", "com.mixpanel", 300),
+        ("Amplitude", "com.amplitude", 200),
+    ];
+    for &(name, prefix, n) in eng_fillers {
+        v.push(sdk(name, Engagement, Wv, &[prefix], n, 0));
+    }
+
+    // ------------- Development Tools: 11 WV / 7 CT / 5 both -------------
+    v.push(sdk(
+        "Flutter",
+        DevelopmentTools,
+        Wv,
+        &["io.flutter"],
+        5_568,
+        0,
+    ));
+    v.push(sdk(
+        "InAppWebView",
+        DevelopmentTools,
+        Wv,
+        &["com.pichillilorenzo"],
+        1_868,
+        0,
+    ));
+    v.push(sdk(
+        "Corona",
+        DevelopmentTools,
+        Wv,
+        &["com.ansca.corona"],
+        449,
+        0,
+    ));
+    v.push(sdk(
+        "AdvancedWebView",
+        DevelopmentTools,
+        Wv,
+        &["im.delight.android.webview"],
+        386,
+        0,
+    ));
+    v.push(sdk(
+        "Cordova",
+        DevelopmentTools,
+        Wv,
+        &["org.apache.cordova"],
+        900,
+        0,
+    ));
+    v.push(sdk(
+        "React Native WebView",
+        DevelopmentTools,
+        Wv,
+        &["com.reactnativecommunity.webview"],
+        750,
+        0,
+    ));
+    v.push(sdk(
+        "GoodBarber",
+        DevelopmentTools,
+        Both,
+        &["com.goodbarber"],
+        30,
+        48,
+    ));
+    v.push(sdk(
+        "Mobiroller",
+        DevelopmentTools,
+        Both,
+        &["com.mobiroller"],
+        20,
+        27,
+    ));
+    v.push(sdk("Ionic", DevelopmentTools, Both, &["io.ionic"], 40, 15));
+    v.push(sdk(
+        "Median",
+        DevelopmentTools,
+        Both,
+        &["co.median"],
+        15,
+        10,
+    ));
+    v.push(sdk(
+        "Thunkable",
+        DevelopmentTools,
+        Both,
+        &["com.thunkable"],
+        12,
+        8,
+    ));
+    v.push(sdk(
+        "android-customtabs",
+        DevelopmentTools,
+        Ct,
+        &["saschpe.android.customtabs"],
+        0,
+        53,
+    ));
+    v.push(sdk(
+        "Capacitor Browser",
+        DevelopmentTools,
+        Ct,
+        &["com.capacitorjs.browser"],
+        0,
+        11,
+    ));
+
+    // ------------------ Payments: 15 WV / 6 CT / 5 both -----------------
+    v.push(sdk("Stripe", Payments, Wv, &["com.stripe"], 1_171, 0));
+    v.push(sdk("RazorPay", Payments, Wv, &["com.razorpay"], 484, 0));
+    v.push(sdk("PayTM", Payments, Wv, &["net.one97.paytm"], 400, 0));
+    v.push(sdk(
+        "Braintree",
+        Payments,
+        Wv,
+        &["com.braintreepayments"],
+        350,
+        0,
+    ));
+    v.push(sdk("Square", Payments, Wv, &["com.squareup.sdk"], 300, 0));
+    v.push(sdk(
+        "MercadoPago",
+        Payments,
+        Wv,
+        &["com.mercadopago"],
+        280,
+        0,
+    ));
+    v.push(sdk("Paystack", Payments, Wv, &["co.paystack"], 180, 0));
+    v.push(sdk(
+        "Flutterwave",
+        Payments,
+        Wv,
+        &["com.flutterwave"],
+        150,
+        0,
+    ));
+    v.push(sdk("CCAvenue", Payments, Wv, &["com.ccavenue"], 130, 0));
+    v.push(sdk("Mollie", Payments, Wv, &["com.mollie"], 110, 0));
+    v.push(sdk(
+        "Ticketmaster Checkout",
+        Payments,
+        Both,
+        &["com.ticketmaster.purchase"],
+        30,
+        47,
+    ));
+    v.push(sdk("Checkout", Payments, Both, &["com.checkout"], 25, 47));
+    v.push(sdk("PayPal", Payments, Both, &["com.paypal"], 200, 40));
+    v.push(sdk("PayU", Payments, Both, &["com.payu"], 160, 30));
+    v.push(sdk("Midtrans", Payments, Both, &["com.midtrans"], 90, 20));
+    v.push(sdk("Juspay", Payments, Ct, &["in.juspay"], 0, 77));
+
+    // ---------------- User Support: 4 WV / 0 CT / 0 both ----------------
+    v.push(sdk(
+        "Zendesk",
+        UserSupport,
+        Wv,
+        &["zendesk", "com.zendesk"],
+        1_000,
+        0,
+    ));
+    v.push(sdk(
+        "Freshchat",
+        UserSupport,
+        Wv,
+        &["com.freshchat"],
+        438,
+        0,
+    ));
+    v.push(sdk(
+        "LicensesDialog",
+        UserSupport,
+        Wv,
+        &["de.psdev.licensesdialog"],
+        129,
+        0,
+    ));
+    v.push(sdk("Intercom", UserSupport, Wv, &["io.intercom"], 125, 0));
+
+    // ------------------- Social: 10 WV / 6 CT / 4 both ------------------
+    // Facebook deprecated WebView login in 2021 — CT only (§4.1.6).
+    v.push(sdk("Facebook", Social, Ct, &["com.facebook"], 0, 23_234));
+    v.push(sdk("VK", Social, Wv, &["com.vk"], 456, 0));
+    v.push(sdk("NAVER", Social, Both, &["com.navercorp.nid"], 406, 157));
+    v.push(sdk("Kakao", Social, Both, &["com.kakao"], 347, 54));
+    v.push(sdk("LINE", Social, Both, &["jp.naver.line"], 130, 60));
+    v.push(sdk("Weibo", Social, Both, &["com.sina.weibo"], 120, 40));
+    v.push(sdk("Twitter", Social, Ct, &["com.twitter.sdk"], 0, 262));
+    v.push(sdk("Odnoklassniki", Social, Wv, &["ru.ok"], 180, 0));
+    v.push(sdk("Zalo", Social, Wv, &["com.zing.zalo"], 160, 0));
+    v.push(sdk(
+        "Tencent QQ",
+        Social,
+        Wv,
+        &["com.tencent.tauth"],
+        150,
+        0,
+    ));
+    v.push(sdk(
+        "WeChat",
+        Social,
+        Wv,
+        &["com.tencent.mm.opensdk"],
+        140,
+        0,
+    ));
+    v.push(sdk("Tumblr", Social, Wv, &["com.tumblr"], 110, 0));
+
+    // -------------------- Utility: 4 WV / 2 CT / 2 both -----------------
+    v.push(sdk("NAVER Maps", Utility, Wv, &["com.naver.maps"], 130, 0));
+    v.push(sdk(
+        "Barcode Scanner",
+        Utility,
+        Wv,
+        &["com.google.zxing"],
+        129,
+        0,
+    ));
+    v.push(sdk(
+        "Ticketmaster",
+        Utility,
+        Both,
+        &["com.ticketmaster.tickets"],
+        64,
+        55,
+    ));
+    v.push(sdk("MyChart", Utility, Both, &["epic.mychart"], 39, 16));
+
+    // ---------------- Authentication: 7 WV / 10 CT / 6 both -------------
+    v.push(sdk(
+        "Google Firebase",
+        Authentication,
+        Ct,
+        &["com.google.firebase"],
+        0,
+        7_565,
+    ));
+    v.push(sdk("Gigya", Authentication, Wv, &["com.gigya"], 120, 0));
+    v.push(sdk(
+        "NAVER Identity",
+        Authentication,
+        Both,
+        &["com.navercorp.identity"],
+        90,
+        81,
+    ));
+    v.push(sdk(
+        "Amazon Identity",
+        Authentication,
+        Both,
+        &["com.amazon.identity"],
+        37,
+        20,
+    ));
+    v.push(sdk(
+        "AdobePass",
+        Authentication,
+        Ct,
+        &["com.adobe.adobepass"],
+        0,
+        55,
+    ));
+    v.push(sdk("Auth0", Authentication, Both, &["com.auth0"], 60, 95));
+    v.push(sdk("Okta", Authentication, Both, &["com.okta"], 45, 50));
+    v.push(sdk(
+        "OneLogin",
+        Authentication,
+        Both,
+        &["com.onelogin"],
+        25,
+        25,
+    ));
+    v.push(sdk(
+        "Ping Identity",
+        Authentication,
+        Both,
+        &["com.pingidentity"],
+        20,
+        15,
+    ));
+    v.push(sdk("Clerk", Authentication, Ct, &["com.clerk"], 0, 30));
+    v.push(sdk(
+        "LoginRadius",
+        Authentication,
+        Ct,
+        &["com.loginradius"],
+        0,
+        25,
+    ));
+
+    // ----------- Hybrid Functionality: 6 WV / 7 CT / 5 both -------------
+    v.push(sdk(
+        "Baby Panda World",
+        HybridFunctionality,
+        Wv,
+        &["com.sinyee.babybus"],
+        194,
+        0,
+    ));
+    v.push(sdk(
+        "SoftCraft",
+        HybridFunctionality,
+        Both,
+        &["com.softcraft"],
+        15,
+        8,
+    ));
+    v.push(sdk(
+        "Cube Storm",
+        HybridFunctionality,
+        Both,
+        &["com.cubestorm"],
+        14,
+        14,
+    ));
+    v.push(sdk(
+        "WebMobi",
+        HybridFunctionality,
+        Both,
+        &["com.webmobi"],
+        12,
+        12,
+    ));
+    v.push(sdk(
+        "Appy Pie",
+        HybridFunctionality,
+        Both,
+        &["com.appypie"],
+        11,
+        10,
+    ));
+    v.push(sdk(
+        "SiberianCMS",
+        HybridFunctionality,
+        Both,
+        &["com.siberiancms"],
+        10,
+        9,
+    ));
+    v.push(sdk(
+        "Scripps News",
+        HybridFunctionality,
+        Ct,
+        &["com.scripps.newsapps"],
+        0,
+        13,
+    ));
+    v.push(sdk(
+        "GoNative",
+        HybridFunctionality,
+        Ct,
+        &["io.gonative"],
+        0,
+        21,
+    ));
+
+    // ------------------- Unknown: 10 WV / 4 CT / 4 both -----------------
+    // Conventional package names the paper "could not associate with any
+    // known SDK".
+    let unknown_wv: &[(&str, u32)] = &[
+        ("com.dotc.sdk", 290),
+        ("com.polestar.core", 260),
+        ("net.appcloudbox", 230),
+        ("com.ihandysoft.core", 200),
+        ("mobi.oneway", 170),
+        ("com.cootek.business", 140),
+    ];
+    for (i, &(prefix, n)) in unknown_wv.iter().enumerate() {
+        v.push(sdk(
+            &format!("Unknown #{} ({prefix})", i + 1),
+            Unknown,
+            Wv,
+            &[prefix],
+            n,
+            0,
+        ));
+    }
+    let unknown_both: &[(&str, u32, u32)] = &[
+        ("com.tachikoma.core", 200, 110),
+        ("org.hapjs.webviewapp", 180, 105),
+        ("com.quickgame.web", 160, 100),
+        ("io.dcloud.feature", 140, 102),
+    ];
+    for (i, &(prefix, wv, ct)) in unknown_both.iter().enumerate() {
+        v.push(sdk(
+            &format!("Unknown #{} ({prefix})", i + 7),
+            Unknown,
+            Both,
+            &[prefix],
+            wv,
+            ct,
+        ));
+    }
+
+    // -------------------- Obfuscated packages (4) -----------------------
+    for (i, &(prefix, n)) in [("a.a", 400), ("b.bb", 300), ("c.ab", 220), ("d.e", 150)]
+        .iter()
+        .enumerate()
+    {
+        let mut s = sdk(
+            &format!("Obfuscated #{}", i + 1),
+            Unknown,
+            Wv,
+            &[prefix],
+            n,
+            0,
+        );
+        s.obfuscated = true;
+        v.push(s);
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_size() {
+        // 136 categorized + 4 obfuscated = 140; with the excluded
+        // com.google.android this is the paper's 141 packages.
+        assert_eq!(paper_catalog().len(), 140);
+    }
+
+    #[test]
+    fn unknown_category_count_matches_paper() {
+        let cat = paper_catalog();
+        let unknown: Vec<_> = cat
+            .iter()
+            .filter(|s| s.category == SdkCategory::Unknown && !s.obfuscated)
+            .collect();
+        assert_eq!(unknown.len(), 10);
+    }
+
+    #[test]
+    fn mechanism_consistent_with_targets() {
+        for s in paper_catalog() {
+            assert_eq!(
+                s.mechanism.uses_webview(),
+                s.wv_apps > 0,
+                "{}: wv_apps inconsistent with mechanism",
+                s.name
+            );
+            assert_eq!(
+                s.mechanism.uses_custom_tabs(),
+                s.ct_apps > 0,
+                "{}: ct_apps inconsistent with mechanism",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_sdk_has_a_prefix() {
+        for s in paper_catalog() {
+            assert!(!s.prefixes.is_empty(), "{} has no prefixes", s.name);
+            for p in &s.prefixes {
+                assert!(!p.is_empty());
+                assert!(!p.starts_with('.') && !p.ends_with('.'));
+            }
+        }
+    }
+
+    #[test]
+    fn user_support_totals_match_table4_exactly() {
+        // 1000 + 438 + 129 + 125 = 1692 — Table 4's category total.
+        let total: u32 = paper_catalog()
+            .iter()
+            .filter(|s| s.category == SdkCategory::UserSupport)
+            .map(|s| s.wv_apps)
+            .sum();
+        assert_eq!(total, 1_692);
+    }
+
+    #[test]
+    fn hybrid_wv_totals_match_table4_exactly() {
+        // 194 + 15 + 14 + 12 + 11 + 10 = 256.
+        let total: u32 = paper_catalog()
+            .iter()
+            .filter(|s| s.category == SdkCategory::HybridFunctionality)
+            .map(|s| s.wv_apps)
+            .sum();
+        assert_eq!(total, 256);
+    }
+}

@@ -1,0 +1,407 @@
+//! # wla-sdk-index — Google Play SDK Index analog
+//!
+//! §3.1.4 of the paper labels the Java packages that invoke content-loading
+//! methods against the Google Play SDK Index (plus manual search), yielding
+//! 141 packages used by >100 apps: 126 categorized, 1 excluded
+//! (`com.google.android`), 4 obfuscated, 10 unknown.
+//!
+//! This crate provides:
+//!
+//! * [`SdkCategory`] — the paper's SDK taxonomy (Table 3 rows);
+//! * [`Sdk`] — one catalog entry: name, package prefixes, which web
+//!   mechanism(s) it uses, and its paper-scale app-count calibration targets;
+//! * [`catalog::paper_catalog`] — the full catalog: every SDK named in
+//!   Tables 4 and 5 with its published app count, plus synthesized filler
+//!   SDKs so that per-category SDK *counts* match Table 3 exactly
+//!   (46 WebView advertising SDKs, 10 CT authentication SDKs, …);
+//! * [`trie::PrefixTrie`] and [`SdkIndex`] — longest-prefix package labeling,
+//!   the pipeline's hot lookup.
+//!
+//! ```
+//! use wla_sdk_index::{Label, SdkIndex};
+//!
+//! let index = SdkIndex::paper();
+//! match index.label("com.applovin.adview") {
+//!     Label::Sdk(sdk) => assert_eq!(sdk.name, "AppLovin"),
+//!     other => panic!("{other:?}"),
+//! }
+//! assert!(matches!(index.label("com.google.android.gms.ads"), Label::CoreAndroid));
+//! assert!(matches!(index.label("a.b.c"), Label::Obfuscated));
+//! ```
+
+pub mod catalog;
+pub mod trie;
+
+use serde::{Deserialize, Serialize};
+
+/// SDK functional categories — exactly the rows of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SdkCategory {
+    /// In-app ad networks and mediation.
+    Advertising,
+    /// Engagement / ad-performance measurement (OM SDK, SafeDK, …).
+    Engagement,
+    /// Cross-platform frameworks and embeddable components (Flutter, …).
+    DevelopmentTools,
+    /// Payment processing (Stripe, RazorPay, …).
+    Payments,
+    /// In-app customer service (Zendesk, Freshchat, …).
+    UserSupport,
+    /// Social-platform integration (Facebook, VK, Kakao, …).
+    Social,
+    /// Feature utilities (maps, ticketing, barcode, health portals).
+    Utility,
+    /// Identity providers and auth flows (Firebase Auth, Gigya, …).
+    Authentication,
+    /// Hybrid web+native app engines.
+    HybridFunctionality,
+    /// Packages that could not be associated with any known SDK.
+    Unknown,
+}
+
+impl SdkCategory {
+    /// All categories in Table 3 row order.
+    pub const ALL: [SdkCategory; 10] = [
+        SdkCategory::Advertising,
+        SdkCategory::Payments,
+        SdkCategory::DevelopmentTools,
+        SdkCategory::Engagement,
+        SdkCategory::Social,
+        SdkCategory::Authentication,
+        SdkCategory::Unknown,
+        SdkCategory::HybridFunctionality,
+        SdkCategory::Utility,
+        SdkCategory::UserSupport,
+    ];
+
+    /// Human-readable label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SdkCategory::Advertising => "Advertising",
+            SdkCategory::Engagement => "Engagement",
+            SdkCategory::DevelopmentTools => "Development Tools",
+            SdkCategory::Payments => "Payments",
+            SdkCategory::UserSupport => "User Support",
+            SdkCategory::Social => "Social",
+            SdkCategory::Utility => "Utility",
+            SdkCategory::Authentication => "Authentication",
+            SdkCategory::HybridFunctionality => "Hybrid Functionality",
+            SdkCategory::Unknown => "Unknown",
+        }
+    }
+}
+
+/// Which web-content mechanism an SDK embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WebMechanism {
+    /// Uses `android.webkit.WebView` only.
+    WebView,
+    /// Uses Custom Tabs only.
+    CustomTabs,
+    /// Uses both (e.g. falls back to WebView when no CT-capable browser).
+    Both,
+}
+
+impl WebMechanism {
+    /// Does the SDK have a WebView code path?
+    pub fn uses_webview(self) -> bool {
+        matches!(self, WebMechanism::WebView | WebMechanism::Both)
+    }
+
+    /// Does the SDK have a Custom Tabs code path?
+    pub fn uses_custom_tabs(self) -> bool {
+        matches!(self, WebMechanism::CustomTabs | WebMechanism::Both)
+    }
+}
+
+/// One SDK catalog entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sdk {
+    /// Display name ("AppLovin", "Google Firebase", …).
+    pub name: String,
+    /// Functional category.
+    pub category: SdkCategory,
+    /// Dotted package prefixes attributable to this SDK.
+    pub prefixes: Vec<String>,
+    /// Which mechanism(s) the SDK's code contains.
+    pub mechanism: WebMechanism,
+    /// Paper-scale calibration target: apps observed using this SDK's
+    /// WebView path (0 when it has none). From Table 4 for named SDKs.
+    pub wv_apps: u32,
+    /// Paper-scale calibration target for the CT path. From Table 5.
+    pub ct_apps: u32,
+    /// Whether the package naming is ProGuard-obfuscated (one of the 4
+    /// packages the paper could not label for that reason).
+    pub obfuscated: bool,
+}
+
+impl Sdk {
+    /// Primary (first) package prefix.
+    pub fn primary_prefix(&self) -> &str {
+        &self.prefixes[0]
+    }
+}
+
+/// Result of labeling a package name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label<'a> {
+    /// Attributed to a cataloged SDK.
+    Sdk(&'a Sdk),
+    /// Part of the core Android SDK (`com.google.android`), excluded from
+    /// SDK accounting "due to its multiple essential functions".
+    CoreAndroid,
+    /// ProGuard-style obfuscated package.
+    Obfuscated,
+    /// No catalog match.
+    Unlabeled,
+}
+
+/// The labeling index: catalog + prefix trie.
+#[derive(Debug, Clone)]
+pub struct SdkIndex {
+    sdks: Vec<Sdk>,
+    trie: trie::PrefixTrie,
+}
+
+/// Prefix excluded from SDK attribution.
+pub const CORE_ANDROID_PREFIX: &str = "com.google.android";
+
+impl SdkIndex {
+    /// Build an index over an arbitrary catalog.
+    pub fn new(sdks: Vec<Sdk>) -> Self {
+        let mut trie = trie::PrefixTrie::new();
+        for (i, sdk) in sdks.iter().enumerate() {
+            for p in &sdk.prefixes {
+                trie.insert(p, i as u32);
+            }
+        }
+        SdkIndex { sdks, trie }
+    }
+
+    /// The full paper catalog (Tables 3–5).
+    pub fn paper() -> Self {
+        SdkIndex::new(catalog::paper_catalog())
+    }
+
+    /// All catalog entries.
+    pub fn sdks(&self) -> &[Sdk] {
+        &self.sdks
+    }
+
+    /// Label a dotted package name. Longest-prefix match against the
+    /// catalog; `com.google.android` takes precedence; unmatched packages
+    /// fall back to the obfuscation heuristic.
+    pub fn label(&self, package: &str) -> Label<'_> {
+        if package == CORE_ANDROID_PREFIX || package.starts_with("com.google.android.") {
+            return Label::CoreAndroid;
+        }
+        if let Some(idx) = self.trie.longest_match(package) {
+            let sdk = &self.sdks[idx as usize];
+            if sdk.obfuscated {
+                return Label::Obfuscated;
+            }
+            return Label::Sdk(sdk);
+        }
+        if is_obfuscated_package(package) {
+            return Label::Obfuscated;
+        }
+        Label::Unlabeled
+    }
+
+    /// Like [`label`](Self::label) but also returns a match for obfuscated
+    /// catalog entries (for ground-truth bookkeeping in tests).
+    pub fn lookup_any(&self, package: &str) -> Option<&Sdk> {
+        self.trie
+            .longest_match(package)
+            .map(|idx| &self.sdks[idx as usize])
+    }
+
+    /// Linear-scan labeling with identical semantics to [`label`](Self::label)
+    /// — kept as the baseline for the `sdk_labeling` ablation bench.
+    pub fn label_linear(&self, package: &str) -> Label<'_> {
+        if package == CORE_ANDROID_PREFIX || package.starts_with("com.google.android.") {
+            return Label::CoreAndroid;
+        }
+        let mut best: Option<(usize, &Sdk)> = None;
+        for sdk in &self.sdks {
+            for p in &sdk.prefixes {
+                let matches = package == p
+                    || (package.len() > p.len()
+                        && package.starts_with(p.as_str())
+                        && package.as_bytes()[p.len()] == b'.');
+                if matches {
+                    let len = p.len();
+                    if best.is_none_or(|(l, _)| len > l) {
+                        best = Some((len, sdk));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, sdk)) if sdk.obfuscated => Label::Obfuscated,
+            Some((_, sdk)) => Label::Sdk(sdk),
+            None if is_obfuscated_package(package) => Label::Obfuscated,
+            None => Label::Unlabeled,
+        }
+    }
+}
+
+/// ProGuard-style obfuscation heuristic (shared with `wla-apk::names`; kept
+/// here too so this crate stands alone for labeling).
+fn is_obfuscated_package(pkg: &str) -> bool {
+    let segments: Vec<&str> = pkg.split('.').collect();
+    !segments.is_empty() && segments.iter().all(|s| !s.is_empty() && s.len() <= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_matches_table3_counts() {
+        let index = SdkIndex::paper();
+        // Table 3: per-category (webview, ct, both) SDK counts.
+        let expect: &[(SdkCategory, u32, u32, u32)] = &[
+            (SdkCategory::Advertising, 46, 3, 3),
+            (SdkCategory::Payments, 15, 6, 5),
+            (SdkCategory::DevelopmentTools, 11, 7, 5),
+            (SdkCategory::Engagement, 12, 0, 0),
+            (SdkCategory::Social, 10, 6, 4),
+            (SdkCategory::Authentication, 7, 10, 6),
+            (SdkCategory::Unknown, 10, 4, 4),
+            (SdkCategory::HybridFunctionality, 6, 7, 5),
+            (SdkCategory::Utility, 4, 2, 2),
+            (SdkCategory::UserSupport, 4, 0, 0),
+        ];
+        for &(cat, wv, ct, both) in expect {
+            let of_cat: Vec<_> = index
+                .sdks()
+                .iter()
+                .filter(|s| s.category == cat && !s.obfuscated)
+                .collect();
+            let n_wv = of_cat.iter().filter(|s| s.mechanism.uses_webview()).count() as u32;
+            let n_ct = of_cat
+                .iter()
+                .filter(|s| s.mechanism.uses_custom_tabs())
+                .count() as u32;
+            let n_both = of_cat
+                .iter()
+                .filter(|s| s.mechanism == WebMechanism::Both)
+                .count() as u32;
+            assert_eq!((n_wv, n_ct, n_both), (wv, ct, both), "category {cat:?}");
+        }
+        // Totals row.
+        let all: Vec<_> = index.sdks().iter().filter(|s| !s.obfuscated).collect();
+        assert_eq!(
+            all.iter().filter(|s| s.mechanism.uses_webview()).count(),
+            125
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|s| s.mechanism.uses_custom_tabs())
+                .count(),
+            45
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|s| s.mechanism == WebMechanism::Both)
+                .count(),
+            34
+        );
+    }
+
+    #[test]
+    fn named_sdk_targets_match_table4_and_5() {
+        let index = SdkIndex::paper();
+        let get = |name: &str| {
+            index
+                .sdks()
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get("AppLovin").wv_apps, 27_397);
+        assert_eq!(get("ironSource").wv_apps, 16_326);
+        assert_eq!(get("Facebook").ct_apps, 23_234);
+        assert_eq!(get("Google Firebase").ct_apps, 7_565);
+        assert_eq!(get("Stripe").wv_apps, 1_171);
+        assert_eq!(get("HyprMX").ct_apps, 1_257);
+        assert_eq!(get("Open Measurement").wv_apps, 11_333);
+        assert_eq!(get("Juspay").ct_apps, 77);
+        // Ticketmaster appears for payments and utility with both paths.
+        assert!(get("Ticketmaster Checkout").mechanism.uses_custom_tabs());
+        assert!(get("Ticketmaster").mechanism.uses_webview());
+    }
+
+    #[test]
+    fn obfuscated_entries_exist() {
+        let index = SdkIndex::paper();
+        assert_eq!(index.sdks().iter().filter(|s| s.obfuscated).count(), 4);
+    }
+
+    #[test]
+    fn labeling_basics() {
+        let index = SdkIndex::paper();
+        match index.label("com.applovin.adview") {
+            Label::Sdk(sdk) => assert_eq!(sdk.name, "AppLovin"),
+            other => panic!("expected AppLovin, got {other:?}"),
+        }
+        assert_eq!(index.label("com.google.android.gms"), Label::CoreAndroid);
+        assert_eq!(index.label("a.b.c"), Label::Obfuscated);
+        assert_eq!(index.label("org.nonexistent.thing"), Label::Unlabeled);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        // NAVER corporate (auth) vs NAVER social login share the com.navercorp root.
+        let index = SdkIndex::paper();
+        match index.label("com.navercorp.nid.oauth") {
+            Label::Sdk(sdk) => assert_eq!(sdk.category, SdkCategory::Social),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_is_segment_aligned() {
+        let index = SdkIndex::paper();
+        // "com.applovinx" must NOT match the "com.applovin" prefix.
+        assert_eq!(index.label("com.applovinx.ads"), Label::Unlabeled);
+    }
+
+    #[test]
+    fn trie_and_linear_agree_on_catalog() {
+        let index = SdkIndex::paper();
+        let probes = [
+            "com.applovin.adview",
+            "com.applovin",
+            "com.applovinx",
+            "com.google.android.gms",
+            "com.google.firebase.auth.internal",
+            "io.flutter.plugins.webview",
+            "zendesk.support.ui",
+            "a.b",
+            "com.unknownthing.x",
+            "epic.mychart.android",
+        ];
+        for p in probes {
+            let a = format!("{:?}", index.label(p));
+            let b = format!("{:?}", index.label_linear(p));
+            assert_eq!(a, b, "mismatch for {p}");
+        }
+    }
+
+    #[test]
+    fn prefixes_are_unique_across_catalog() {
+        let index = SdkIndex::paper();
+        let mut seen = std::collections::HashSet::new();
+        for sdk in index.sdks() {
+            for p in &sdk.prefixes {
+                assert!(
+                    seen.insert(p.clone()),
+                    "duplicate prefix {p} ({})",
+                    sdk.name
+                );
+            }
+        }
+    }
+}

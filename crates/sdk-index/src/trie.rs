@@ -1,0 +1,146 @@
+//! Segment-wise prefix trie for package → SDK labeling.
+//!
+//! Package prefixes match on whole dot-separated segments:
+//! `com.applovin` matches `com.applovin.adview` but not `com.applovinx`.
+//! Lookup is O(segments), independent of catalog size — the ablation bench
+//! compares this against a linear scan of all prefixes.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<String, Node>,
+    /// Value attached if a prefix terminates at this node.
+    value: Option<u32>,
+}
+
+/// Maps dotted package prefixes to `u32` payloads with longest-match lookup.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixTrie {
+    root: Node,
+    len: usize,
+}
+
+impl PrefixTrie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `prefix` (dotted) with payload `value`. Re-inserting a prefix
+    /// overwrites its payload.
+    pub fn insert(&mut self, prefix: &str, value: u32) {
+        let mut node = &mut self.root;
+        for seg in prefix.split('.') {
+            node = node.children.entry(seg.to_owned()).or_default();
+        }
+        if node.value.replace(value).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Payload of the longest inserted prefix of `package`, if any.
+    pub fn longest_match(&self, package: &str) -> Option<u32> {
+        let mut node = &self.root;
+        let mut best = node.value;
+        for seg in package.split('.') {
+            match node.children.get(seg) {
+                Some(next) => {
+                    node = next;
+                    if node.value.is_some() {
+                        best = node.value;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Whether `package` has any inserted prefix.
+    pub fn contains_prefix_of(&self, package: &str) -> bool {
+        self.longest_match(package).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_and_descendant_match() {
+        let mut t = PrefixTrie::new();
+        t.insert("com.applovin", 1);
+        assert_eq!(t.longest_match("com.applovin"), Some(1));
+        assert_eq!(t.longest_match("com.applovin.adview"), Some(1));
+        assert_eq!(t.longest_match("com.applovinx"), None);
+        assert_eq!(t.longest_match("com"), None);
+    }
+
+    #[test]
+    fn longest_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert("com.naver", 1);
+        t.insert("com.naver.maps", 2);
+        assert_eq!(t.longest_match("com.naver.maps.geo"), Some(2));
+        assert_eq!(t.longest_match("com.naver.login"), Some(1));
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut t = PrefixTrie::new();
+        t.insert("a.b", 1);
+        t.insert("a.b", 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.longest_match("a.b.c"), Some(2));
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.longest_match("anything.at.all"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inserted_prefixes_match_themselves(
+            prefixes in proptest::collection::hash_set("[a-z]{1,6}(\\.[a-z]{1,6}){0,3}", 1..20)
+        ) {
+            let mut t = PrefixTrie::new();
+            let v: Vec<_> = prefixes.iter().cloned().collect();
+            for (i, p) in v.iter().enumerate() {
+                t.insert(p, i as u32);
+            }
+            prop_assert_eq!(t.len(), v.len());
+            for (i, p) in v.iter().enumerate() {
+                // Exact lookup returns this value or a longer prefix's value;
+                // for exact strings it must be this one.
+                prop_assert_eq!(t.longest_match(p), Some(i as u32));
+                // Descendants match some inserted prefix.
+                let child = format!("{p}.zz");
+                prop_assert!(t.longest_match(&child).is_some());
+            }
+        }
+
+        #[test]
+        fn prop_no_false_positives(pkg in "[A-Z]{1,8}(\\.[A-Z]{1,8}){0,3}") {
+            // Catalog prefixes are lowercase; uppercase packages never match.
+            let mut t = PrefixTrie::new();
+            t.insert("com.applovin", 1);
+            t.insert("io.flutter", 2);
+            prop_assert_eq!(t.longest_match(&pkg), None);
+        }
+    }
+}

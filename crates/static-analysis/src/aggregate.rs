@@ -1,0 +1,541 @@
+//! Corpus-level aggregation: everything Tables 3/4/5/7 and Figures 3/4
+//! report, computed from per-app analyses plus the SDK index.
+
+use crate::analyze::AppAnalysis;
+use crate::pipeline::PipelineOutput;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use wla_corpus::playstore::PlayCategory;
+use wla_corpus::METHODS;
+use wla_sdk_index::{Label, SdkCategory, SdkIndex};
+
+/// Per-SDK usage counts (Tables 4 and 5 rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdkUsageRow {
+    /// SDK display name.
+    pub name: String,
+    /// SDK category.
+    pub category: SdkCategory,
+    /// Apps observed calling a WebView load method from this SDK's package.
+    pub wv_apps: usize,
+    /// Apps observed calling `launchUrl` from this SDK's package.
+    pub ct_apps: usize,
+}
+
+/// Per-category SDK counts (Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdkTypeCount {
+    /// SDK category.
+    pub category: SdkCategory,
+    /// SDKs observed using WebViews (≥ threshold apps).
+    pub webview: usize,
+    /// SDKs observed using CTs.
+    pub custom_tabs: usize,
+    /// SDKs observed using both.
+    pub both: usize,
+}
+
+/// One Table 7 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodCensusRow {
+    /// Method name.
+    pub method: String,
+    /// Apps with a reachable third-party call to this method.
+    pub apps: usize,
+    /// Of those, apps where the call comes from a labeled SDK package.
+    pub apps_via_top_sdks: usize,
+}
+
+/// One Figure 4 heatmap row: P(method | app uses SDKs of this category).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatmapRow {
+    /// SDK category.
+    pub category: SdkCategory,
+    /// Apps using WebView SDKs of this category (denominator).
+    pub apps: usize,
+    /// Per-method fraction, aligned with [`METHODS`].
+    pub method_fraction: [f64; 7],
+}
+
+/// One Figure 3 bar: apps per (Play category × SDK category).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryBreakdown {
+    /// Play category.
+    pub play_category: PlayCategory,
+    /// Total apps of this Play category using the mechanism via SDKs.
+    pub total: usize,
+    /// Apps per SDK category.
+    pub by_sdk_category: Vec<(SdkCategory, usize)>,
+}
+
+/// Everything the static study measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyResults {
+    /// Apps whose containers decoded and analyzed.
+    pub analyzed: usize,
+    /// Broken containers.
+    pub broken: usize,
+    /// Apps using WebViews (third-party-capable sites only).
+    pub webview_apps: usize,
+    /// Apps using Custom Tabs.
+    pub ct_apps: usize,
+    /// Apps using both.
+    pub both_apps: usize,
+    /// WebView apps whose load methods are called from labeled SDKs.
+    pub webview_apps_via_top_sdks: usize,
+    /// CT apps whose `launchUrl` is called from labeled SDKs.
+    pub ct_apps_via_top_sdks: usize,
+    /// Apps using both, both via labeled SDKs.
+    pub both_apps_via_top_sdks: usize,
+    /// Table 7 per-method rows, in [`METHODS`] order.
+    pub method_census: Vec<MethodCensusRow>,
+    /// Per-SDK usage rows, sorted by total usage descending.
+    pub sdk_usage: Vec<SdkUsageRow>,
+    /// Table 3 rows (SDKs observed with ≥ `top_sdk_threshold` apps).
+    pub sdk_type_counts: Vec<SdkTypeCount>,
+    /// Figure 4 heatmap rows.
+    pub heatmap: Vec<HeatmapRow>,
+    /// Figure 3, WebView panel (top-10 Play categories).
+    pub category_webview: Vec<CategoryBreakdown>,
+    /// Figure 3, CT panel.
+    pub category_ct: Vec<CategoryBreakdown>,
+    /// Apps with load-method calls from obfuscated packages.
+    pub obfuscated_caller_apps: usize,
+    /// Apps with load-method calls from unlabeled packages.
+    pub unlabeled_caller_apps: usize,
+    /// Custom `extends WebView` classes found across the corpus.
+    pub custom_webview_classes: usize,
+    /// Unreachable WebView sites discarded by traversal (ablation metric).
+    pub unreachable_sites_discarded: usize,
+    /// Ablation: WebView-app count if deep-link (first-party) activities
+    /// were *not* excluded — the §3.1.3 filter's effect.
+    pub webview_apps_without_deeplink_exclusion: usize,
+    /// Ablation: WebView-app count if unreachable (dead-code) sites were
+    /// counted — what a whole-graph scan without entry-point traversal
+    /// would report.
+    pub webview_apps_without_reachability: usize,
+}
+
+/// Aggregate pipeline output. `top_sdk_threshold` is the minimum number of
+/// observed apps for an SDK to appear in the per-SDK usage rows. The
+/// paper's >100-apps popularity criterion is already encoded in the
+/// catalog (every entry is a package the paper found in >100 apps), so the
+/// usual threshold is 1; rare SDKs simply may not be sampled at high scale
+/// divisors — EXPERIMENTS.md quantifies this.
+pub fn aggregate(
+    output: &PipelineOutput,
+    catalog: &SdkIndex,
+    top_sdk_threshold: usize,
+) -> StudyResults {
+    let analyses: Vec<&AppAnalysis> = output.analyzed().collect();
+
+    // Per-SDK app sets (by catalog index).
+    let mut sdk_wv_apps: HashMap<usize, usize> = HashMap::new();
+    let mut sdk_ct_apps: HashMap<usize, usize> = HashMap::new();
+    let sdk_position: HashMap<*const wla_sdk_index::Sdk, usize> = catalog
+        .sdks()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s as *const _, i))
+        .collect();
+
+    let mut webview_apps = 0usize;
+    let mut ct_apps = 0usize;
+    let mut both_apps = 0usize;
+    let mut wv_via = 0usize;
+    let mut ct_via = 0usize;
+    let mut both_via = 0usize;
+    let mut obfuscated_caller_apps = 0usize;
+    let mut unlabeled_caller_apps = 0usize;
+    let mut custom_webview_classes = 0usize;
+    let mut unreachable = 0usize;
+
+    let mut method_apps = [0usize; 7];
+    let mut method_via = [0usize; 7];
+
+    // Figure 4 accumulators: per SDK category, apps using it (wv) and per
+    // method, apps where that category's SDK code calls the method.
+    let mut cat_apps: BTreeMap<SdkCategory, usize> = BTreeMap::new();
+    let mut cat_method_apps: BTreeMap<SdkCategory, [usize; 7]> = BTreeMap::new();
+
+    // Figure 3 accumulators.
+    let mut play_wv: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>> = BTreeMap::new();
+    let mut play_ct: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>> = BTreeMap::new();
+
+    let mut wv_no_deeplink_excl = 0usize;
+    let mut wv_no_reach = 0usize;
+    for a in &analyses {
+        custom_webview_classes += a.custom_webview_classes.len();
+        unreachable += a.unreachable_webview_sites;
+        // Ablation counters: what naive pipelines would have reported.
+        if !a.webview_sites.is_empty() {
+            wv_no_deeplink_excl += 1;
+        }
+        if !a.webview_sites.is_empty() || a.unreachable_webview_sites > 0 {
+            wv_no_reach += 1;
+        }
+        let uses_wv = a.uses_webview();
+        let uses_ct = a.uses_custom_tabs();
+        if uses_wv {
+            webview_apps += 1;
+        }
+        if uses_ct {
+            ct_apps += 1;
+        }
+        if uses_wv && uses_ct {
+            both_apps += 1;
+        }
+
+        // Label caller packages once per app.
+        let mut app_wv_sdks: HashSet<usize> = HashSet::new();
+        let mut app_ct_sdks: HashSet<usize> = HashSet::new();
+        let mut app_obfuscated = false;
+        let mut app_unlabeled = false;
+        // Methods called, and methods called from any labeled SDK package.
+        let mut methods = [false; 7];
+        let mut methods_sdk = [false; 7];
+        // Per SDK category, methods called from that category's packages.
+        let mut methods_by_cat: HashMap<SdkCategory, [bool; 7]> = HashMap::new();
+
+        for site in a.third_party_webview() {
+            let mi = METHODS
+                .iter()
+                .position(|m| *m == site.method)
+                .expect("known method");
+            methods[mi] = true;
+            let label = site
+                .caller_package
+                .as_deref()
+                .map(|p| catalog.label(p))
+                .unwrap_or(Label::Unlabeled);
+            match label {
+                Label::Sdk(sdk) => {
+                    methods_sdk[mi] = true;
+                    methods_by_cat.entry(sdk.category).or_default()[mi] = true;
+                    if site.is_load_method {
+                        let idx = sdk_position[&(sdk as *const _)];
+                        app_wv_sdks.insert(idx);
+                    }
+                }
+                Label::Obfuscated if site.is_load_method => app_obfuscated = true,
+                Label::Unlabeled if site.is_load_method => app_unlabeled = true,
+                _ => {}
+            }
+        }
+        for site in a.third_party_ct() {
+            if site.method != wla_apk::names::CT_LAUNCH_METHOD {
+                continue;
+            }
+            let label = site
+                .caller_package
+                .as_deref()
+                .map(|p| catalog.label(p))
+                .unwrap_or(Label::Unlabeled);
+            if let Label::Sdk(sdk) = label {
+                let idx = sdk_position[&(sdk as *const _)];
+                app_ct_sdks.insert(idx);
+            }
+        }
+
+        for (i, &m) in methods.iter().enumerate() {
+            if m {
+                method_apps[i] += 1;
+            }
+            if methods_sdk[i] {
+                method_via[i] += 1;
+            }
+        }
+        for idx in &app_wv_sdks {
+            *sdk_wv_apps.entry(*idx).or_default() += 1;
+        }
+        for idx in &app_ct_sdks {
+            *sdk_ct_apps.entry(*idx).or_default() += 1;
+        }
+        if app_obfuscated {
+            obfuscated_caller_apps += 1;
+        }
+        if app_unlabeled {
+            unlabeled_caller_apps += 1;
+        }
+
+        let wv_sdk = !app_wv_sdks.is_empty();
+        let ct_sdk = !app_ct_sdks.is_empty();
+        if uses_wv && wv_sdk {
+            wv_via += 1;
+        }
+        if uses_ct && ct_sdk {
+            ct_via += 1;
+        }
+        if uses_wv && uses_ct && wv_sdk && ct_sdk {
+            both_via += 1;
+        }
+
+        // Figure 4.
+        let app_cats: HashSet<SdkCategory> = app_wv_sdks
+            .iter()
+            .map(|&i| catalog.sdks()[i].category)
+            .collect();
+        for cat in &app_cats {
+            *cat_apps.entry(*cat).or_default() += 1;
+            let row = cat_method_apps.entry(*cat).or_default();
+            if let Some(ms) = methods_by_cat.get(cat) {
+                for (i, &hit) in ms.iter().enumerate() {
+                    if hit {
+                        row[i] += 1;
+                    }
+                }
+            }
+        }
+
+        // Figure 3.
+        for cat in &app_cats {
+            *play_wv
+                .entry(a.meta.category)
+                .or_default()
+                .entry(*cat)
+                .or_default() += 1;
+        }
+        let ct_cats: HashSet<SdkCategory> = app_ct_sdks
+            .iter()
+            .map(|&i| catalog.sdks()[i].category)
+            .collect();
+        for cat in &ct_cats {
+            *play_ct
+                .entry(a.meta.category)
+                .or_default()
+                .entry(*cat)
+                .or_default() += 1;
+        }
+    }
+
+    // Per-SDK usage rows above the popularity threshold.
+    let mut sdk_usage: Vec<SdkUsageRow> = catalog
+        .sdks()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, sdk)| {
+            let wv = sdk_wv_apps.get(&i).copied().unwrap_or(0);
+            let ct = sdk_ct_apps.get(&i).copied().unwrap_or(0);
+            if wv.max(ct) >= top_sdk_threshold.max(1) && !sdk.obfuscated {
+                Some(SdkUsageRow {
+                    name: sdk.name.clone(),
+                    category: sdk.category,
+                    wv_apps: wv,
+                    ct_apps: ct,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    sdk_usage.sort_by_key(|r| std::cmp::Reverse(r.wv_apps + r.ct_apps));
+
+    // Table 3 counts.
+    let sdk_type_counts = SdkCategory::ALL
+        .iter()
+        .map(|&category| {
+            let of_cat: Vec<&SdkUsageRow> = sdk_usage
+                .iter()
+                .filter(|r| r.category == category)
+                .collect();
+            SdkTypeCount {
+                category,
+                webview: of_cat
+                    .iter()
+                    .filter(|r| r.wv_apps >= top_sdk_threshold)
+                    .count(),
+                custom_tabs: of_cat
+                    .iter()
+                    .filter(|r| r.ct_apps >= top_sdk_threshold)
+                    .count(),
+                both: of_cat
+                    .iter()
+                    .filter(|r| r.wv_apps >= top_sdk_threshold && r.ct_apps >= top_sdk_threshold)
+                    .count(),
+            }
+        })
+        .collect();
+
+    // Figure 4 rows.
+    let heatmap = cat_apps
+        .iter()
+        .map(|(&category, &apps)| {
+            let hits = cat_method_apps.get(&category).copied().unwrap_or_default();
+            let mut frac = [0f64; 7];
+            for i in 0..7 {
+                frac[i] = if apps > 0 {
+                    hits[i] as f64 / apps as f64
+                } else {
+                    0.0
+                };
+            }
+            HeatmapRow {
+                category,
+                apps,
+                method_fraction: frac,
+            }
+        })
+        .collect();
+
+    // Figure 3 top-10 panels.
+    let top10 = |map: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>>| {
+        let mut rows: Vec<CategoryBreakdown> = map
+            .into_iter()
+            .map(|(play_category, by)| {
+                let total = by.values().sum();
+                CategoryBreakdown {
+                    play_category,
+                    total,
+                    by_sdk_category: by.into_iter().collect(),
+                }
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.total));
+        rows.truncate(10);
+        rows
+    };
+
+    let method_census = METHODS
+        .iter()
+        .enumerate()
+        .map(|(i, m)| MethodCensusRow {
+            method: (*m).to_owned(),
+            apps: method_apps[i],
+            apps_via_top_sdks: method_via[i],
+        })
+        .collect();
+
+    StudyResults {
+        analyzed: analyses.len(),
+        broken: output.broken_count(),
+        webview_apps,
+        ct_apps,
+        both_apps,
+        webview_apps_via_top_sdks: wv_via,
+        ct_apps_via_top_sdks: ct_via,
+        both_apps_via_top_sdks: both_via,
+        method_census,
+        sdk_usage,
+        sdk_type_counts,
+        heatmap,
+        category_webview: top10(play_wv),
+        category_ct: top10(play_ct),
+        obfuscated_caller_apps,
+        unlabeled_caller_apps,
+        custom_webview_classes,
+        unreachable_sites_discarded: unreachable,
+        webview_apps_without_deeplink_exclusion: wv_no_deeplink_excl,
+        webview_apps_without_reachability: wv_no_reach,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_pipeline, CorpusInput, PipelineConfig};
+    use wla_corpus::{CorpusConfig, Generator};
+
+    fn study(scale: u32, seed: u64) -> (StudyResults, Vec<wla_corpus::GeneratedApp>) {
+        let catalog = SdkIndex::paper();
+        let cfg = CorpusConfig {
+            scale,
+            seed,
+            ..CorpusConfig::default()
+        };
+        let apps = Generator::new(&catalog, cfg).generate();
+        let inputs: Vec<CorpusInput> = apps
+            .iter()
+            .map(|g| CorpusInput {
+                meta: g.spec.meta.clone(),
+                bytes: g.bytes.clone(),
+            })
+            .collect();
+        let out = run_pipeline(&inputs, PipelineConfig::default());
+        let threshold = (100 / scale as usize).max(1);
+        (aggregate(&out, &catalog, threshold), apps)
+    }
+
+    #[test]
+    fn recovered_totals_match_ground_truth_exactly() {
+        let catalog = SdkIndex::paper();
+        let (results, apps) = study(400, 21);
+        let truth_wv = apps
+            .iter()
+            .filter(|g| !g.corrupted && g.spec.uses_webview(&catalog))
+            .count();
+        let truth_ct = apps
+            .iter()
+            .filter(|g| !g.corrupted && g.spec.uses_custom_tabs())
+            .count();
+        assert_eq!(results.webview_apps, truth_wv);
+        assert_eq!(results.ct_apps, truth_ct);
+        assert_eq!(results.analyzed + results.broken, apps.len());
+    }
+
+    #[test]
+    fn shares_match_paper_shape_at_scale() {
+        let (results, _) = study(100, 77);
+        let n = results.analyzed as f64;
+        let wv = results.webview_apps as f64 / n;
+        let ct = results.ct_apps as f64 / n;
+        let both = results.both_apps as f64 / n;
+        assert!((wv - 0.557).abs() < 0.05, "wv {wv}");
+        assert!((ct - 0.199).abs() < 0.05, "ct {ct}");
+        assert!((both - 0.15).abs() < 0.05, "both {both}");
+        // loadUrl dominates the method census (Table 7's ordering).
+        let census = &results.method_census;
+        assert_eq!(census[0].method, "loadUrl");
+        assert!(census[0].apps > census[1].apps);
+        // Advertising SDKs dominate WebView usage; social dominates CT.
+        let ads = results
+            .sdk_usage
+            .iter()
+            .filter(|r| r.category == SdkCategory::Advertising)
+            .map(|r| r.wv_apps)
+            .max()
+            .unwrap_or(0);
+        assert!(ads > 0);
+        let fb = results
+            .sdk_usage
+            .iter()
+            .find(|r| r.name == "Facebook")
+            .map(|r| r.ct_apps)
+            .unwrap_or(0);
+        assert!(
+            fb as f64 / results.ct_apps as f64 > 0.5,
+            "facebook {fb} of {}",
+            results.ct_apps
+        );
+    }
+
+    #[test]
+    fn heatmap_user_support_loads_local_data() {
+        let (results, _) = study(200, 5);
+        if let Some(row) = results
+            .heatmap
+            .iter()
+            .find(|r| r.category == SdkCategory::UserSupport)
+        {
+            // Figure 4 / §4.1.5: all user-support apps call
+            // loadDataWithBaseURL (index 2).
+            assert!(row.method_fraction[2] > 0.99, "{:?}", row.method_fraction);
+        }
+    }
+
+    #[test]
+    fn figure3_panels_have_at_most_ten_rows() {
+        let (results, _) = study(200, 6);
+        assert!(results.category_webview.len() <= 10);
+        assert!(results.category_ct.len() <= 10);
+        assert!(!results.category_webview.is_empty());
+    }
+
+    #[test]
+    fn dead_sites_are_counted_as_discarded() {
+        let (results, apps) = study(400, 8);
+        let truth: usize = apps
+            .iter()
+            .filter(|g| !g.corrupted && g.spec.dead_code_webview)
+            .count();
+        assert_eq!(results.unreachable_sites_discarded, truth);
+    }
+}

@@ -1,0 +1,417 @@
+//! Per-app static analysis: container → decoded artifacts → decompiled
+//! subclass map → call graph → recorded, deep-link-filtered call sites.
+
+use std::collections::HashSet;
+use wla_apk::names::package_of;
+use wla_apk::{ApkError, Dex, Sapk};
+use wla_callgraph::{entry_points, record_web_calls, CallGraph};
+use wla_corpus::playstore::AppMeta;
+use wla_decompile::{lift_dex, webview_subclasses};
+use wla_manifest::{wireformat, Manifest};
+
+/// One reachable WebView content-method call, summarized for aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebViewSiteSummary {
+    /// Method name (`loadUrl`, …).
+    pub method: String,
+    /// Binary name of the calling class.
+    pub caller_class: String,
+    /// Dotted package of the calling class (`None` for default package).
+    pub caller_package: Option<String>,
+    /// The call sits inside a deep-link (first-party) activity and is
+    /// excluded from third-party accounting.
+    pub in_deep_link_activity: bool,
+    /// Whether this is one of the three *content-populating* load methods
+    /// whose caller package the paper labels (§3.1.4).
+    pub is_load_method: bool,
+}
+
+/// One reachable Custom-Tabs interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtSiteSummary {
+    /// `launchUrl`, `build`, or `<init>`.
+    pub method: String,
+    /// Binary name of the calling class.
+    pub caller_class: String,
+    /// Dotted package of the calling class.
+    pub caller_package: Option<String>,
+    /// Deep-link exclusion flag (parallel to WebView sites).
+    pub in_deep_link_activity: bool,
+}
+
+/// The full static-analysis result for one app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppAnalysis {
+    /// Play metadata carried through for per-category aggregation.
+    pub meta: AppMeta,
+    /// Manifest package name.
+    pub package: String,
+    /// Reachable WebView call sites (deep-link ones included but flagged).
+    pub webview_sites: Vec<WebViewSiteSummary>,
+    /// Reachable CT call sites.
+    pub ct_sites: Vec<CtSiteSummary>,
+    /// Binary names of `extends WebView` classes found by decompilation.
+    pub custom_webview_classes: Vec<String>,
+    /// Unreachable WebView call sites that were discarded (kept as a count
+    /// for the traversal ablation).
+    pub unreachable_webview_sites: usize,
+}
+
+impl AppAnalysis {
+    /// Third-party WebView sites (reachable, outside deep-link activities).
+    pub fn third_party_webview(&self) -> impl Iterator<Item = &WebViewSiteSummary> {
+        self.webview_sites
+            .iter()
+            .filter(|s| !s.in_deep_link_activity)
+    }
+
+    /// Third-party CT sites.
+    pub fn third_party_ct(&self) -> impl Iterator<Item = &CtSiteSummary> {
+        self.ct_sites.iter().filter(|s| !s.in_deep_link_activity)
+    }
+
+    /// Does the app use WebViews for third-party-capable content?
+    pub fn uses_webview(&self) -> bool {
+        self.third_party_webview().next().is_some()
+    }
+
+    /// Does the app use Custom Tabs?
+    pub fn uses_custom_tabs(&self) -> bool {
+        self.third_party_ct().next().is_some()
+    }
+
+    /// Distinct method names called (third-party sites only).
+    pub fn methods_used(&self) -> HashSet<&str> {
+        self.third_party_webview()
+            .map(|s| s.method.as_str())
+            .collect()
+    }
+}
+
+/// Run the full per-app pipeline on raw container bytes.
+///
+/// Multi-dex containers are handled the way the paper's tooling handles
+/// `classes2.dex`: every dex section is decoded (one broken dex makes the
+/// whole app unanalyzable), decompiled sources are pooled for the
+/// WebView-subclass closure, and call graphs are built and traversed per
+/// dex with the records merged. Cross-dex calls resolve as framework
+/// (external) targets — sound for reachability *within* each dex, and the
+/// generator keeps behavioural chains dex-local, as R8's main-dex rules do
+/// for entry-point code in practice.
+pub fn analyze_app(meta: AppMeta, bytes: &[u8]) -> Result<AppAnalysis, ApkError> {
+    // (2) unpack the container.
+    let apk = Sapk::decode(bytes)?;
+    let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
+    let dex_blobs: Vec<&bytes::Bytes> = apk
+        .sections()
+        .iter()
+        .filter(|s| s.tag == wla_apk::SectionTag::Dex)
+        .map(|s| &s.data)
+        .collect();
+    if dex_blobs.is_empty() {
+        return Err(ApkError::MissingSection("dex"));
+    }
+    let dexes: Vec<Dex> = dex_blobs
+        .into_iter()
+        .map(|blob| Dex::decode(blob))
+        .collect::<Result<_, _>>()?;
+
+    // (3) decompile every dex and find custom WebView classes across all.
+    let mut sources = Vec::new();
+    for dex in &dexes {
+        sources.extend(lift_dex(dex));
+    }
+    let subclasses = webview_subclasses(&sources);
+
+    // Deep-link activity class set for first-party exclusion (§3.1.3).
+    let deep_link_classes: HashSet<&str> = manifest
+        .deep_link_activities()
+        .iter()
+        .map(|c| c.class_name.as_str())
+        .collect();
+
+    // (4) call graph; (5) traversal + recording — per dex, merged.
+    let mut webview_sites = Vec::new();
+    let mut ct_sites = Vec::new();
+    let mut unreachable_webview_sites = 0usize;
+    for dex in &dexes {
+        let graph = CallGraph::build(dex);
+        let roots = entry_points(&graph, &manifest);
+        let record = record_web_calls(&graph, &roots, &subclasses);
+        unreachable_webview_sites += record.webview.iter().filter(|s| !s.reachable).count();
+        webview_sites.extend(record.webview.iter().filter(|s| s.reachable).map(|s| {
+            WebViewSiteSummary {
+                method: s.method.clone(),
+                caller_package: package_of(&s.caller_class),
+                in_deep_link_activity: deep_link_classes.contains(s.caller_class.as_str()),
+                is_load_method: wla_apk::names::WEBVIEW_LOAD_METHODS.contains(&s.method.as_str()),
+                caller_class: s.caller_class.clone(),
+            }
+        }));
+        ct_sites.extend(
+            record
+                .custom_tabs
+                .iter()
+                .filter(|s| s.reachable)
+                .map(|s| CtSiteSummary {
+                    method: s.method.clone(),
+                    caller_package: package_of(&s.caller_class),
+                    in_deep_link_activity: deep_link_classes.contains(s.caller_class.as_str()),
+                    caller_class: s.caller_class.clone(),
+                }),
+        );
+    }
+
+    let mut custom_webview_classes: Vec<String> = subclasses.into_iter().collect();
+    custom_webview_classes.sort();
+
+    Ok(AppAnalysis {
+        package: manifest.package.clone(),
+        meta,
+        webview_sites,
+        ct_sites,
+        custom_webview_classes,
+        unreachable_webview_sites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wla_corpus::ecosystem::{Ecosystem, MethodSet};
+    use wla_corpus::lowering::lower;
+    use wla_corpus::playstore::PlayCategory;
+    use wla_corpus::EcosystemParams;
+    use wla_sdk_index::SdkIndex;
+
+    fn meta() -> AppMeta {
+        AppMeta {
+            package: "com.testapp.example".into(),
+            on_play_store: true,
+            downloads: 1_000_000,
+            category: PlayCategory::Tools,
+            last_update_day: 800,
+        }
+    }
+
+    fn sample_spec(seed: u64) -> (SdkIndex, wla_corpus::AppSpec) {
+        let catalog = SdkIndex::paper();
+        let eco = Ecosystem::new(&catalog, EcosystemParams::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = eco.sample_app(&mut rng, meta());
+        (catalog, spec)
+    }
+
+    #[test]
+    fn recovers_ground_truth_per_app() {
+        // Over a batch of sampled apps, the pipeline's webview/ct verdicts
+        // must exactly match the planted ground truth.
+        for seed in 0..60 {
+            let (catalog, spec) = sample_spec(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = lower(&spec, &catalog, &mut rng).encode();
+            let analysis = analyze_app(meta(), &bytes).expect("analyzes");
+            assert_eq!(
+                analysis.uses_webview(),
+                spec.uses_webview(&catalog),
+                "webview mismatch at seed {seed}"
+            );
+            assert_eq!(
+                analysis.uses_custom_tabs(),
+                spec.uses_custom_tabs(),
+                "ct mismatch at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn method_census_matches_ground_truth() {
+        for seed in 0..40 {
+            let (catalog, spec) = sample_spec(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = lower(&spec, &catalog, &mut rng).encode();
+            let analysis = analyze_app(meta(), &bytes).unwrap();
+            let truth: HashSet<&str> = spec.method_census(&catalog).names().collect();
+            let measured = analysis.methods_used();
+            assert_eq!(measured, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dead_code_not_counted() {
+        let (catalog, mut spec) = sample_spec(1);
+        spec.sdks.clear();
+        spec.direct_wv_methods = MethodSet::EMPTY;
+        spec.direct_wv_subclass = false;
+        spec.direct_ct = false;
+        spec.deep_link = None;
+        spec.dead_code_webview = true;
+        let mut rng = StdRng::seed_from_u64(1);
+        let bytes = lower(&spec, &catalog, &mut rng).encode();
+        let analysis = analyze_app(meta(), &bytes).unwrap();
+        assert!(!analysis.uses_webview());
+        assert_eq!(analysis.unreachable_webview_sites, 1);
+    }
+
+    #[test]
+    fn deep_link_webview_excluded() {
+        let (catalog, mut spec) = sample_spec(2);
+        spec.sdks.clear();
+        spec.direct_wv_methods = MethodSet::EMPTY;
+        spec.direct_wv_subclass = false;
+        spec.direct_ct = false;
+        spec.dead_code_webview = false;
+        spec.deep_link = Some(wla_corpus::DeepLinkSpec {
+            host: "firstparty.example.com".into(),
+            uses_webview: true,
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let bytes = lower(&spec, &catalog, &mut rng).encode();
+        let analysis = analyze_app(meta(), &bytes).unwrap();
+        // The loadUrl call exists and is reachable, but it's first-party.
+        assert_eq!(analysis.webview_sites.len(), 1);
+        assert!(analysis.webview_sites[0].in_deep_link_activity);
+        assert!(!analysis.uses_webview());
+    }
+
+    #[test]
+    fn subclass_attribution_works() {
+        let (catalog, mut spec) = sample_spec(3);
+        spec.sdks.clear();
+        spec.direct_wv_methods = MethodSet::load_url_only();
+        spec.direct_wv_subclass = true;
+        spec.direct_ct = false;
+        spec.deep_link = None;
+        spec.dead_code_webview = false;
+        let mut rng = StdRng::seed_from_u64(3);
+        let bytes = lower(&spec, &catalog, &mut rng).encode();
+        let analysis = analyze_app(meta(), &bytes).unwrap();
+        assert!(analysis.uses_webview());
+        assert_eq!(
+            analysis.custom_webview_classes,
+            vec!["com/testapp/example/web/AppWebView".to_owned()]
+        );
+    }
+
+    #[test]
+    fn corrupted_bytes_error() {
+        let (catalog, spec) = sample_spec(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let bytes = lower(&spec, &catalog, &mut rng).encode();
+        let bad = wla_apk::corrupt::corrupt(
+            &bytes,
+            wla_apk::corrupt::CorruptionKind::Truncate { keep_num: 100 },
+        );
+        assert!(analyze_app(meta(), &bad).is_err());
+    }
+
+    #[test]
+    fn sdk_caller_packages_extracted() {
+        let (catalog, mut spec) = sample_spec(5);
+        // Force exactly AppLovin.
+        let applovin = catalog
+            .sdks()
+            .iter()
+            .position(|s| s.name == "AppLovin")
+            .unwrap();
+        spec.sdks = vec![wla_corpus::SdkUse {
+            sdk_idx: applovin,
+            webview: true,
+            custom_tabs: false,
+        }];
+        spec.sdk_category_methods = vec![(
+            wla_sdk_index::SdkCategory::Advertising,
+            MethodSet::load_url_only(),
+        )];
+        spec.direct_wv_methods = MethodSet::EMPTY;
+        spec.direct_wv_subclass = false;
+        spec.direct_ct = false;
+        spec.deep_link = None;
+        spec.dead_code_webview = false;
+        let mut rng = StdRng::seed_from_u64(5);
+        let bytes = lower(&spec, &catalog, &mut rng).encode();
+        let analysis = analyze_app(meta(), &bytes).unwrap();
+        let load_packages: HashSet<_> = analysis
+            .third_party_webview()
+            .filter(|s| s.is_load_method)
+            .filter_map(|s| s.caller_package.clone())
+            .collect();
+        assert!(
+            load_packages.iter().all(|p| p.starts_with("com.applovin")),
+            "{load_packages:?}"
+        );
+        assert!(!load_packages.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod multidex_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wla_corpus::ecosystem::Ecosystem;
+    use wla_corpus::lowering::lower;
+    use wla_corpus::playstore::PlayCategory;
+    use wla_corpus::EcosystemParams;
+    use wla_sdk_index::SdkIndex;
+
+    fn meta() -> AppMeta {
+        AppMeta {
+            package: "com.multidex.app".into(),
+            on_play_store: true,
+            downloads: 900_000_000,
+            category: PlayCategory::Social,
+            last_update_day: 1_000,
+        }
+    }
+
+    /// Build an app guaranteed to be multi-dex (noise_classes >= 6) with
+    /// dead code in the secondary dex.
+    fn multidex_app() -> (SdkIndex, wla_corpus::AppSpec, Vec<u8>) {
+        let catalog = SdkIndex::paper();
+        let eco = Ecosystem::new(&catalog, EcosystemParams::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut spec = eco.sample_app(&mut rng, meta());
+        spec.noise_classes = 8;
+        spec.dead_code_webview = true;
+        let bytes = lower(&spec, &catalog, &mut rng).encode().to_vec();
+        (catalog, spec, bytes)
+    }
+
+    #[test]
+    fn container_actually_has_two_dex_sections() {
+        let (_, _, bytes) = multidex_app();
+        let apk = Sapk::decode(&bytes).unwrap();
+        let dex_sections = apk
+            .sections()
+            .iter()
+            .filter(|s| s.tag == wla_apk::SectionTag::Dex)
+            .count();
+        assert_eq!(dex_sections, 2);
+    }
+
+    #[test]
+    fn multidex_analysis_matches_ground_truth() {
+        let (catalog, spec, bytes) = multidex_app();
+        let analysis = analyze_app(meta(), &bytes).unwrap();
+        assert_eq!(analysis.uses_webview(), spec.uses_webview(&catalog));
+        assert_eq!(analysis.uses_custom_tabs(), spec.uses_custom_tabs());
+        let truth: HashSet<&str> = spec.method_census(&catalog).names().collect();
+        assert_eq!(analysis.methods_used(), truth);
+        // The dead class lives in classes2.dex and stays dead.
+        assert_eq!(analysis.unreachable_webview_sites, 1);
+    }
+
+    #[test]
+    fn corrupt_secondary_dex_breaks_the_app() {
+        let (_, _, bytes) = multidex_app();
+        // Flip a byte near the end of the container, where the secondary
+        // dex and resources live; container checksum catches it.
+        let mut bad = bytes.clone();
+        let i = bad.len() - 40;
+        bad[i] ^= 0x20;
+        assert!(analyze_app(meta(), &bad).is_err());
+    }
+}

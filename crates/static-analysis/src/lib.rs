@@ -1,0 +1,31 @@
+//! # wla-static — the paper's §3.1 static analysis pipeline
+//!
+//! Implements Figure 1 end-to-end over SAPK containers:
+//!
+//! 1. metadata filter (done upstream by `wla-corpus`'s [`FilterSpec`]) —
+//!    `(2)` download the most recent APK;
+//! 2. `(3)` decompile and extract `extends WebView` classes
+//!    ([`wla_decompile`]);
+//! 3. `(4)` generate the whole-app call graph ([`wla_callgraph`]);
+//! 4. `(5)` traverse from every component entry point and record each
+//!    WebView content-method call and Custom-Tabs interaction, excluding
+//!    deep-link (first-party) activities;
+//! 5. §3.1.4 — extract the Java package at `loadUrl` / `loadData` /
+//!    `loadDataWithBaseURL` / `launchUrl` call sites and label it against
+//!    the SDK index;
+//! 6. aggregate into the paper's tables and figures.
+//!
+//! [`FilterSpec`]: wla_corpus::FilterSpec
+
+pub mod aggregate;
+pub mod analyze;
+pub mod pipeline;
+pub mod privacy;
+
+pub use aggregate::{
+    aggregate, CategoryBreakdown, HeatmapRow, MethodCensusRow, SdkTypeCount, SdkUsageRow,
+    StudyResults,
+};
+pub use analyze::{analyze_app, AppAnalysis, CtSiteSummary, WebViewSiteSummary};
+pub use pipeline::{run_pipeline, CorpusInput, PipelineConfig, PipelineOutput};
+pub use privacy::{grade_distribution, privacy_label, ExposureGrade, PrivacyLabel};

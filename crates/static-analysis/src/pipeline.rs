@@ -1,0 +1,153 @@
+//! Parallel corpus runner.
+//!
+//! Static analysis is CPU-bound, so the runner is a fixed pool of scoped
+//! crossbeam threads pulling app indices from an atomic counter — no async
+//! runtime, per the project's networking guides ("use threads for CPU-bound
+//! work"). Results keep corpus order regardless of scheduling.
+
+use crate::analyze::{analyze_app, AppAnalysis};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wla_apk::ApkError;
+use wla_corpus::playstore::AppMeta;
+
+/// One corpus entry: the metadata the Play Store provides plus the raw
+/// container bytes fetched from the archive.
+#[derive(Debug, Clone)]
+pub struct CorpusInput {
+    /// Play metadata.
+    pub meta: AppMeta,
+    /// SAPK container bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// Worker thread count (0 ⇒ available parallelism).
+    pub workers: usize,
+}
+
+impl PipelineConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Pipeline output: per-app results in input order plus failure accounting.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// Per-app analysis or decode error, in input order.
+    pub results: Vec<Result<AppAnalysis, ApkError>>,
+}
+
+impl PipelineOutput {
+    /// Successfully analyzed apps.
+    pub fn analyzed(&self) -> impl Iterator<Item = &AppAnalysis> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Number of successfully analyzed apps.
+    pub fn analyzed_count(&self) -> usize {
+        self.analyzed().count()
+    }
+
+    /// Number of broken containers (Table 2's 242).
+    pub fn broken_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_err()).count()
+    }
+}
+
+/// Analyze every corpus entry, in parallel.
+pub fn run_pipeline(inputs: &[CorpusInput], config: PipelineConfig) -> PipelineOutput {
+    let n = inputs.len();
+    let mut slots: Vec<Option<Result<AppAnalysis, ApkError>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    let workers = config.effective_workers().min(n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let input = &inputs[i];
+                let result = analyze_app(input.meta.clone(), &input.bytes);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("analysis worker panicked");
+
+    let results = slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect();
+    PipelineOutput { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_corpus::{CorpusConfig, Generator};
+    use wla_sdk_index::SdkIndex;
+
+    fn inputs(scale: u32, seed: u64, corrupt: f64) -> Vec<CorpusInput> {
+        let catalog = SdkIndex::paper();
+        let cfg = CorpusConfig {
+            scale,
+            seed,
+            corrupt_fraction: corrupt,
+            ..CorpusConfig::default()
+        };
+        Generator::new(&catalog, cfg)
+            .generate()
+            .into_iter()
+            .map(|g| CorpusInput {
+                meta: g.spec.meta.clone(),
+                bytes: g.bytes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let ins = inputs(2_000, 11, 0.1);
+        let par = run_pipeline(&ins, PipelineConfig { workers: 8 });
+        let ser = run_pipeline(&ins, PipelineConfig { workers: 1 });
+        assert_eq!(par.results.len(), ser.results.len());
+        for (a, b) in par.results.iter().zip(&ser.results) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broken_fraction_counted() {
+        let ins = inputs(2_000, 3, 0.25);
+        let out = run_pipeline(&ins, PipelineConfig::default());
+        assert_eq!(out.results.len(), ins.len());
+        assert!(out.broken_count() > 0);
+        assert_eq!(out.analyzed_count() + out.broken_count(), ins.len());
+    }
+
+    #[test]
+    fn empty_corpus_ok() {
+        let out = run_pipeline(&[], PipelineConfig::default());
+        assert_eq!(out.results.len(), 0);
+        assert_eq!(out.broken_count(), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! A small arena-based DOM.
+//!
+//! Nodes live in a flat arena addressed by [`NodeId`]; elements carry a tag,
+//! attributes, and child lists; text nodes carry their content. The
+//! operations exposed are the ones Table 9's Web APIs need:
+//! `getElementById`, `createElement`, `querySelectorAll` (tag / `#id` /
+//! `.class` / `*` selectors), `getElementsByTagName`, `insertBefore`,
+//! `hasAttribute`, `getAttribute`, plus tag-frequency counting and text
+//! extraction for the simhash/cloaking effects.
+
+use std::collections::BTreeMap;
+
+/// Index of a node in its document's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// One DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with a tag, attributes, and children.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attribute map.
+        attrs: BTreeMap<String, String>,
+        /// Child nodes in order.
+        children: Vec<NodeId>,
+        /// Parent, if attached.
+        parent: Option<NodeId>,
+    },
+    /// A text node.
+    Text {
+        /// Content.
+        content: String,
+        /// Parent, if attached.
+        parent: Option<NodeId>,
+    },
+}
+
+/// A DOM document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// New document with an `<html><head/><body/></html>` skeleton.
+    pub fn new() -> Document {
+        let mut doc = Document {
+            nodes: Vec::new(),
+            root: NodeId(0),
+        };
+        let html = doc.alloc_element("html");
+        doc.root = html;
+        let head = doc.alloc_element("head");
+        let body = doc.alloc_element("body");
+        doc.append_child(html, head);
+        doc.append_child(html, body);
+        doc
+    }
+
+    /// Root element (`<html>`).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The `<body>` element.
+    pub fn body(&self) -> Option<NodeId> {
+        self.get_elements_by_tag_name("body").first().copied()
+    }
+
+    /// The `<head>` element.
+    pub fn head(&self) -> Option<NodeId> {
+        self.get_elements_by_tag_name("head").first().copied()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes in the arena (including detached ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Allocate a detached element.
+    pub fn alloc_element(&mut self, tag: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+            parent: None,
+        });
+        id
+    }
+
+    /// Allocate a detached text node.
+    pub fn alloc_text(&mut self, content: &str) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node::Text {
+            content: content.to_owned(),
+            parent: None,
+        });
+        id
+    }
+
+    /// Set an attribute.
+    pub fn set_attr(&mut self, id: NodeId, name: &str, value: &str) {
+        if let Node::Element { attrs, .. } = &mut self.nodes[id.0] {
+            attrs.insert(name.to_ascii_lowercase(), value.to_owned());
+        }
+    }
+
+    /// Get an attribute.
+    pub fn get_attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match self.node(id) {
+            Node::Element { attrs, .. } => {
+                attrs.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+            }
+            Node::Text { .. } => None,
+        }
+    }
+
+    /// Does the element carry the attribute?
+    pub fn has_attr(&self, id: NodeId, name: &str) -> bool {
+        self.get_attr(id, name).is_some()
+    }
+
+    /// Tag of an element node.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match self.node(id) {
+            Node::Element { tag, .. } => Some(tag.as_str()),
+            Node::Text { .. } => None,
+        }
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        match self.node(id) {
+            Node::Element { parent, .. } | Node::Text { parent, .. } => *parent,
+        }
+    }
+
+    /// Children of an element.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match self.node(id) {
+            Node::Element { children, .. } => children,
+            Node::Text { .. } => &[],
+        }
+    }
+
+    /// Append `child` to `parent`, detaching it from any previous parent.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        self.detach(child);
+        if let Node::Element { children, .. } = &mut self.nodes[parent.0] {
+            children.push(child);
+        }
+        self.set_parent(child, Some(parent));
+    }
+
+    /// Insert `node` into `parent` immediately before `reference`.
+    /// Falls back to append when `reference` is not a child of `parent`
+    /// (matching DOM semantics loosely but safely).
+    pub fn insert_before(&mut self, parent: NodeId, node: NodeId, reference: NodeId) {
+        self.detach(node);
+        if let Node::Element { children, .. } = &mut self.nodes[parent.0] {
+            match children.iter().position(|&c| c == reference) {
+                Some(pos) => children.insert(pos, node),
+                None => children.push(node),
+            }
+        }
+        self.set_parent(node, Some(parent));
+    }
+
+    fn detach(&mut self, id: NodeId) {
+        if let Some(old) = self.parent(id) {
+            if let Node::Element { children, .. } = &mut self.nodes[old.0] {
+                children.retain(|&c| c != id);
+            }
+        }
+        self.set_parent(id, None);
+    }
+
+    fn set_parent(&mut self, id: NodeId, parent: Option<NodeId>) {
+        match &mut self.nodes[id.0] {
+            Node::Element { parent: p, .. } | Node::Text { parent: p, .. } => *p = parent,
+        }
+    }
+
+    /// Depth-first traversal from the root (attached nodes only).
+    pub fn walk(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let children = self.children(id);
+            for &c in children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// First element with `id="..."`.
+    pub fn get_element_by_id(&self, id_value: &str) -> Option<NodeId> {
+        self.walk()
+            .into_iter()
+            .find(|&n| self.get_attr(n, "id") == Some(id_value))
+    }
+
+    /// All attached elements with the tag (or every element for `*`).
+    pub fn get_elements_by_tag_name(&self, tag: &str) -> Vec<NodeId> {
+        let tag = tag.to_ascii_lowercase();
+        self.walk()
+            .into_iter()
+            .filter(|&n| match self.tag(n) {
+                Some(t) => tag == "*" || t == tag,
+                None => false,
+            })
+            .collect()
+    }
+
+    /// `querySelectorAll` for the selector subset: `*`, `tag`, `#id`,
+    /// `.class`, and comma-separated unions thereof.
+    pub fn query_selector_all(&self, selector: &str) -> Vec<NodeId> {
+        let parts: Vec<&str> = selector.split(',').map(str::trim).collect();
+        self.walk()
+            .into_iter()
+            .filter(|&n| {
+                parts.iter().any(|sel| match self.tag(n) {
+                    Some(tag) => match sel.strip_prefix('#') {
+                        Some(id) => self.get_attr(n, "id") == Some(id),
+                        None => match sel.strip_prefix('.') {
+                            Some(class) => self
+                                .get_attr(n, "class")
+                                .is_some_and(|c| c.split_whitespace().any(|x| x == class)),
+                            None => *sel == "*" || tag.eq_ignore_ascii_case(sel),
+                        },
+                    },
+                    None => false,
+                })
+            })
+            .collect()
+    }
+
+    /// Frequency dictionary of attached element tags — what Facebook's
+    /// injected JS returns (Table 8: "Returns DOM Tag Counts").
+    pub fn tag_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for n in self.walk() {
+            if let Some(tag) = self.tag(n) {
+                *counts.entry(tag.to_owned()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Concatenated text content of the attached tree.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in self.walk() {
+            if let Node::Text { content, .. } = self.node(n) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(content.trim());
+            }
+        }
+        out
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Document::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new();
+        let body = d.body().unwrap();
+        let div = d.alloc_element("div");
+        d.set_attr(div, "id", "main");
+        d.set_attr(div, "class", "container wide");
+        d.append_child(body, div);
+        let p = d.alloc_element("p");
+        d.append_child(div, p);
+        let t = d.alloc_text("hello world");
+        d.append_child(p, t);
+        let s = d.alloc_element("script");
+        d.set_attr(s, "src", "https://cdn.example/app.js");
+        d.append_child(body, s);
+        d
+    }
+
+    #[test]
+    fn skeleton_exists() {
+        let d = Document::new();
+        assert!(d.body().is_some());
+        assert!(d.head().is_some());
+        assert_eq!(d.tag(d.root()), Some("html"));
+    }
+
+    #[test]
+    fn id_and_tag_queries() {
+        let d = sample();
+        assert!(d.get_element_by_id("main").is_some());
+        assert!(d.get_element_by_id("missing").is_none());
+        assert_eq!(d.get_elements_by_tag_name("p").len(), 1);
+        assert_eq!(d.get_elements_by_tag_name("*").len(), 6); // html head body div p script
+    }
+
+    #[test]
+    fn selector_queries() {
+        let d = sample();
+        assert_eq!(d.query_selector_all("#main").len(), 1);
+        assert_eq!(d.query_selector_all(".container").len(), 1);
+        assert_eq!(d.query_selector_all(".wide").len(), 1);
+        assert_eq!(d.query_selector_all(".missing").len(), 0);
+        assert_eq!(d.query_selector_all("p, script").len(), 2);
+        assert_eq!(d.query_selector_all("*").len(), 6);
+    }
+
+    #[test]
+    fn insert_before_orders_children() {
+        let mut d = sample();
+        let body = d.body().unwrap();
+        let first = d.children(body)[0];
+        let banner = d.alloc_element("aside");
+        d.insert_before(body, banner, first);
+        assert_eq!(d.children(body)[0], banner);
+        assert_eq!(d.parent(banner), Some(body));
+    }
+
+    #[test]
+    fn insert_before_missing_reference_appends() {
+        let mut d = sample();
+        let body = d.body().unwrap();
+        let detached_ref = d.alloc_element("span");
+        let node = d.alloc_element("em");
+        d.insert_before(body, node, detached_ref);
+        assert_eq!(*d.children(body).last().unwrap(), node);
+    }
+
+    #[test]
+    fn reparenting_detaches() {
+        let mut d = sample();
+        let div = d.get_element_by_id("main").unwrap();
+        let p = d.children(div)[0];
+        let head = d.head().unwrap();
+        d.append_child(head, p);
+        assert!(d.children(div).is_empty());
+        assert_eq!(d.parent(p), Some(head));
+    }
+
+    #[test]
+    fn tag_counts_and_text() {
+        let d = sample();
+        let counts = d.tag_counts();
+        assert_eq!(counts["div"], 1);
+        assert_eq!(counts["html"], 1);
+        assert_eq!(d.text_content(), "hello world");
+    }
+}

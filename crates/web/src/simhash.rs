@@ -1,0 +1,133 @@
+//! 64-bit SimHash — the locality-sensitive hash Facebook's IAB computes
+//! over page text and DOM elements to detect client-side cloaking
+//! (Table 8, after Duan et al.'s Cloaker Catcher).
+//!
+//! Similar token streams map to hashes with small Hamming distance; the
+//! property tests check both locality (small edits → small distance) and
+//! separation (unrelated streams → large distance, in expectation).
+
+/// FNV-1a, used as the per-token 64-bit feature hash.
+fn fnv1a(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SimHash over a token stream: sum per-bit votes of each token's feature
+/// hash, then take the sign.
+pub fn simhash64<'a, I: IntoIterator<Item = &'a str>>(tokens: I) -> u64 {
+    let mut votes = [0i64; 64];
+    let mut any = false;
+    for token in tokens {
+        any = true;
+        let h = fnv1a(token);
+        for (bit, vote) in votes.iter_mut().enumerate() {
+            if h & (1u64 << bit) != 0 {
+                *vote += 1;
+            } else {
+                *vote -= 1;
+            }
+        }
+    }
+    if !any {
+        return 0;
+    }
+    let mut out = 0u64;
+    for (bit, &vote) in votes.iter().enumerate() {
+        if vote > 0 {
+            out |= 1u64 << bit;
+        }
+    }
+    out
+}
+
+/// Hamming distance between two hashes.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Convenience: simhash of whitespace-split text.
+pub fn simhash_text(text: &str) -> u64 {
+    simhash64(text.split_whitespace())
+}
+
+/// Cloaking verdict: pages whose simhashes differ by more than `threshold`
+/// bits are considered different content (the cloaking signal).
+pub fn looks_cloaked(reference: u64, observed: u64, threshold: u32) -> bool {
+    hamming(reference, observed) > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_streams_identical_hash() {
+        let a = simhash_text("the quick brown fox jumps over the lazy dog");
+        let b = simhash_text("the quick brown fox jumps over the lazy dog");
+        assert_eq!(a, b);
+        assert_eq!(hamming(a, b), 0);
+    }
+
+    #[test]
+    fn small_edit_small_distance() {
+        let base: Vec<String> = (0..200).map(|i| format!("token{i}")).collect();
+        let mut edited = base.clone();
+        edited[5] = "changed".into();
+        edited[100] = "words".into();
+        let a = simhash64(base.iter().map(String::as_str));
+        let b = simhash64(edited.iter().map(String::as_str));
+        assert!(hamming(a, b) <= 12, "distance {}", hamming(a, b));
+    }
+
+    #[test]
+    fn unrelated_streams_far_apart() {
+        let a: Vec<String> = (0..200).map(|i| format!("alpha{i}")).collect();
+        let b: Vec<String> = (0..200).map(|i| format!("omega{i}")).collect();
+        let d = hamming(
+            simhash64(a.iter().map(String::as_str)),
+            simhash64(b.iter().map(String::as_str)),
+        );
+        assert!(d >= 16, "distance {d}");
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        assert_eq!(simhash64(std::iter::empty::<&str>()), 0);
+    }
+
+    #[test]
+    fn cloaking_verdict() {
+        let served = simhash_text("buy cheap meds online now click here fast");
+        let reference = simhash_text("family photo album spring flowers garden");
+        assert!(looks_cloaked(reference, served, 10));
+        assert!(!looks_cloaked(reference, reference, 10));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hamming_symmetric(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(hamming(a, b), hamming(b, a));
+            prop_assert_eq!(hamming(a, a), 0);
+        }
+
+        #[test]
+        fn prop_deterministic(tokens in proptest::collection::vec("[a-z]{1,8}", 0..50)) {
+            let a = simhash64(tokens.iter().map(String::as_str));
+            let b = simhash64(tokens.iter().map(String::as_str));
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_single_token_hash_matches_feature_sign(token in "[a-z]{1,12}") {
+            // With one token every vote is ±1, so the simhash equals the
+            // token's feature hash.
+            let h = simhash64([token.as_str()]);
+            prop_assert_eq!(h, super::fnv1a(&token));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! IAB inspector: instrument one app's WebView-based In-App Browser on the
+//! controlled page, exactly as §3.2.2 does — Frida-style hooks on every
+//! WebView method, a measurement server receiving Web-API beacons over
+//! real loopback HTTP, and per-instance netlog capture.
+//!
+//! ```sh
+//! cargo run --release --example iab_inspector -- com.facebook.katana
+//! cargo run --release --example iab_inspector -- kik.android
+//! ```
+
+use whatcha_lookin_at::wla_device::iab::{all_profiles, profile_for};
+use whatcha_lookin_at::wla_dynamic::iab_study::study_app;
+
+fn main() {
+    let package = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "com.facebook.katana".to_owned());
+    let Some(profile) = profile_for(&package) else {
+        eprintln!("unknown package {package}; known WebView-IAB apps:");
+        for p in all_profiles() {
+            eprintln!("  {:22} {}", p.package, p.app_name);
+        }
+        std::process::exit(1);
+    };
+
+    println!(
+        "instrumenting {}'s IAB ({} surface) on the controlled page …\n",
+        profile.app_name, profile.surface
+    );
+    let report = study_app(&profile, 1);
+
+    println!("— hooked WebView calls (Frida analog) —");
+    for call in &report.hooked_calls {
+        let args = call
+            .args
+            .iter()
+            .map(|a| {
+                if a.len() > 64 {
+                    format!("{}…", &a[..64])
+                } else {
+                    a.clone()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  {}({})", call.method, args);
+    }
+
+    println!("\n— JS bridges exposed —");
+    if report.bridges.is_empty() {
+        println!("  (none)");
+    } else {
+        for b in &report.bridges {
+            println!(
+                "  {b}{}",
+                if report.obfuscated_bridge {
+                    "  [obfuscated class]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    println!("\n— inferred intents —");
+    for intent in &report.inferred_intents {
+        println!("  {intent}");
+    }
+
+    println!("\n— Web APIs recorded by the measurement server (Table 9) —");
+    if report.web_api_usage.is_empty() {
+        println!("  (none — no Web API usage reached the server)");
+    } else {
+        for (iface, method) in &report.web_api_usage {
+            println!("  {iface}.{method}");
+        }
+    }
+
+    if let Some(redirector) = &report.redirector {
+        println!("\n— redirector observed —\n  {redirector}");
+    }
+
+    println!("\n— distinct hosts contacted (netlog) —");
+    for host in &report.hosts {
+        println!("  {host}");
+    }
+}

@@ -1,0 +1,193 @@
+//! `wla` — command-line front end for the reproduction.
+//!
+//! ```text
+//! wla static  [--scale N] [--seed N]   run the §3.1 static campaign
+//! wla funnel  [--seed N]               run the Table 2 metadata funnel
+//! wla dynamic                          run the §3.2 dynamic campaign
+//! wla crawl   [APP ...]                run the 100-site crawl (default: LinkedIn Kik)
+//! wla labels  [--scale N]              emit privacy nutrition labels
+//! wla all     [--scale N]              everything, with comparisons
+//! ```
+
+use whatcha_lookin_at::wla_report::thousands;
+use whatcha_lookin_at::wla_static::{grade_distribution, privacy_label};
+use whatcha_lookin_at::{experiments, Study};
+
+struct Args {
+    command: String,
+    scale: u32,
+    seed: u64,
+    json: bool,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        scale: 100,
+        seed: 0xDA7A_5EED,
+        json: false,
+        rest: Vec::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                if let Some(v) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    args.scale = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    args.seed = v;
+                    i += 1;
+                }
+            }
+            "--json" => args.json = true,
+            other if args.command.is_empty() => args.command = other.to_owned(),
+            other => args.rest.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wla <static|funnel|dynamic|crawl|labels|all> [--scale N] [--seed N] [--json] [args…]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let study = Study::new(args.scale, args.seed);
+    let print_exp = |exp: &experiments::Experiment| {
+        if args.json {
+            println!(
+                "{}",
+                whatcha_lookin_at::wla_report::json::comparison_json(&exp.comparison)
+            );
+        } else {
+            print_text(exp);
+        }
+    };
+
+    match args.command.as_str() {
+        "static" => {
+            eprintln!("static campaign at scale 1:{} …", study.scale);
+            let run = study.run_static();
+            for exp in [
+                experiments::table3(&study, &run),
+                experiments::table4(&study, &run),
+                experiments::table5(&study, &run),
+                experiments::table7(&study, &run),
+                experiments::fig3(&study, &run),
+                experiments::fig4(&study, &run),
+            ] {
+                print_exp(&exp);
+            }
+        }
+        "funnel" => {
+            let run = study.run_static();
+            let funnel = study.run_funnel(&run);
+            print_exp(&experiments::table2(&study, &funnel));
+        }
+        "dynamic" => {
+            let run = study.run_dynamic();
+            for exp in [
+                experiments::table6(&run),
+                experiments::table8(&run),
+                experiments::table9(&run),
+            ] {
+                print_exp(&exp);
+            }
+        }
+        "crawl" => {
+            let apps: Vec<&str> = if args.rest.is_empty() {
+                vec!["LinkedIn", "Kik"]
+            } else {
+                args.rest.iter().map(String::as_str).collect()
+            };
+            eprintln!("crawling 100 sites through {apps:?} + baseline …");
+            let run = study.run_crawl(Some(&apps));
+            print_exp(&experiments::fig6(&run));
+            print_exp(&experiments::fig7());
+        }
+        "labels" => {
+            eprintln!("deriving privacy labels at scale 1:{} …", study.scale);
+            let run = study.run_static();
+            let analyses: Vec<_> = {
+                // Re-run analysis output through the label derivation.
+                let inputs: Vec<whatcha_lookin_at::wla_static::CorpusInput> = run
+                    .corpus
+                    .iter()
+                    .map(|g| whatcha_lookin_at::wla_static::CorpusInput {
+                        meta: g.spec.meta.clone(),
+                        bytes: g.bytes.clone(),
+                    })
+                    .collect();
+                let out = whatcha_lookin_at::wla_static::run_pipeline(
+                    &inputs,
+                    whatcha_lookin_at::wla_static::PipelineConfig::default(),
+                );
+                out.analyzed()
+                    .map(|a| privacy_label(a, &study.catalog))
+                    .collect()
+            };
+            println!(
+                "privacy-label grade distribution over {} apps:",
+                analyses.len()
+            );
+            for (grade, n) in grade_distribution(&analyses) {
+                println!(
+                    "  {:45} {:>6} apps (×{} ≈ {})",
+                    grade.label(),
+                    n,
+                    study.scale,
+                    thousands(n as u64 * study.scale as u64)
+                );
+            }
+            println!("\nexample labels:");
+            for label in analyses.iter().take(3) {
+                println!("{}", label.render());
+            }
+        }
+        "all" => {
+            let static_run = study.run_static();
+            let funnel = study.run_funnel(&static_run);
+            let dynamic_run = study.run_dynamic();
+            let crawl_run = study.run_crawl(None);
+            for exp in [
+                experiments::table2(&study, &funnel),
+                experiments::table3(&study, &static_run),
+                experiments::table4(&study, &static_run),
+                experiments::table5(&study, &static_run),
+                experiments::table6(&dynamic_run),
+                experiments::table7(&study, &static_run),
+                experiments::table8(&dynamic_run),
+                experiments::table9(&dynamic_run),
+                experiments::fig3(&study, &static_run),
+                experiments::fig4(&study, &static_run),
+                experiments::fig6(&crawl_run),
+                experiments::fig7(),
+            ] {
+                print_exp(&exp);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn print_text(exp: &experiments::Experiment) {
+    println!("=== {} ===\n", exp.id);
+    if !exp.table.headers.is_empty() || !exp.table.rows.is_empty() {
+        println!("{}", exp.table.render());
+    }
+    for fig in &exp.figures {
+        println!("{fig}");
+    }
+    println!("{}", exp.comparison.to_table().render());
+}

@@ -1,0 +1,105 @@
+//! Metamorphic properties of the pipeline: transformations of an app that
+//! must not (or must, in a precise way) change the analysis verdicts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whatcha_lookin_at::wla_corpus::ecosystem::{Ecosystem, EcosystemParams, MethodSet};
+use whatcha_lookin_at::wla_corpus::lowering::lower;
+use whatcha_lookin_at::wla_corpus::playstore::{AppMeta, PlayCategory};
+use whatcha_lookin_at::wla_sdk_index::SdkIndex;
+use whatcha_lookin_at::wla_static::analyze_app;
+
+fn meta() -> AppMeta {
+    AppMeta {
+        package: "com.meta.morphic".into(),
+        on_play_store: true,
+        downloads: 3_000_000,
+        category: PlayCategory::Entertainment,
+        last_update_day: 700,
+    }
+}
+
+fn spec(seed: u64) -> (SdkIndex, whatcha_lookin_at::wla_corpus::AppSpec) {
+    let catalog = SdkIndex::paper();
+    let eco = Ecosystem::new(&catalog, EcosystemParams::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = eco.sample_app(&mut rng, meta());
+    (catalog, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Noise classes are behaviour-free: changing their count never
+    /// changes any verdict.
+    #[test]
+    fn noise_classes_are_inert(seed in 0u64..1_000, noise in 0u8..12) {
+        let (catalog, mut s) = spec(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        s.noise_classes = noise;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let changed = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        prop_assert_eq!(base.uses_webview(), changed.uses_webview());
+        prop_assert_eq!(base.uses_custom_tabs(), changed.uses_custom_tabs());
+        prop_assert_eq!(base.methods_used(), changed.methods_used());
+    }
+
+    /// Dead code toggles the discarded-site counter and nothing else.
+    #[test]
+    fn dead_code_only_moves_the_dead_counter(seed in 0u64..1_000) {
+        let (catalog, mut s) = spec(seed);
+        s.dead_code_webview = false;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let without = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        s.dead_code_webview = true;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let with = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        prop_assert_eq!(without.uses_webview(), with.uses_webview());
+        prop_assert_eq!(without.methods_used(), with.methods_used());
+        prop_assert_eq!(with.unreachable_webview_sites, without.unreachable_webview_sites + 1);
+    }
+
+    /// A deep link that renders in a WebView adds only *flagged* sites:
+    /// third-party accounting is unchanged.
+    #[test]
+    fn deep_link_rendering_never_leaks_into_third_party_counts(seed in 0u64..1_000) {
+        let (catalog, mut s) = spec(seed);
+        s.deep_link = None;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let without = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        s.deep_link = Some(whatcha_lookin_at::wla_corpus::DeepLinkSpec {
+            host: "first.party.example".into(),
+            uses_webview: true,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let with = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        prop_assert_eq!(without.uses_webview(), with.uses_webview());
+        prop_assert_eq!(without.methods_used(), with.methods_used());
+        // The flagged site exists, though.
+        prop_assert_eq!(
+            with.webview_sites.iter().filter(|x| x.in_deep_link_activity).count(),
+            1
+        );
+    }
+
+    /// Removing every behaviour yields a clean app.
+    #[test]
+    fn stripped_app_is_clean(seed in 0u64..1_000) {
+        let (catalog, mut s) = spec(seed);
+        s.sdks.clear();
+        s.sdk_category_methods.clear();
+        s.direct_wv_methods = MethodSet::EMPTY;
+        s.direct_wv_subclass = false;
+        s.direct_ct = false;
+        s.deep_link = None;
+        s.dead_code_webview = false;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let analysis = analyze_app(meta(), &lower(&s, &catalog, &mut rng).encode()).unwrap();
+        prop_assert!(!analysis.uses_webview());
+        prop_assert!(!analysis.uses_custom_tabs());
+        prop_assert!(analysis.webview_sites.is_empty());
+        prop_assert!(analysis.ct_sites.is_empty());
+    }
+}
