@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# Codec regressions (e.g. the content-length and bare-\r bugs fixed in
+# the net crate) are exactly the kind of thing `clippy -D warnings` plus
+# the proptest suites catch mechanically — run this before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci: all green"

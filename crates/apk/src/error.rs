@@ -61,6 +61,36 @@ pub enum ApkError {
     MissingSection(&'static str),
     /// Structural rule violated (e.g., superclass cycle, duplicate class).
     Invalid(&'static str),
+    /// The analyzer itself panicked on this container. Produced only by the
+    /// static pipeline's fault isolation (`std::panic::catch_unwind`), never
+    /// by the parsers in this crate; the app still counts toward Table 2's
+    /// broken row instead of aborting the corpus run.
+    AnalysisPanic {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+}
+
+impl ApkError {
+    /// Short stable label for the failure-taxonomy counters
+    /// (`PipelineStats::failure_kinds` in `wla-static`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApkError::BadMagic { .. } => "bad-magic",
+            ApkError::UnsupportedVersion(_) => "unsupported-version",
+            ApkError::Truncated { .. } => "truncated",
+            ApkError::ChecksumMismatch { .. } => "checksum-mismatch",
+            ApkError::IndexOutOfRange { .. } => "index-out-of-range",
+            ApkError::BadVarint => "bad-varint",
+            ApkError::BadUtf8 => "bad-utf8",
+            ApkError::BadOpcode(_) => "bad-opcode",
+            ApkError::BadSectionTag(_) => "bad-section-tag",
+            ApkError::SectionOutOfBounds { .. } => "section-out-of-bounds",
+            ApkError::MissingSection(_) => "missing-section",
+            ApkError::Invalid(_) => "invalid-structure",
+            ApkError::AnalysisPanic { .. } => "analysis-panic",
+        }
+    }
 }
 
 impl fmt::Display for ApkError {
@@ -88,6 +118,9 @@ impl fmt::Display for ApkError {
             ),
             ApkError::MissingSection(name) => write!(f, "required section {name} missing"),
             ApkError::Invalid(what) => write!(f, "invalid structure: {what}"),
+            ApkError::AnalysisPanic { message } => {
+                write!(f, "analyzer panicked: {message}")
+            }
         }
     }
 }

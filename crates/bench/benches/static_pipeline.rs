@@ -1,5 +1,7 @@
-//! End-to-end static pipeline cost: per-APK analysis and corpus throughput
-//! at several worker counts (parallel-width ablation, DESIGN.md §6.3).
+//! End-to-end static pipeline cost: per-APK analysis, corpus throughput
+//! at several worker counts (parallel-width ablation, DESIGN.md §6.3),
+//! and the overhead of `PipelineStats` stage-timer collection — the
+//! acceptance bar is <5% versus timers off.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use wla_core::wla_corpus::{CorpusConfig, Generator};
@@ -36,12 +38,49 @@ fn bench(c: &mut Criterion) {
         let input = &single[0];
         b.iter(|| analyze_app(input.meta.clone(), black_box(&input.bytes)).unwrap())
     });
-    for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("corpus_734_apps", workers),
-            &workers,
-            |b, &workers| b.iter(|| run_pipeline(black_box(&inputs), PipelineConfig { workers })),
-        );
+    // Worker-count sweep, with and without stage-timer collection, so the
+    // sweep doubles as the stats-overhead ablation at every width.
+    for stage_timings in [true, false] {
+        let label = if stage_timings {
+            "corpus_734_apps_stats_on"
+        } else {
+            "corpus_734_apps_stats_off"
+        };
+        for workers in [1usize, 2, 4, 8] {
+            group.bench_with_input(BenchmarkId::new(label, workers), &workers, |b, &workers| {
+                b.iter(|| {
+                    run_pipeline(
+                        black_box(&inputs),
+                        PipelineConfig {
+                            workers,
+                            stage_timings,
+                            ..PipelineConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    // Batch-claiming ablation at fixed width: per-index claiming (batch=1)
+    // versus the auto-sized batches the scheduler picks by default.
+    for batch in [1usize, 0] {
+        let label = if batch == 1 {
+            "claim_per_index"
+        } else {
+            "claim_auto_batch"
+        };
+        group.bench_with_input(BenchmarkId::new(label, 8), &batch, |b, &batch| {
+            b.iter(|| {
+                run_pipeline(
+                    black_box(&inputs),
+                    PipelineConfig {
+                        workers: 8,
+                        batch,
+                        ..PipelineConfig::default()
+                    },
+                )
+            })
+        });
     }
     group.finish();
 }

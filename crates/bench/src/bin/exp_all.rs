@@ -34,6 +34,9 @@ fn main() {
         wla_bench::print_experiment(e);
     }
 
+    println!("=== Static pipeline observability ===\n");
+    println!("{}", exp::pipeline_stats_report(&static_run).render());
+
     println!("=== Summary ===");
     for e in &experiments {
         println!(

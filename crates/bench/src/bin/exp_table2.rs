@@ -9,4 +9,10 @@ fn main() {
     eprintln!("running 6.5M-record metadata funnel …");
     let funnel = study.run_funnel(&static_run);
     wla_bench::print_experiment(&wla_core::experiments::table2(&study, &funnel));
+    // Observability for the run that produced the analyzed row: per-stage
+    // timers, throughput, and the failure taxonomy behind "broken".
+    println!(
+        "{}",
+        wla_core::experiments::pipeline_stats_report(&static_run).render()
+    );
 }

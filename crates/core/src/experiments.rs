@@ -10,7 +10,9 @@ use crate::study::{CrawlRun, DynamicRun, FunnelRun, StaticRun, Study};
 use wla_corpus::ecosystem::named_top_apps;
 use wla_crawler::loadtime::{figure7_series, LoadContext, LoadMode};
 use wla_crawler::EndpointKind;
-use wla_report::{bar_chart, heatmap, percent, thousands, Comparison, Series, Table};
+use wla_report::{
+    bar_chart, heatmap, percent, thousands, Comparison, PipelineStatsReport, Series, Table,
+};
 use wla_sdk_index::SdkCategory;
 
 /// One reproduced experiment.
@@ -24,6 +26,41 @@ pub struct Experiment {
     pub comparison: Comparison,
     /// Rendered figure blocks (bar charts, heatmaps, CSV).
     pub figures: Vec<String>,
+}
+
+/// Flatten a static run's [`wla_static::PipelineStats`] into the
+/// renderer's plain-data report: counts, throughput, the per-stage timing
+/// columns `exp_table2` prints, and the failure taxonomy.
+pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
+    let s = &run.stats;
+    let ms = |ns: u64| ns as f64 * 1e-6;
+    let stages_ms = if s.stage.total_ns() == 0 {
+        Vec::new()
+    } else {
+        vec![
+            ("decode".to_owned(), ms(s.stage.decode_ns)),
+            ("decompile".to_owned(), ms(s.stage.decompile_ns)),
+            ("callgraph".to_owned(), ms(s.stage.callgraph_ns)),
+            ("label".to_owned(), ms(s.stage.label_ns)),
+        ]
+    };
+    PipelineStatsReport {
+        total: s.total as u64,
+        analyzed: s.analyzed as u64,
+        broken: s.broken as u64,
+        panicked: s.panicked as u64,
+        wall_ms: ms(s.wall_ns),
+        apps_per_second: s.apps_per_second(),
+        utilization: s.utilization(),
+        workers: s.workers.len(),
+        batch: s.batch,
+        stages_ms,
+        failure_kinds: s
+            .failure_kinds
+            .iter()
+            .map(|(kind, count)| ((*kind).to_owned(), *count as u64))
+            .collect(),
+    }
 }
 
 /// Table 2 — dataset funnel.
@@ -796,6 +833,19 @@ mod tests {
         let study = Study::new(1_000, 99);
         let run = study.run_static();
         (study, run)
+    }
+
+    #[test]
+    fn pipeline_stats_report_flattens_the_run() {
+        let (_study, run) = small_study();
+        let report = pipeline_stats_report(&run);
+        assert_eq!(report.total, run.stats.total as u64);
+        assert_eq!(report.analyzed + report.broken, report.total);
+        assert_eq!(report.stages_ms.len(), 4);
+        assert!(report.apps_per_second > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("Pipeline run summary"));
+        assert!(rendered.contains("decode"));
     }
 
     #[test]

@@ -6,7 +6,9 @@ use wla_dynamic::classify::{classify_top_apps, ClassificationOutcome, Table6Coun
 use wla_dynamic::crawl_study::{run_crawl_study, CrawlStudy};
 use wla_dynamic::iab_study::{run_iab_study, IabStudy};
 use wla_sdk_index::SdkIndex;
-use wla_static::{aggregate, run_pipeline, CorpusInput, PipelineConfig, StudyResults};
+use wla_static::{
+    aggregate, run_pipeline, CorpusInput, PipelineConfig, PipelineStats, StudyResults,
+};
 
 /// Top-level study configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +29,9 @@ pub struct StaticRun {
     pub corpus: Vec<GeneratedApp>,
     /// Aggregated pipeline results.
     pub results: StudyResults,
+    /// Pipeline observability: throughput, per-stage timers, failure
+    /// taxonomy (rendered by `wla-report`'s stats module).
+    pub stats: PipelineStats,
     /// The popularity threshold used for "top SDK" status, rescaled from
     /// the paper's >100 apps.
     pub top_sdk_threshold: usize,
@@ -107,6 +112,7 @@ impl Study {
         StaticRun {
             corpus,
             results,
+            stats: output.stats,
             top_sdk_threshold,
         }
     }
@@ -176,6 +182,11 @@ mod tests {
         assert_eq!(run.corpus.len(), 73); // 146_800 / 2_000
         assert_eq!(run.results.analyzed + run.results.broken, run.corpus.len());
         assert!(run.results.webview_apps > 0);
+        // The observability layer and the aggregation must agree.
+        assert_eq!(run.stats.total, run.corpus.len());
+        assert_eq!(run.stats.analyzed, run.results.analyzed);
+        assert_eq!(run.stats.broken, run.results.broken);
+        assert!(run.stats.stage.total_ns() > 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use std::fmt;
-use std::io::{BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 
 /// Hard cap on the header block, matching common server defaults.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -341,25 +341,30 @@ impl Response {
 }
 
 fn read_line_limited<R: Read>(reader: &mut BufReader<R>) -> Result<String, HttpError> {
-    let mut line = String::new();
-    let mut total = 0usize;
-    loop {
-        let mut byte = [0u8; 1];
-        let n = reader.read(&mut byte)?;
-        if n == 0 {
-            return Err(HttpError::UnexpectedEof);
-        }
-        total += 1;
-        if total > MAX_HEADER_BYTES {
+    // Buffered read up to the newline: one read_until over the BufReader's
+    // internal buffer instead of a syscall-shaped read() per byte. The
+    // Take guard bounds how much a newline-free stream can make us buffer.
+    let mut raw = Vec::new();
+    let n = std::io::Read::take(&mut *reader, MAX_HEADER_BYTES as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(HttpError::UnexpectedEof);
+    }
+    if raw.last() != Some(&b'\n') {
+        // No terminator: either the peer closed mid-line or the line is
+        // longer than the whole header budget.
+        if n > MAX_HEADER_BYTES {
             return Err(HttpError::HeadersTooLarge);
         }
-        match byte[0] {
-            b'\n' => break,
-            b'\r' => {}
-            other => line.push(other as char),
-        }
+        return Err(HttpError::UnexpectedEof);
     }
-    Ok(line)
+    raw.pop();
+    // Strip one '\r' if it immediately precedes the '\n'. A bare '\r'
+    // anywhere else is payload (e.g. inside a header value) and survives.
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    Ok(raw.into_iter().map(|b| b as char).collect())
 }
 
 fn read_headers<R: Read>(reader: &mut BufReader<R>) -> Result<Vec<(String, String)>, HttpError> {
@@ -383,11 +388,17 @@ fn read_body<R: Read>(
     reader: &mut BufReader<R>,
     headers: &[(String, String)],
 ) -> Result<Bytes, HttpError> {
-    let len: usize = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .and_then(|(_, v)| v.parse().ok())
-        .unwrap_or(0);
+    // A missing content-length means "no body"; a *present but
+    // unparseable* one ("abc", negative, overflow) must be rejected —
+    // treating it as 0 would desync framing on this connection and the
+    // server would read the body bytes as the next request line.
+    let len: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed("content-length"))?,
+    };
     if len > MAX_BODY_BYTES {
         return Err(HttpError::BodyTooLarge(len));
     }
@@ -545,6 +556,56 @@ mod tests {
         raw.push_str("\r\n");
         let err =
             Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn unparseable_content_length_is_malformed() {
+        // "abc", a negative value, and a value overflowing usize must all
+        // be rejected, not silently framed as an empty body.
+        for bad in ["abc", "-5", "18446744073709551616", "12 34", "0x10"] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {bad}\r\n\r\n");
+            let err =
+                Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+            assert_eq!(err, HttpError::Malformed("content-length"), "value {bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_content_length_still_means_empty_body() {
+        let raw = b"GET / HTTP/1.1\r\nhost: localhost\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(&raw[..]))).unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_cr_in_header_value_survives() {
+        // Only a '\r' immediately before '\n' is line framing; a bare '\r'
+        // inside a value is payload and must round-trip unchanged.
+        let raw = b"GET / HTTP/1.1\r\nx-odd: a\rb\r\n\r\n";
+        let req = Request::read_from(&mut BufReader::new(Cursor::new(&raw[..]))).unwrap();
+        assert_eq!(req.header("x-odd"), Some("a\rb"));
+
+        let resp = Response {
+            status: Status::Ok,
+            headers: vec![("x-odd".into(), "left\rright".into())],
+            body: Bytes::new(),
+        };
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.header("x-odd"), Some("left\rright"));
+    }
+
+    #[test]
+    fn line_without_terminator_is_eof_not_empty() {
+        let raw = b"GET / HTTP/1.1";
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(&raw[..]))).unwrap_err();
+        assert_eq!(err, HttpError::UnexpectedEof);
+    }
+
+    #[test]
+    fn newline_free_stream_hits_header_cap() {
+        let raw = vec![b'A'; MAX_HEADER_BYTES + 64];
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(raw))).unwrap_err();
         assert_eq!(err, HttpError::HeadersTooLarge);
     }
 

@@ -46,21 +46,28 @@ impl Server {
         let accept_workers = Arc::clone(&workers);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(_) => continue,
+                };
+                // The stop check must sit between accept and spawn: this
+                // stream may be shutdown's wake-up connection, or a client
+                // that raced the stop-flag store. Spawning a worker for it
+                // here would hand `shutdown` a handle it could miss when it
+                // drains the vector, leaking an unjoined thread. The check
+                // happens-before the push, and `shutdown` only drains after
+                // this thread has been joined, so every pushed handle is
+                // visible to the drain.
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
-                match conn {
-                    Ok(stream) => {
-                        let handler = Arc::clone(&handler);
-                        let handle = std::thread::spawn(move || serve_connection(stream, handler));
-                        let mut guard = accept_workers.lock();
-                        // Opportunistically reap finished workers so the
-                        // vector doesn't grow with connection count.
-                        guard.retain(|h| !h.is_finished());
-                        guard.push(handle);
-                    }
-                    Err(_) => continue,
-                }
+                let handler = Arc::clone(&handler);
+                let handle = std::thread::spawn(move || serve_connection(stream, handler));
+                let mut guard = accept_workers.lock();
+                // Opportunistically reap finished workers so the
+                // vector doesn't grow with connection count.
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
             }
         });
 
@@ -87,9 +94,18 @@ impl Server {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
-        for h in handles {
-            let _ = h.join();
+        // Drain only after the accept thread has joined — no new handles
+        // can be pushed past this point. Loop until the vector stays
+        // empty so a handle pushed concurrently with an earlier take is
+        // still joined rather than leaked.
+        loop {
+            let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -208,6 +224,71 @@ mod tests {
         let mut buf = String::new();
         let _ = stream.read_to_string(&mut buf);
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    /// Write raw bytes, read whatever comes back as a status line.
+    fn raw_exchange(addr: SocketAddr, payload: &[u8]) -> String {
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(payload).unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn bad_content_length_gets_400_not_a_hang() {
+        let server = echo_server();
+        // Unparseable, negative, and usize-overflowing declared lengths
+        // must each produce an immediate 400 — the old codec treated them
+        // as 0 and left the connection waiting on a body that never comes.
+        for bad in ["abc", "-5", "18446744073709551616"] {
+            let raw = format!("POST /echo HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nxyz");
+            let buf = raw_exchange(server.addr(), raw.as_bytes());
+            assert!(buf.starts_with("HTTP/1.1 400"), "value {bad:?}: {buf}");
+        }
+    }
+
+    #[test]
+    fn oversized_content_length_gets_413() {
+        let server = echo_server();
+        let raw = format!(
+            "POST /echo HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            crate::http::MAX_BODY_BYTES + 1
+        );
+        let buf = raw_exchange(server.addr(), raw.as_bytes());
+        assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
+    }
+
+    #[test]
+    fn shutdown_races_with_connects() {
+        // Hammer the listener while shutdown runs. Connections that race
+        // the stop flag must either be served or dropped — never spawn a
+        // worker the drain misses — and shutdown must not hang on them.
+        for _ in 0..8 {
+            let mut server = echo_server();
+            let addr = server.addr();
+            let stop = Arc::new(AtomicBool::new(false));
+            let clients: Vec<_> = (0..4)
+                .map(|_| {
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            let _ = fetch(addr, Request::get("/hello"));
+                        }
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(2));
+            server.shutdown();
+            stop.store(true, Ordering::SeqCst);
+            for c in clients {
+                c.join().unwrap();
+            }
+        }
     }
 }
 

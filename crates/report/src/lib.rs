@@ -8,10 +8,12 @@
 pub mod compare;
 pub mod figure;
 pub mod json;
+pub mod stats;
 pub mod table;
 
 pub use compare::{Comparison, ComparisonRow, Verdict};
 pub use figure::{bar_chart, heatmap, Series};
+pub use stats::PipelineStatsReport;
 pub use table::Table;
 
 /// Format an integer with thousands separators, as the paper prints them.

@@ -1,0 +1,161 @@
+//! Pipeline observability rendering.
+//!
+//! `wla-report` stays dependency-free, so the static pipeline's stats
+//! arrive here as a plain-data [`PipelineStatsReport`] (filled in by
+//! `wla-core::experiments::pipeline_stats_report`) rather than as the
+//! `wla-static` struct itself.
+
+use crate::table::Table;
+use crate::{percent, thousands};
+
+/// Flattened pipeline run statistics, ready to render.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineStatsReport {
+    /// Corpus size.
+    pub total: u64,
+    /// Successfully analyzed apps.
+    pub analyzed: u64,
+    /// Broken containers (decode/analysis failures, incl. panics).
+    pub broken: u64,
+    /// Analyses recovered from a panic by the fault isolation.
+    pub panicked: u64,
+    /// End-to-end wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Corpus throughput.
+    pub apps_per_second: f64,
+    /// Worker-pool utilization in `0.0..=1.0`.
+    pub utilization: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Indices claimed per atomic increment.
+    pub batch: usize,
+    /// `(stage name, cumulative milliseconds)` in pipeline order; empty
+    /// when stage timing was disabled.
+    pub stages_ms: Vec<(String, f64)>,
+    /// `(failure kind, count)` taxonomy, sorted by kind.
+    pub failure_kinds: Vec<(String, u64)>,
+}
+
+impl PipelineStatsReport {
+    /// The run-summary table (counts, throughput, scheduling).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("Pipeline run summary", &["Metric", "Value"]);
+        t.row_owned(vec!["Apps total".into(), thousands(self.total)]);
+        t.row_owned(vec!["Apps analyzed".into(), thousands(self.analyzed)]);
+        t.row_owned(vec!["Apps broken".into(), thousands(self.broken)]);
+        t.row_owned(vec!["  of which panicked".into(), thousands(self.panicked)]);
+        t.row_owned(vec!["Wall time".into(), format!("{:.1} ms", self.wall_ms)]);
+        t.row_owned(vec![
+            "Throughput".into(),
+            format!("{:.0} apps/s", self.apps_per_second),
+        ]);
+        t.row_owned(vec![
+            "Worker threads".into(),
+            format!("{} (batch {})", self.workers, self.batch),
+        ]);
+        t.row_owned(vec!["Pool utilization".into(), percent(self.utilization)]);
+        t
+    }
+
+    /// Per-stage timing table; `None` when stage timing was disabled.
+    pub fn stage_table(&self) -> Option<Table> {
+        if self.stages_ms.is_empty() {
+            return None;
+        }
+        let stage_total: f64 = self.stages_ms.iter().map(|(_, ms)| ms).sum();
+        let mut t = Table::new(
+            "Per-stage analysis time (summed over apps)",
+            &["Stage", "Time (ms)", "Share"],
+        );
+        for (stage, ms) in &self.stages_ms {
+            let share = if stage_total > 0.0 {
+                ms / stage_total
+            } else {
+                0.0
+            };
+            t.row_owned(vec![stage.clone(), format!("{ms:.1}"), percent(share)]);
+        }
+        t.row_owned(vec![
+            "total".into(),
+            format!("{stage_total:.1}"),
+            percent(1.0),
+        ]);
+        Some(t)
+    }
+
+    /// Failure taxonomy table; `None` when nothing broke.
+    pub fn failure_table(&self) -> Option<Table> {
+        if self.failure_kinds.is_empty() {
+            return None;
+        }
+        let mut t = Table::new("Failure taxonomy", &["Kind", "Apps"]);
+        for (kind, count) in &self.failure_kinds {
+            t.row_owned(vec![kind.clone(), thousands(*count)]);
+        }
+        Some(t)
+    }
+
+    /// Render every section as one text block.
+    pub fn render(&self) -> String {
+        let mut out = self.summary_table().render();
+        if let Some(stages) = self.stage_table() {
+            out.push('\n');
+            out.push_str(&stages.render());
+        }
+        if let Some(failures) = self.failure_table() {
+            out.push('\n');
+            out.push_str(&failures.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineStatsReport {
+        PipelineStatsReport {
+            total: 1468,
+            analyzed: 1466,
+            broken: 2,
+            panicked: 1,
+            wall_ms: 321.5,
+            apps_per_second: 4566.0,
+            utilization: 0.93,
+            workers: 8,
+            batch: 22,
+            stages_ms: vec![
+                ("decode".into(), 100.0),
+                ("decompile".into(), 50.0),
+                ("callgraph".into(), 30.0),
+                ("label".into(), 20.0),
+            ],
+            failure_kinds: vec![("analysis-panic".into(), 1), ("bad-magic".into(), 1)],
+        }
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let r = sample().render();
+        assert!(r.contains("Pipeline run summary"));
+        assert!(r.contains("1,468"));
+        assert!(r.contains("4566 apps/s"));
+        assert!(r.contains("8 (batch 22)"));
+        assert!(r.contains("Per-stage analysis time"));
+        assert!(r.contains("decode"));
+        assert!(r.contains("50.0%")); // decode share of the 200ms stage total
+        assert!(r.contains("Failure taxonomy"));
+        assert!(r.contains("analysis-panic"));
+    }
+
+    #[test]
+    fn stage_and_failure_tables_are_optional() {
+        let empty = PipelineStatsReport::default();
+        assert!(empty.stage_table().is_none());
+        assert!(empty.failure_table().is_none());
+        let r = empty.render();
+        assert!(r.contains("Pipeline run summary"));
+        assert!(!r.contains("Failure taxonomy"));
+    }
+}

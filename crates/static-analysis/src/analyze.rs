@@ -2,12 +2,47 @@
 //! subclass map → call graph → recorded, deep-link-filtered call sites.
 
 use std::collections::HashSet;
+use std::time::Instant;
 use wla_apk::names::package_of;
 use wla_apk::{ApkError, Dex, Sapk};
-use wla_callgraph::{entry_points, record_web_calls, CallGraph};
+use wla_callgraph::{entry_points, record_web_calls, CallGraph, WebCallRecord};
 use wla_corpus::playstore::AppMeta;
 use wla_decompile::{lift_dex, webview_subclasses};
 use wla_manifest::{wireformat, Manifest};
+
+/// Wall-clock nanoseconds spent in each per-app analysis stage.
+///
+/// Stage boundaries follow Figure 1: container/dex *decode*, *decompile*
+/// (source lifting + WebView-subclass closure), *callgraph* (build,
+/// entry points, traversal + recording), and *label* (summary building,
+/// package extraction, deep-link exclusion). On a decode failure only
+/// `decode_ns` is populated — the later stages never ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Container + dex decoding.
+    pub decode_ns: u64,
+    /// Source lifting and `extends WebView` closure.
+    pub decompile_ns: u64,
+    /// Call-graph construction, entry points, traversal, recording.
+    pub callgraph_ns: u64,
+    /// Summary construction: package labels, deep-link filtering.
+    pub label_ns: u64,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.decode_ns + self.decompile_ns + self.callgraph_ns + self.label_ns
+    }
+
+    /// Accumulate another app's timings into this one.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.decode_ns += other.decode_ns;
+        self.decompile_ns += other.decompile_ns;
+        self.callgraph_ns += other.callgraph_ns;
+        self.label_ns += other.label_ns;
+    }
+}
 
 /// One reachable WebView content-method call, summarized for aggregation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,45 +134,62 @@ impl AppAnalysis {
 /// generator keeps behavioural chains dex-local, as R8's main-dex rules do
 /// for entry-point code in practice.
 pub fn analyze_app(meta: AppMeta, bytes: &[u8]) -> Result<AppAnalysis, ApkError> {
-    // (2) unpack the container.
-    let apk = Sapk::decode(bytes)?;
-    let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
-    let dex_blobs: Vec<&bytes::Bytes> = apk
-        .sections()
-        .iter()
-        .filter(|s| s.tag == wla_apk::SectionTag::Dex)
-        .map(|s| &s.data)
-        .collect();
-    if dex_blobs.is_empty() {
-        return Err(ApkError::MissingSection("dex"));
-    }
-    let dexes: Vec<Dex> = dex_blobs
-        .into_iter()
-        .map(|blob| Dex::decode(blob))
-        .collect::<Result<_, _>>()?;
+    analyze_app_timed(meta, bytes).0
+}
+
+/// [`analyze_app`] plus per-stage wall-clock timings.
+///
+/// The timings are always returned, even when the result is an error: a
+/// broken container still spends (and reports) its decode time, which is
+/// what the pipeline's failure-taxonomy throughput accounting wants.
+pub fn analyze_app_timed(
+    meta: AppMeta,
+    bytes: &[u8],
+) -> (Result<AppAnalysis, ApkError>, StageTimings) {
+    let mut timings = StageTimings::default();
+
+    // (2) unpack the container and every dex section.
+    let started = Instant::now();
+    let decoded = decode_stage(bytes);
+    timings.decode_ns = started.elapsed().as_nanos() as u64;
+    let (manifest, dexes) = match decoded {
+        Ok(v) => v,
+        Err(e) => return (Err(e), timings),
+    };
 
     // (3) decompile every dex and find custom WebView classes across all.
+    let started = Instant::now();
     let mut sources = Vec::new();
     for dex in &dexes {
         sources.extend(lift_dex(dex));
     }
     let subclasses = webview_subclasses(&sources);
+    timings.decompile_ns = started.elapsed().as_nanos() as u64;
 
-    // Deep-link activity class set for first-party exclusion (§3.1.3).
+    // (4) call graph; (5) traversal + recording — per dex.
+    let started = Instant::now();
+    let records: Vec<WebCallRecord> = dexes
+        .iter()
+        .map(|dex| {
+            let graph = CallGraph::build(dex);
+            let roots = entry_points(&graph, &manifest);
+            record_web_calls(&graph, &roots, &subclasses)
+        })
+        .collect();
+    timings.callgraph_ns = started.elapsed().as_nanos() as u64;
+
+    // §3.1.3–3.1.4: deep-link exclusion and call-site package labels.
+    let started = Instant::now();
     let deep_link_classes: HashSet<&str> = manifest
         .deep_link_activities()
         .iter()
         .map(|c| c.class_name.as_str())
         .collect();
 
-    // (4) call graph; (5) traversal + recording — per dex, merged.
     let mut webview_sites = Vec::new();
     let mut ct_sites = Vec::new();
     let mut unreachable_webview_sites = 0usize;
-    for dex in &dexes {
-        let graph = CallGraph::build(dex);
-        let roots = entry_points(&graph, &manifest);
-        let record = record_web_calls(&graph, &roots, &subclasses);
+    for record in &records {
         unreachable_webview_sites += record.webview.iter().filter(|s| !s.reachable).count();
         webview_sites.extend(record.webview.iter().filter(|s| s.reachable).map(|s| {
             WebViewSiteSummary {
@@ -164,15 +216,37 @@ pub fn analyze_app(meta: AppMeta, bytes: &[u8]) -> Result<AppAnalysis, ApkError>
 
     let mut custom_webview_classes: Vec<String> = subclasses.into_iter().collect();
     custom_webview_classes.sort();
+    timings.label_ns = started.elapsed().as_nanos() as u64;
 
-    Ok(AppAnalysis {
+    let analysis = AppAnalysis {
         package: manifest.package.clone(),
         meta,
         webview_sites,
         ct_sites,
         custom_webview_classes,
         unreachable_webview_sites,
-    })
+    };
+    (Ok(analysis), timings)
+}
+
+/// Decode the container, manifest, and every dex section.
+fn decode_stage(bytes: &[u8]) -> Result<(Manifest, Vec<Dex>), ApkError> {
+    let apk = Sapk::decode(bytes)?;
+    let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
+    let dex_blobs: Vec<&bytes::Bytes> = apk
+        .sections()
+        .iter()
+        .filter(|s| s.tag == wla_apk::SectionTag::Dex)
+        .map(|s| &s.data)
+        .collect();
+    if dex_blobs.is_empty() {
+        return Err(ApkError::MissingSection("dex"));
+    }
+    let dexes: Vec<Dex> = dex_blobs
+        .into_iter()
+        .map(|blob| Dex::decode(blob))
+        .collect::<Result<_, _>>()?;
+    Ok((manifest, dexes))
 }
 
 #[cfg(test)]

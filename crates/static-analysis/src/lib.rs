@@ -26,6 +26,11 @@ pub use aggregate::{
     aggregate, CategoryBreakdown, HeatmapRow, MethodCensusRow, SdkTypeCount, SdkUsageRow,
     StudyResults,
 };
-pub use analyze::{analyze_app, AppAnalysis, CtSiteSummary, WebViewSiteSummary};
-pub use pipeline::{run_pipeline, CorpusInput, PipelineConfig, PipelineOutput};
+pub use analyze::{
+    analyze_app, analyze_app_timed, AppAnalysis, CtSiteSummary, StageTimings, WebViewSiteSummary,
+};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with, CorpusInput, PipelineConfig, PipelineOutput, PipelineStats,
+    WorkerStats,
+};
 pub use privacy::{grade_distribution, privacy_label, ExposureGrade, PrivacyLabel};

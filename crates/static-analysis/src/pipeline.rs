@@ -1,13 +1,28 @@
-//! Parallel corpus runner.
+//! Fault-isolated, instrumented parallel corpus runner.
 //!
 //! Static analysis is CPU-bound, so the runner is a fixed pool of scoped
-//! crossbeam threads pulling app indices from an atomic counter — no async
-//! runtime, per the project's networking guides ("use threads for CPU-bound
-//! work"). Results keep corpus order regardless of scheduling.
+//! threads claiming *batches* of app indices from one atomic counter — no
+//! async runtime, per the project's networking guides ("use threads for
+//! CPU-bound work"). Three properties the paper's scale (146.8K apps,
+//! Table 2) demands of it:
+//!
+//! - **Fault isolation.** Each per-app analysis runs under
+//!   [`std::panic::catch_unwind`]; a panicking container becomes an
+//!   [`ApkError::AnalysisPanic`] result feeding the broken-apps row
+//!   instead of aborting the whole corpus run.
+//! - **Contention-free output.** Workers append to private buffers that
+//!   are merged into input order after the pool joins; nothing shares a
+//!   mutex on the hot path, and batch claiming amortizes the one shared
+//!   atomic across [`PipelineConfig::batch`] apps.
+//! - **Observability.** [`PipelineStats`] carries per-stage timers,
+//!   per-worker counters, throughput, and a failure taxonomy, surfaced
+//!   through [`PipelineOutput::stats`] and rendered by `wla-report`.
 
-use crate::analyze::{analyze_app, AppAnalysis};
-use parking_lot::Mutex;
+use crate::analyze::{analyze_app_timed, AppAnalysis, StageTimings};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 use wla_apk::ApkError;
 use wla_corpus::playstore::AppMeta;
 
@@ -22,10 +37,26 @@ pub struct CorpusInput {
 }
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// Worker thread count (0 ⇒ available parallelism).
     pub workers: usize,
+    /// App indices claimed per `fetch_add` (0 ⇒ auto-size: enough batches
+    /// for ~8 claims per worker, clamped to `1..=32`).
+    pub batch: usize,
+    /// Collect per-stage timers into [`PipelineStats::stage`]. Costs four
+    /// monotonic-clock reads per app; disable for pure-throughput runs.
+    pub stage_timings: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            workers: 0,
+            batch: 0,
+            stage_timings: true,
+        }
+    }
 }
 
 impl PipelineConfig {
@@ -38,13 +69,86 @@ impl PipelineConfig {
                 .unwrap_or(4)
         }
     }
+
+    fn effective_batch(&self, n: usize, workers: usize) -> usize {
+        if self.batch > 0 {
+            self.batch
+        } else {
+            (n / (workers * 8).max(1)).clamp(1, 32)
+        }
+    }
 }
 
-/// Pipeline output: per-app results in input order plus failure accounting.
+/// Per-worker counters: how evenly the batch scheduler spread the corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Apps this worker analyzed.
+    pub apps: usize,
+    /// Batches this worker claimed.
+    pub batches: usize,
+    /// Wall-clock nanoseconds spent inside claimed batches.
+    pub busy_ns: u64,
+}
+
+/// Run-level observability: totals, failure taxonomy, per-stage timers,
+/// per-worker counters, and throughput.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Corpus size (`analyzed + broken`).
+    pub total: usize,
+    /// Apps that analyzed successfully.
+    pub analyzed: usize,
+    /// Apps whose container failed to decode or whose analysis failed
+    /// (Table 2's broken row — includes `panicked`).
+    pub broken: usize,
+    /// Apps whose analysis panicked and was converted to
+    /// [`ApkError::AnalysisPanic`] by the fault isolation.
+    pub panicked: usize,
+    /// Per-stage analysis time summed over all apps (zero when
+    /// [`PipelineConfig::stage_timings`] is off).
+    pub stage: StageTimings,
+    /// End-to-end wall-clock time of the run.
+    pub wall_ns: u64,
+    /// Batch size the scheduler actually used.
+    pub batch: usize,
+    /// One entry per worker thread, in spawn order.
+    pub workers: Vec<WorkerStats>,
+    /// Failure counts keyed by [`ApkError::kind`] label.
+    pub failure_kinds: BTreeMap<&'static str, usize>,
+}
+
+impl PipelineStats {
+    /// Corpus throughput over the whole run.
+    pub fn apps_per_second(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.total as f64 / (self.wall_ns as f64 * 1e-9)
+    }
+
+    /// Total busy time across workers (CPU-seconds spent analyzing).
+    pub fn busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Pool utilization: busy time over `workers × wall` (1.0 = perfectly
+    /// balanced, no idle tails).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_ns.saturating_mul(self.workers.len() as u64);
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / capacity as f64
+    }
+}
+
+/// Pipeline output: per-app results in input order plus run statistics.
 #[derive(Debug)]
 pub struct PipelineOutput {
     /// Per-app analysis or decode error, in input order.
     pub results: Vec<Result<AppAnalysis, ApkError>>,
+    /// Observability counters for the run.
+    pub stats: PipelineStats,
 }
 
 impl PipelineOutput {
@@ -64,41 +168,145 @@ impl PipelineOutput {
     }
 }
 
+/// Render a panic payload as text for [`ApkError::AnalysisPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// What one worker brings back to the merge step.
+struct WorkerYield {
+    /// `(input index, result)` pairs, in claim order.
+    results: Vec<(usize, Result<AppAnalysis, ApkError>)>,
+    stats: WorkerStats,
+    stage: StageTimings,
+    failures: BTreeMap<&'static str, usize>,
+    panicked: usize,
+}
+
 /// Analyze every corpus entry, in parallel.
 pub fn run_pipeline(inputs: &[CorpusInput], config: PipelineConfig) -> PipelineOutput {
+    run_pipeline_with(inputs, config, |input| {
+        analyze_app_timed(input.meta.clone(), &input.bytes)
+    })
+}
+
+/// [`run_pipeline`] with a caller-supplied analysis function.
+///
+/// The scheduler, fault isolation, and stats collection are identical to
+/// [`run_pipeline`]; only the per-app work differs. Tests use this to
+/// inject deliberately panicking analyses; ablation benches use it to
+/// isolate scheduler overhead from analysis cost.
+pub fn run_pipeline_with<F>(
+    inputs: &[CorpusInput],
+    config: PipelineConfig,
+    analyze: F,
+) -> PipelineOutput
+where
+    F: Fn(&CorpusInput) -> (Result<AppAnalysis, ApkError>, StageTimings) + Sync,
+{
     let n = inputs.len();
+    let workers = config.effective_workers().min(n.max(1));
+    let batch = config.effective_batch(n, workers);
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let analyze = &analyze;
+
+    let yields: Vec<WorkerYield> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut y = WorkerYield {
+                        results: Vec::new(),
+                        stats: WorkerStats::default(),
+                        stage: StageTimings::default(),
+                        failures: BTreeMap::new(),
+                        panicked: 0,
+                    };
+                    loop {
+                        let start = next.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + batch).min(n);
+                        y.stats.batches += 1;
+                        let claimed = Instant::now();
+                        for (i, input) in inputs.iter().enumerate().take(end).skip(start) {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| analyze(input)));
+                            let result = match outcome {
+                                Ok((result, timings)) => {
+                                    if config.stage_timings {
+                                        y.stage.accumulate(&timings);
+                                    }
+                                    result
+                                }
+                                Err(payload) => {
+                                    y.panicked += 1;
+                                    Err(ApkError::AnalysisPanic {
+                                        message: panic_message(payload),
+                                    })
+                                }
+                            };
+                            if let Err(e) = &result {
+                                *y.failures.entry(e.kind()).or_insert(0) += 1;
+                            }
+                            y.stats.apps += 1;
+                            y.results.push((i, result));
+                        }
+                        y.stats.busy_ns += claimed.elapsed().as_nanos() as u64;
+                    }
+                    y
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("worker bodies cannot panic: analysis is wrapped in catch_unwind")
+            })
+            .collect()
+    });
+
+    // Merge per-worker buffers back into input order and fold the stats.
     let mut slots: Vec<Option<Result<AppAnalysis, ApkError>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let slots = Mutex::new(slots);
-    let next = AtomicUsize::new(0);
-    let workers = config.effective_workers().min(n.max(1));
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let input = &inputs[i];
-                let result = analyze_app(input.meta.clone(), &input.bytes);
-                slots.lock()[i] = Some(result);
-            });
+    let mut stats = PipelineStats {
+        total: n,
+        batch,
+        ..PipelineStats::default()
+    };
+    for y in yields {
+        for (i, result) in y.results {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(result);
         }
-    })
-    .expect("analysis worker panicked");
-
-    let results = slots
-        .into_inner()
+        stats.stage.accumulate(&y.stage);
+        stats.panicked += y.panicked;
+        for (kind, count) in y.failures {
+            *stats.failure_kinds.entry(kind).or_insert(0) += count;
+        }
+        stats.workers.push(y.stats);
+    }
+    let results: Vec<Result<AppAnalysis, ApkError>> = slots
         .into_iter()
-        .map(|s| s.expect("every slot filled"))
+        .map(|s| s.expect("batch claiming covers every index exactly once"))
         .collect();
-    PipelineOutput { results }
+    stats.broken = results.iter().filter(|r| r.is_err()).count();
+    stats.analyzed = n - stats.broken;
+    stats.wall_ns = started.elapsed().as_nanos() as u64;
+    PipelineOutput { results, stats }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use wla_corpus::{CorpusConfig, Generator};
     use wla_sdk_index::SdkIndex;
 
@@ -123,14 +331,54 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let ins = inputs(2_000, 11, 0.1);
-        let par = run_pipeline(&ins, PipelineConfig { workers: 8 });
-        let ser = run_pipeline(&ins, PipelineConfig { workers: 1 });
+        let par = run_pipeline(
+            &ins,
+            PipelineConfig {
+                workers: 8,
+                ..PipelineConfig::default()
+            },
+        );
+        let ser = run_pipeline(
+            &ins,
+            PipelineConfig {
+                workers: 1,
+                ..PipelineConfig::default()
+            },
+        );
         assert_eq!(par.results.len(), ser.results.len());
         for (a, b) in par.results.iter().zip(&ser.results) {
             match (a, b) {
                 (Ok(x), Ok(y)) => assert_eq!(x, y),
                 (Err(x), Err(y)) => assert_eq!(x, y),
                 other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sizes_do_not_change_results() {
+        let ins = inputs(2_000, 19, 0.15);
+        let baseline = run_pipeline(
+            &ins,
+            PipelineConfig {
+                workers: 1,
+                batch: 1,
+                ..PipelineConfig::default()
+            },
+        );
+        for batch in [1usize, 2, 5, 17, 1000] {
+            let out = run_pipeline(
+                &ins,
+                PipelineConfig {
+                    workers: 4,
+                    batch,
+                    ..PipelineConfig::default()
+                },
+            );
+            assert_eq!(out.stats.batch, batch);
+            assert_eq!(out.results.len(), baseline.results.len());
+            for (i, (a, b)) in out.results.iter().zip(&baseline.results).enumerate() {
+                assert_eq!(a.is_ok(), b.is_ok(), "index {i} at batch {batch}");
             }
         }
     }
@@ -149,5 +397,114 @@ mod tests {
         let out = run_pipeline(&[], PipelineConfig::default());
         assert_eq!(out.results.len(), 0);
         assert_eq!(out.broken_count(), 0);
+        assert_eq!(out.stats.total, 0);
+        assert_eq!(out.stats.apps_per_second(), 0.0);
+    }
+
+    /// Keep deliberate test panics out of stderr while still letting any
+    /// unexpected panic report normally. Process-global, so installed once.
+    fn quiet_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.contains("injected"))
+                    .or_else(|| {
+                        info.payload()
+                            .downcast_ref::<String>()
+                            .map(|s| s.contains("injected"))
+                    })
+                    .unwrap_or(false);
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicking_analysis_is_isolated() {
+        quiet_injected_panics();
+        let ins = inputs(2_000, 7, 0.0);
+        let trap = ins.len() / 2;
+        let out = run_pipeline_with(
+            &ins,
+            PipelineConfig {
+                workers: 4,
+                ..PipelineConfig::default()
+            },
+            |input| {
+                if std::ptr::eq(input, &ins[trap]) {
+                    panic!("injected analysis fault");
+                }
+                analyze_app_timed(input.meta.clone(), &input.bytes)
+            },
+        );
+        assert_eq!(out.results.len(), ins.len());
+        assert_eq!(out.stats.panicked, 1);
+        match &out.results[trap] {
+            Err(ApkError::AnalysisPanic { message }) => {
+                assert!(message.contains("injected analysis fault"), "{message}");
+            }
+            other => panic!("expected AnalysisPanic, got {other:?}"),
+        }
+        assert_eq!(out.analyzed_count() + out.broken_count(), ins.len());
+        assert_eq!(out.stats.failure_kinds.get("analysis-panic"), Some(&1));
+    }
+
+    #[test]
+    fn stage_timings_can_be_disabled() {
+        let ins = inputs(3_000, 5, 0.0);
+        let on = run_pipeline(&ins, PipelineConfig::default());
+        let off = run_pipeline(
+            &ins,
+            PipelineConfig {
+                stage_timings: false,
+                ..PipelineConfig::default()
+            },
+        );
+        assert!(on.stats.stage.total_ns() > 0);
+        assert_eq!(off.stats.stage.total_ns(), 0);
+        assert_eq!(on.analyzed_count(), off.analyzed_count());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn stats_counters_sum_to_result_counts(
+            seed in 0u64..1_000,
+            workers in 1usize..9,
+            batch in 0usize..40,
+            corrupt in prop_oneof![Just(0.0f64), Just(0.2f64)],
+        ) {
+            let ins = inputs(4_000, seed, corrupt);
+            let out = run_pipeline(
+                &ins,
+                PipelineConfig { workers, batch, stage_timings: true },
+            );
+            let s = &out.stats;
+            prop_assert_eq!(s.total, out.results.len());
+            prop_assert_eq!(s.analyzed, out.analyzed_count());
+            prop_assert_eq!(s.broken, out.broken_count());
+            prop_assert_eq!(s.analyzed + s.broken, s.total);
+            prop_assert_eq!(s.panicked, 0);
+            prop_assert_eq!(
+                s.failure_kinds.values().sum::<usize>(),
+                s.broken
+            );
+            prop_assert_eq!(
+                s.workers.iter().map(|w| w.apps).sum::<usize>(),
+                s.total
+            );
+            prop_assert!(s.workers.len() <= workers);
+            if s.total > 0 {
+                prop_assert!(s.wall_ns > 0);
+                prop_assert!(s.apps_per_second() > 0.0);
+            }
+        }
     }
 }

@@ -82,12 +82,24 @@ fn pipeline_is_deterministic_across_worker_counts() {
         })
         .collect();
     let a = aggregate(
-        &run_pipeline(&inputs, PipelineConfig { workers: 1 }),
+        &run_pipeline(
+            &inputs,
+            PipelineConfig {
+                workers: 1,
+                ..PipelineConfig::default()
+            },
+        ),
         &catalog,
         1,
     );
     let b = aggregate(
-        &run_pipeline(&inputs, PipelineConfig { workers: 7 }),
+        &run_pipeline(
+            &inputs,
+            PipelineConfig {
+                workers: 7,
+                ..PipelineConfig::default()
+            },
+        ),
         &catalog,
         1,
     );

@@ -1,0 +1,290 @@
+//! Minimal in-tree micro-benchmark harness exposing the `criterion 0.5`
+//! API shape the workspace's benches use: groups, `bench_function`,
+//! `bench_with_input`, `iter`/`iter_batched`, `Throughput`, `black_box`.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! auto-scaled iteration batches until a target of ~300 ms of samples is
+//! collected; the median per-iteration time is printed. No history files
+//! or plots are produced.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as upstream renders it.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: either a bare `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+/// Input-consumption policy for [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup runs once per timed iteration.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    fn new(sample_target: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            sample_target,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + per-batch iteration sizing: aim each timed batch at
+        // roughly 25 ms so short routines are still resolvable.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_target {
+            // One setup+routine pair per sample keeps memory bounded.
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Annotate throughput; reported as GiB/s or Melem/s per result line.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        self.report(&id.into_id(), bencher.median_ns());
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher, input);
+        self.report(&id.into_id(), bencher.median_ns());
+        self
+    }
+
+    fn report(&self, id: &str, median_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+                let gib_s = n as f64 / 1024.0 / 1024.0 / 1024.0 / (median_ns * 1e-9);
+                format!("  ({gib_s:.2} GiB/s)")
+            }
+            Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+                let melem_s = n as f64 / 1e6 / (median_ns * 1e-9);
+                format!("  ({melem_s:.2} Melem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<40} time: [{}]{}",
+            self.name,
+            id,
+            human_time(median_ns),
+            rate
+        );
+    }
+
+    /// End the group (kept for API parity; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse CLI arguments (accepted and ignored: `--bench`, filters).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut b = Bencher::new(4);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(3));
+            acc
+        });
+        assert!(b.median_ns() >= 0.0);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn id_renders_with_parameter() {
+        assert_eq!(BenchmarkId::new("corpus", 8).into_id(), "corpus/8");
+    }
+}

@@ -1,0 +1,67 @@
+//! Collection strategies: `vec` and `hash_set` with size ranges.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Strategy for `Vec`s of `element` with a length drawn from `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.sizes.clone());
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s of `element` with a size drawn from `sizes`.
+///
+/// As upstream documents, the realized set may be smaller than the drawn
+/// size when duplicate elements are generated.
+pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, sizes }
+}
+
+/// Strategy returned by [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let want = rng.gen_range(self.sizes.clone());
+        let mut out = HashSet::with_capacity(want);
+        // Bounded attempts so tight element domains cannot loop forever.
+        for _ in 0..want * 4 {
+            if out.len() >= want {
+                break;
+            }
+            out.insert(self.element.gen_value(rng));
+        }
+        out
+    }
+}

@@ -1,0 +1,18 @@
+//! `prop::sample::Index` — a length-agnostic collection index.
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wrap raw entropy (used by `any::<Index>()`).
+    pub(crate) fn new(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// Project onto `0..len`. Panics if `len == 0`, as upstream does.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`Strategy`] trait and combinators: `Just`, ranges, tuples,
+//! `prop_map`, and `prop_oneof!` arms.
+
+use crate::string::RegexGen;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Upstream proptest strategies build shrinkable value *trees*; this
+/// in-tree harness generates plain values (no shrinking), which is all the
+/// workspace's properties rely on.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strat: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.strat.gen_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals are regex strategies, as in upstream proptest.
+/// (Reaches `&str` through the blanket `&S` impl below.)
+impl Strategy for str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut StdRng) -> String {
+        RegexGen::compile(self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// Type-erased arm of a [`OneOf`] choice.
+pub type OneOfArm<T> = Box<dyn Fn(&mut StdRng) -> T>;
+
+/// Box a strategy into a [`OneOf`] arm (used by `prop_oneof!`).
+pub fn one_of_arm<S>(strat: S) -> OneOfArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| strat.gen_value(rng))
+}
+
+/// Uniform choice among same-typed strategies (the `prop_oneof!` macro).
+pub struct OneOf<T> {
+    arms: Vec<OneOfArm<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from boxed arms; panics if empty.
+    pub fn new(arms: Vec<OneOfArm<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Strategies behind shared references generate like their referents.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut StdRng) -> S::Value {
+        (**self).gen_value(rng)
+    }
+}

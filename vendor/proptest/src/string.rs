@@ -1,0 +1,260 @@
+//! Tiny regex-to-string generator backing `"pattern"` strategies.
+//!
+//! Supports the subset upstream proptest's string strategies are used
+//! with in this workspace: literals, `\`-escapes, `.`, character classes
+//! with ranges (`[a-zA-Z0-9./$]`), groups, and the quantifiers `{n}`,
+//! `{n,m}`, `*`, `+`, `?` (unbounded quantifiers capped at 8 repeats).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Occasional non-ASCII choices for `.`, so byte-level codecs meet
+/// multi-byte UTF-8 sequences too.
+const WIDE_CHARS: [char; 6] = ['é', 'ß', 'λ', '中', '🙂', '\u{2028}'];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// `.` — any printable char.
+    Any,
+    /// Inclusive char ranges, e.g. `[a-z.]` ⇒ `[('a','z'), ('.','.')]`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGen {
+    nodes: Vec<Node>,
+}
+
+impl RegexGen {
+    /// Parse `pattern`, panicking on constructs outside the supported
+    /// subset (alternation, anchors, backreferences, ...).
+    pub fn compile(pattern: &str) -> RegexGen {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_sequence(&mut chars, pattern, false);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced ')' in string strategy pattern {pattern:?}"
+        );
+        RegexGen { nodes }
+    }
+
+    /// Generate one matching string.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' => {
+                assert!(in_group, "unbalanced ')' in pattern {pattern:?}");
+                return nodes;
+            }
+            '(' => {
+                chars.next();
+                let inner = parse_sequence(chars, pattern, true);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unclosed group in pattern {pattern:?}"
+                );
+                nodes.push(Node::Group(inner));
+            }
+            '[' => {
+                chars.next();
+                nodes.push(parse_class(chars, pattern));
+            }
+            '.' => {
+                chars.next();
+                nodes.push(Node::Any);
+            }
+            '\\' => {
+                chars.next();
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                nodes.push(Node::Lit(escaped));
+            }
+            '|' | '^' | '$' => panic!("unsupported regex construct {c:?} in pattern {pattern:?}"),
+            _ => {
+                chars.next();
+                nodes.push(Node::Lit(c));
+            }
+        }
+        // Postfix quantifier binds to the node just parsed.
+        if let Some(&q) = chars.peek() {
+            let bounds = match q {
+                '*' => Some((0, 8)),
+                '+' => Some((1, 8)),
+                '?' => Some((0, 1)),
+                '{' => {
+                    chars.next();
+                    Some(parse_bounds(chars, pattern))
+                }
+                _ => None,
+            };
+            if let Some((lo, hi)) = bounds {
+                if q != '{' {
+                    chars.next();
+                }
+                let inner = nodes.pop().expect("quantifier with no preceding atom");
+                nodes.push(Node::Repeat(Box::new(inner), lo, hi));
+            }
+        }
+    }
+    assert!(!in_group, "unclosed '(' in pattern {pattern:?}");
+    nodes
+}
+
+fn parse_bounds(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    let mut lo = String::new();
+    let mut hi = String::new();
+    let mut in_hi = false;
+    for c in chars.by_ref() {
+        match c {
+            '}' => {
+                let lo: u32 = lo
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat bound in pattern {pattern:?}"));
+                let hi: u32 = if in_hi {
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat bound in pattern {pattern:?}"))
+                } else {
+                    lo
+                };
+                assert!(lo <= hi, "inverted repeat bounds in pattern {pattern:?}");
+                return (lo, hi);
+            }
+            ',' => in_hi = true,
+            d if d.is_ascii_digit() => {
+                if in_hi {
+                    hi.push(d)
+                } else {
+                    lo.push(d)
+                }
+            }
+            other => panic!("bad char {other:?} in repeat bounds of pattern {pattern:?}"),
+        }
+    }
+    panic!("unterminated repeat bounds in pattern {pattern:?}");
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                return Node::Class(ranges);
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                ranges.push((escaped, escaped));
+            }
+            lo => {
+                // `a-z` is a range unless '-' is the class's last char.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|&c| c != ']') {
+                        chars.next();
+                        let hi = chars.next().unwrap();
+                        assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                        continue;
+                    }
+                }
+                ranges.push((lo, lo));
+            }
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Any => {
+            if rng.gen_bool(0.05) {
+                out.push(WIDE_CHARS[rng.gen_range(0..WIDE_CHARS.len())]);
+            } else {
+                out.push(rng.gen_range(0x20u32..0x7f) as u8 as char);
+            }
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let span = hi as u32 - lo as u32;
+            let c = char::from_u32(lo as u32 + rng.gen_range(0..=span))
+                .expect("class range stays in scalar values");
+            out.push(c);
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen(pattern: &str) -> String {
+        let mut rng = StdRng::seed_from_u64(7);
+        RegexGen::compile(pattern).generate(&mut rng)
+    }
+
+    #[test]
+    fn class_with_dot_literal() {
+        for i in 0..50 {
+            let mut rng = StdRng::seed_from_u64(i);
+            let s = RegexGen::compile("[a-z.]{1,20}").generate(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c == '.' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn grouped_package_names() {
+        for i in 0..50 {
+            let mut rng = StdRng::seed_from_u64(i);
+            let s = RegexGen::compile("[a-z]{1,6}(\\.[a-z]{1,6}){0,3}").generate(&mut rng);
+            for seg in s.split('.') {
+                assert!((1..=6).contains(&seg.len()), "{s:?}");
+                assert!(seg.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_star() {
+        let _ = gen(".{0,80}");
+        let _ = gen(".*");
+        let s = gen("[a-z/A-Z$0-9]{1,40}");
+        assert!(!s.is_empty() && s.len() <= 40);
+    }
+}

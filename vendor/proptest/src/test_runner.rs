@@ -1,0 +1,37 @@
+//! Case-count configuration and per-test deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // exercising the properties. Tests that need more set it explicitly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG derived from the test's module path + name, so every
+/// run of a given property replays the same case sequence (FNV-1a hash).
+pub fn rng_for(test_path: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

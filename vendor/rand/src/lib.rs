@@ -1,0 +1,243 @@
+//! Minimal in-tree implementation of the `rand 0.8` API surface this
+//! workspace uses: [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] and
+//! the [`Rng`] extension methods `gen`, `gen_bool`, `gen_range`.
+//!
+//! `StdRng` is xoshiro256++ (seeded through SplitMix64), not upstream's
+//! ChaCha12 — statistically solid for corpus synthesis, but the exact
+//! value sequence differs from real `rand`. Nothing in the workspace
+//! asserts literal sequences; calibration tests check distribution shapes.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw a uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`]. The element type is a trait
+/// parameter (as upstream) so the expected result type can drive integer
+/// literal inference: `let b: u8 = rng.gen_range(0..3)`.
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range. Panics on empty ranges.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Fixed-point multiply avoids modulo bias for small spans.
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Fill a slice with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 stream expands the seed into four nonzero words.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=5usize);
+            assert!(w <= 5);
+            let f = rng.gen_range(7.94..9.3);
+            assert!((7.94..9.3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..20_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

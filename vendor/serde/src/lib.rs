@@ -1,0 +1,25 @@
+//! Minimal in-tree `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data model for
+//! downstream consumers but renders all reports by hand (it is
+//! serde_json-free), so the traits carry no methods here and the derives
+//! are no-ops — just enough for the `#[derive(...)]` attributes and trait
+//! bounds to compile hermetically offline.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` module alias for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

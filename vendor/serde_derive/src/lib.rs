@@ -1,0 +1,49 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-tree serde facade.
+//!
+//! Emits a marker-trait impl for the annotated type, ignoring generics-free
+//! `#[serde(...)]` attributes. The workspace's data model has no generic
+//! type parameters on serde-derived types, so the derive only needs to
+//! recover the type's name.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following `struct` or `enum` in the item.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        // Anything that isn't an identifier (attribute/visibility
+        // punctuation, groups) is skipped.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
