@@ -16,4 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
-echo "ci: all green"
+echo "== cargo build --benches (smoke) =="
+bench_start=$SECONDS
+cargo build --benches --workspace -q
+bench_secs=$((SECONDS - bench_start))
+
+echo "ci: all green (bench smoke build: ${bench_secs}s)"

@@ -51,6 +51,23 @@ pub fn package_of(binary_name: &str) -> Option<String> {
     Some(binary_name[..idx].replace('/', "."))
 }
 
+/// Allocation-free variant of [`package_of`] for interning hot paths:
+/// writes the dotted package into `out` (cleared first) and returns `true`,
+/// or returns `false` for classes in the default package. The caller keeps
+/// one scratch `String` alive across call sites instead of allocating per
+/// class.
+pub fn package_of_into(binary_name: &str, out: &mut String) -> bool {
+    out.clear();
+    let Some(idx) = binary_name.rfind('/') else {
+        return false;
+    };
+    out.reserve(idx);
+    for c in binary_name[..idx].chars() {
+        out.push(if c == '/' { '.' } else { c });
+    }
+    true
+}
+
 /// The simple (unqualified) name: `com/foo/Baz$Inner` → `Baz$Inner`.
 pub fn simple_name(binary_name: &str) -> &str {
     match binary_name.rfind('/') {
@@ -102,6 +119,20 @@ mod tests {
         );
         assert_eq!(package_of("TopLevel"), None);
         assert_eq!(package_of("a/b").as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn package_extraction_into_scratch() {
+        let mut scratch = String::from("stale");
+        assert!(package_of_into(
+            "com/applovin/adview/AdRenderer",
+            &mut scratch
+        ));
+        assert_eq!(scratch, "com.applovin.adview");
+        assert!(!package_of_into("TopLevel", &mut scratch));
+        assert!(scratch.is_empty());
+        assert!(package_of_into("a/b", &mut scratch));
+        assert_eq!(scratch, "a");
     }
 
     #[test]

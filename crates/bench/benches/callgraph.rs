@@ -11,8 +11,9 @@ use wla_core::wla_callgraph::{entry_points, CallGraph};
 use wla_core::wla_corpus::ecosystem::{Ecosystem, EcosystemParams};
 use wla_core::wla_corpus::lowering::lower;
 use wla_core::wla_corpus::playstore::{AppMeta, PlayCategory};
+use wla_core::wla_intern::{LocalInterner, Symbol};
 use wla_core::wla_manifest::{wireformat, Manifest};
-use wla_core::wla_sdk_index::SdkIndex;
+use wla_core::wla_sdk_index::{LabelCache, SdkIndex};
 
 fn fixture() -> (Dex, Manifest) {
     // A heavyweight app: scan seeds for the spec with the most SDKs so the
@@ -41,10 +42,11 @@ fn fixture() -> (Dex, Manifest) {
 }
 
 fn bench(c: &mut Criterion) {
+    let catalog = SdkIndex::paper();
     let (dex, manifest) = fixture();
     let graph = CallGraph::build(&dex);
     let roots = entry_points(&graph, &manifest);
-    let subs = std::collections::HashSet::new();
+    let subs: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
 
     let mut group = c.benchmark_group("callgraph");
     group.bench_function("build", |b| b.iter(|| CallGraph::build(black_box(&dex))));
@@ -54,14 +56,29 @@ fn bench(c: &mut Criterion) {
     group.bench_function("reachability", |b| {
         b.iter(|| reachable_methods(black_box(&graph), black_box(&roots)))
     });
-    // Ablation: traversal-bounded recording vs scanning every site.
+    // Ablation: traversal-bounded recording vs scanning every site. The
+    // lexicon and label cache persist across iterations like a pipeline
+    // worker's do across apps.
     group.bench_function("record_entrypoint_bounded", |b| {
-        b.iter(|| record_web_calls(black_box(&graph), black_box(&roots), &subs))
+        let mut lexicon = LocalInterner::new();
+        let mut labels = LabelCache::default();
+        b.iter(|| {
+            record_web_calls(
+                black_box(&graph),
+                black_box(&roots),
+                &subs,
+                &catalog,
+                &mut lexicon,
+                &mut labels,
+            )
+        })
     });
     group.bench_function("scc_tarjan", |b| {
         b.iter(|| strongly_connected_components(black_box(&graph)))
     });
     group.bench_function("record_whole_graph_scan", |b| {
+        let mut lexicon = LocalInterner::new();
+        let mut labels = LabelCache::default();
         b.iter(|| {
             // Whole-graph scan: treat every defined method as a root.
             let all_roots: Vec<_> = dex
@@ -69,7 +86,14 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .flat_map(|c| c.methods.iter().map(|m| m.method))
                 .collect();
-            record_web_calls(black_box(&graph), &all_roots, &subs)
+            record_web_calls(
+                black_box(&graph),
+                &all_roots,
+                &subs,
+                &catalog,
+                &mut lexicon,
+                &mut labels,
+            )
         })
     });
     group.finish();

@@ -7,7 +7,10 @@ use wla_core::wla_apk::Dex;
 use wla_core::wla_corpus::ecosystem::{Ecosystem, EcosystemParams};
 use wla_core::wla_corpus::lowering::lower;
 use wla_core::wla_corpus::playstore::{AppMeta, PlayCategory};
-use wla_core::wla_decompile::{lift_dex, parse_source, webview_subclasses};
+use wla_core::wla_decompile::{
+    lift_dex, parse_source, webview_subclasses, webview_subclasses_interned,
+};
+use wla_core::wla_intern::LocalInterner;
 use wla_core::wla_sdk_index::SdkIndex;
 
 fn representative_dex() -> Dex {
@@ -41,6 +44,11 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("webview_subclasses", |b| {
         b.iter(|| webview_subclasses(black_box(&sources)))
+    });
+    // Interned closure with a warm worker lexicon — the pipeline's shape.
+    group.bench_function("webview_subclasses_interned", |b| {
+        let mut lexicon = LocalInterner::new();
+        b.iter(|| webview_subclasses_interned(black_box(&sources), &mut lexicon))
     });
     group.finish();
 }

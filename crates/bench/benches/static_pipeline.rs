@@ -1,12 +1,16 @@
 //! End-to-end static pipeline cost: per-APK analysis, corpus throughput
 //! at several worker counts (parallel-width ablation, DESIGN.md §6.3),
-//! and the overhead of `PipelineStats` stage-timer collection — the
-//! acceptance bar is <5% versus timers off.
+//! the overhead of `PipelineStats` stage-timer collection — the
+//! acceptance bar is <5% versus timers off — and the interned-vs-string
+//! aggregation ablation (DESIGN.md §6, EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use wla_core::wla_corpus::{CorpusConfig, Generator};
 use wla_core::wla_sdk_index::SdkIndex;
-use wla_core::wla_static::{analyze_app, run_pipeline, CorpusInput, PipelineConfig};
+use wla_core::wla_static::{
+    aggregate, aggregate_string_oracle, analyze_app_timed_with, run_pipeline, AnalysisCtx,
+    CorpusInput, PipelineConfig,
+};
 
 fn corpus(n_apps_scale: u32) -> Vec<CorpusInput> {
     let catalog = SdkIndex::paper();
@@ -27,6 +31,7 @@ fn corpus(n_apps_scale: u32) -> Vec<CorpusInput> {
 }
 
 fn bench(c: &mut Criterion) {
+    let catalog = SdkIndex::paper();
     let single = corpus(2_000);
     // ~734 apps: enough work per thread for the fan-out sweep to mean
     // something (73 apps amortize to thread-pool overhead).
@@ -36,7 +41,14 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("analyze_single_apk", |b| {
         let input = &single[0];
-        b.iter(|| analyze_app(input.meta.clone(), black_box(&input.bytes)).unwrap())
+        // Reuse one worker context across iterations, as the pipeline does
+        // — re-building the catalog/lexicon per app is not the steady state.
+        let mut ctx = AnalysisCtx::new(&catalog);
+        b.iter(|| {
+            analyze_app_timed_with(input.meta.clone(), black_box(&input.bytes), &mut ctx)
+                .0
+                .unwrap()
+        })
     });
     // Worker-count sweep, with and without stage-timer collection, so the
     // sweep doubles as the stats-overhead ablation at every width.
@@ -51,6 +63,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     run_pipeline(
                         black_box(&inputs),
+                        &catalog,
                         PipelineConfig {
                             workers,
                             stage_timings,
@@ -73,6 +86,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 run_pipeline(
                     black_box(&inputs),
+                    &catalog,
                     PipelineConfig {
                         workers: 8,
                         batch,
@@ -82,6 +96,16 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // Interned-IR ablation: the shipping u32-keyed aggregation versus the
+    // string-path oracle (resolve + string-compare + trie re-label per
+    // site) over the identical pipeline output.
+    let out = run_pipeline(&inputs, &catalog, PipelineConfig::default());
+    group.bench_function("aggregate_interned", |b| {
+        b.iter(|| aggregate(black_box(&out), &catalog, 1))
+    });
+    group.bench_function("aggregate_string_oracle", |b| {
+        b.iter(|| aggregate_string_oracle(black_box(&out), &catalog, 1))
+    });
     group.finish();
 }
 

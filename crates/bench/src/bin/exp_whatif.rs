@@ -28,7 +28,7 @@ fn run_scenario(study: &wla_core::Study, params: EcosystemParams) -> (f64, f64, 
             bytes: g.bytes,
         })
         .collect();
-    let out = run_pipeline(&inputs, PipelineConfig::default());
+    let out = run_pipeline(&inputs, &study.catalog, PipelineConfig::default());
     let r = aggregate(&out, &study.catalog, 1);
     let n = r.analyzed as f64;
     (

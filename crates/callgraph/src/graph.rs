@@ -71,7 +71,11 @@ impl<'d> CallGraph<'d> {
                                 edges.entry(m.method).or_default().push(target);
                             }
                         }
-                        _ => {}
+                        // §3.1's heuristic attaches a const-string only when
+                        // it *immediately* precedes the invoke: any other
+                        // intervening instruction (goto, if, new-instance,
+                        // …) invalidates the pending string.
+                        _ => pending_string = None,
                     }
                 }
             }
@@ -294,5 +298,56 @@ mod tests {
         assert_eq!(g.sites().len(), 2);
         assert!(g.sites()[0].preceding_string.is_some());
         assert!(g.sites()[1].preceding_string.is_none());
+    }
+
+    #[test]
+    fn intervening_instructions_clear_the_pending_string() {
+        // const-string, <something>, invoke — the string is no longer the
+        // argument of the invoke and must not be attached. One invoke per
+        // intervening-instruction kind, plus a control site with the
+        // const-string directly adjacent.
+        let mut b = DexBuilder::new();
+        let ty = b.intern_type("com/x/Obj");
+        let f = b.intern_method("com/x/Ext", "f", "()V");
+        let s = b.intern_string("stale-by-the-time-f-runs");
+        let interleaved = [
+            Instruction::NewInstance { ty },
+            Instruction::Goto { offset: 1 },
+            Instruction::IfTest { offset: 1 },
+            Instruction::Nop,
+        ];
+        let mut code = Vec::new();
+        for ins in interleaved {
+            code.push(Instruction::ConstString { string: s });
+            code.push(ins);
+            code.push(Instruction::Invoke {
+                kind: InvokeKind::Static,
+                method: f,
+            });
+        }
+        // Adjacent const-string still attaches.
+        code.push(Instruction::ConstString { string: s });
+        code.push(Instruction::Invoke {
+            kind: InvokeKind::Static,
+            method: f,
+        });
+        code.push(Instruction::ReturnVoid);
+        let caller = def(&mut b, "com/x/Main", "go", code);
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        assert_eq!(g.sites().len(), 5);
+        for (i, site) in g.sites().iter().take(4).enumerate() {
+            assert!(
+                site.preceding_string.is_none(),
+                "site {i}: interleaved instruction must clear the string"
+            );
+        }
+        assert_eq!(
+            g.sites()[4].preceding_string,
+            Some(s),
+            "adjacent const-string must still attach"
+        );
     }
 }

@@ -16,6 +16,9 @@
 //!   callbacks;
 //! * [`reach`] — BFS reachability over the graph and the recording of
 //!   WebView / Custom-Tabs call sites with their reachability status.
+//!   Recorded sites carry *interned* names ([`wla_intern::Symbol`]) plus
+//!   record-time package labels, so later pipeline stages never touch
+//!   strings.
 
 pub mod entrypoints;
 pub mod graph;

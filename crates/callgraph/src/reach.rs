@@ -1,35 +1,62 @@
 //! Reachability traversal and WebView / Custom-Tabs call-site recording —
 //! step (5) of the pipeline.
+//!
+//! Recording is also where strings leave the hot path: every name a site
+//! carries (method, classes, package, argument) is interned into the
+//! worker's [`LocalInterner`] here, and the caller package is labeled
+//! against the SDK catalog while its dotted text is still at hand.
+//! Downstream stages (summaries, aggregation) operate purely on the
+//! resulting `u32` handles.
 
 use crate::graph::CallGraph;
-use std::collections::HashSet;
-use wla_apk::names::{framework, WEBVIEW_CONTENT_METHODS};
+use std::collections::{HashMap, HashSet};
+use wla_apk::names::{
+    framework, package_of_into, CT_LAUNCH_METHOD, WEBVIEW_CONTENT_METHODS, WEBVIEW_LOAD_METHODS,
+};
 use wla_apk::sdex::MethodId;
+use wla_intern::{LocalInterner, PkgId, Symbol, U32BuildHasher};
+use wla_sdk_index::{LabelCache, LabelId, SdkIndex};
 
-/// A recorded call to a WebView content method.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A recorded call to a WebView content method. All names are symbols in
+/// the interner `record_web_calls` was handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WebViewSite {
     /// Method name (`loadUrl`, …).
-    pub method: String,
+    pub method: Symbol,
+    /// Position of the method in [`WEBVIEW_CONTENT_METHODS`] — Table 7
+    /// accounting indexes by this instead of comparing names.
+    pub method_idx: u8,
+    /// Whether the method *populates* content ([`WEBVIEW_LOAD_METHODS`]).
+    pub is_load_method: bool,
     /// Binary name of the class containing the call.
-    pub caller_class: String,
+    pub caller_class: Symbol,
     /// Binary name of the static receiver type (WebView itself or a
     /// subclass).
-    pub receiver_class: String,
+    pub receiver_class: Symbol,
+    /// Dotted package of the caller class (`None` for the default package).
+    pub caller_package: Option<PkgId>,
+    /// Catalog label of the caller package, resolved at record time.
+    pub label: LabelId,
     /// String constant preceding the call (URL / JS / bridge name).
-    pub argument: Option<String>,
+    pub argument: Option<Symbol>,
     /// Whether the call is reachable from an entry point.
     pub reachable: bool,
 }
 
 /// A recorded Custom-Tabs interaction (`CustomTabsIntent` construction or
 /// `launchUrl`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CtSite {
     /// `launchUrl`, `build`, or `<init>`.
-    pub method: String,
+    pub method: Symbol,
+    /// Whether this is the content-populating [`CT_LAUNCH_METHOD`].
+    pub is_launch: bool,
     /// Binary name of the class containing the call.
-    pub caller_class: String,
+    pub caller_class: Symbol,
+    /// Dotted package of the caller class (`None` for the default package).
+    pub caller_package: Option<PkgId>,
+    /// Catalog label of the caller package, resolved at record time.
+    pub label: LabelId,
     /// Whether the call is reachable from an entry point.
     pub reachable: bool,
 }
@@ -58,40 +85,91 @@ pub fn reachable_methods(graph: &CallGraph<'_>, roots: &[MethodId]) -> HashSet<M
 }
 
 /// Record every WebView content-method call and CT interaction in `graph`,
-/// marking reachability from `roots`. `webview_subclasses` is the set of
-/// binary names the decompilation step found to extend WebView.
+/// marking reachability from `roots`.
+///
+/// `webview_subclasses` is the set of (interned) binary names the
+/// decompilation step found to extend WebView; its symbols must come from
+/// `lexicon`. Caller classes are interned once per dex type (memoized),
+/// their packages extracted into a reused scratch buffer and labeled
+/// through `labels`.
 pub fn record_web_calls(
     graph: &CallGraph<'_>,
     roots: &[MethodId],
-    webview_subclasses: &HashSet<String>,
+    webview_subclasses: &HashSet<Symbol>,
+    catalog: &SdkIndex,
+    lexicon: &mut LocalInterner,
+    labels: &mut LabelCache,
 ) -> WebCallRecord {
     let dex = graph.dex();
     let reachable = reachable_methods(graph, roots);
     let mut record = WebCallRecord::default();
 
+    // TypeId → (class symbol, package + label). TypeIds are per-dex, so
+    // this memo must not outlive the call.
+    type CallerInfo = (Symbol, Option<(PkgId, LabelId)>);
+    let mut callers: HashMap<u32, CallerInfo, U32BuildHasher> = HashMap::default();
+    let mut scratch = String::new();
+
     for site in graph.sites() {
         let callee_ref = dex.method_ref(site.callee_ref);
         let receiver = dex.type_name(callee_ref.class);
         let name = dex.string(callee_ref.name);
-        let caller_class = dex.type_name(site.caller_class).to_owned();
+
+        // Non-inserting subclass probe: a subclass name absent from the
+        // lexicon cannot be in `webview_subclasses` (whose symbols came
+        // from it), so `get` suffices and framework receivers never bloat
+        // the table.
+        let is_webview_receiver = receiver == framework::WEBVIEW
+            || lexicon
+                .get(receiver)
+                .is_some_and(|s| webview_subclasses.contains(&s));
+        let is_ct_receiver =
+            receiver == framework::CUSTOM_TABS_INTENT || receiver == framework::CUSTOM_TABS_BUILDER;
+        let method_idx = if is_webview_receiver {
+            WEBVIEW_CONTENT_METHODS.iter().position(|m| *m == name)
+        } else {
+            None
+        };
+        if method_idx.is_none() && !is_ct_receiver {
+            continue;
+        }
+
+        let (caller_class, package) = *callers.entry(site.caller_class.0).or_insert_with(|| {
+            let class_name = dex.type_name(site.caller_class);
+            let sym = lexicon.intern(class_name);
+            let pkg = package_of_into(class_name, &mut scratch).then(|| {
+                let id = PkgId(lexicon.intern(&scratch));
+                (id, labels.label(catalog, id, &scratch))
+            });
+            (sym, pkg)
+        });
+        let (caller_package, label) = match package {
+            Some((id, l)) => (Some(id), l),
+            None => (None, LabelId::Unlabeled),
+        };
         let is_reachable = reachable.contains(&site.caller);
 
-        let is_webview_receiver =
-            receiver == framework::WEBVIEW || webview_subclasses.contains(receiver);
-        if is_webview_receiver && WEBVIEW_CONTENT_METHODS.contains(&name) {
+        if let Some(idx) = method_idx {
             record.webview.push(WebViewSite {
-                method: name.to_owned(),
-                caller_class: caller_class.clone(),
-                receiver_class: receiver.to_owned(),
-                argument: site.preceding_string.map(|s| dex.string(s).to_owned()),
+                method: lexicon.intern(name),
+                method_idx: idx as u8,
+                is_load_method: WEBVIEW_LOAD_METHODS.contains(&name),
+                caller_class,
+                receiver_class: lexicon.intern(receiver),
+                caller_package,
+                label,
+                argument: site.preceding_string.map(|s| lexicon.intern(dex.string(s))),
                 reachable: is_reachable,
             });
         }
 
-        if receiver == framework::CUSTOM_TABS_INTENT || receiver == framework::CUSTOM_TABS_BUILDER {
+        if is_ct_receiver {
             record.custom_tabs.push(CtSite {
-                method: name.to_owned(),
+                method: lexicon.intern(name),
+                is_launch: name == CT_LAUNCH_METHOD,
                 caller_class,
+                caller_package,
+                label,
                 reachable: is_reachable,
             });
         }
@@ -215,32 +293,58 @@ mod tests {
         (b.build(), manifest)
     }
 
+    fn record(
+        dex: &wla_apk::Dex,
+        manifest: &Manifest,
+        subclass_names: &[&str],
+        lexicon: &mut LocalInterner,
+    ) -> WebCallRecord {
+        let g = CallGraph::build(dex);
+        let roots = entry_points(&g, manifest);
+        let subs: HashSet<Symbol> = subclass_names.iter().map(|n| lexicon.intern(n)).collect();
+        let catalog = SdkIndex::new(vec![]);
+        let mut labels = LabelCache::new();
+        record_web_calls(&g, &roots, &subs, &catalog, lexicon, &mut labels)
+    }
+
     #[test]
     fn reachable_and_dead_sites_distinguished() {
         let (dex, manifest) = build_fixture();
-        let g = CallGraph::build(&dex);
-        let roots = entry_points(&g, &manifest);
-        let subs: HashSet<String> = ["com/x/MyWebView".to_owned()].into();
-        let rec = record_web_calls(&g, &roots, &subs);
+        let mut lexicon = LocalInterner::new();
+        let rec = record(&dex, &manifest, &["com/x/MyWebView"], &mut lexicon);
 
         // Three WebView sites total: two live (framework + subclass), one dead.
         assert_eq!(rec.webview.len(), 3);
         assert_eq!(rec.reachable_webview().count(), 2);
         let dead: Vec<_> = rec.webview.iter().filter(|s| !s.reachable).collect();
         assert_eq!(dead.len(), 1);
-        assert_eq!(dead[0].caller_class, "com/x/Dead");
-        assert_eq!(dead[0].argument.as_deref(), Some("https://dead.example"));
+        assert_eq!(lexicon.resolve(dead[0].caller_class), "com/x/Dead");
+        assert_eq!(
+            dead[0].argument.map(|s| lexicon.resolve(s)),
+            Some("https://dead.example")
+        );
+        assert_eq!(
+            dead[0].caller_package.map(|p| lexicon.resolve(p.symbol())),
+            Some("com.x")
+        );
 
-        // Subclass receiver recorded as WebView usage.
+        // Subclass receiver recorded as WebView usage, with the Table 7
+        // index and load-method flag computed at record time.
         assert!(rec
             .webview
             .iter()
-            .any(|s| s.receiver_class == "com/x/MyWebView" && s.reachable));
+            .any(|s| lexicon.resolve(s.receiver_class) == "com/x/MyWebView" && s.reachable));
+        for s in &rec.webview {
+            assert_eq!(lexicon.resolve(s.method), "loadUrl");
+            assert_eq!(s.method_idx, 0);
+            assert!(s.is_load_method);
+        }
 
         // CT launch recorded and reachable.
         assert_eq!(rec.custom_tabs.len(), 1);
         assert!(rec.custom_tabs[0].reachable);
-        assert_eq!(rec.custom_tabs[0].method, "launchUrl");
+        assert!(rec.custom_tabs[0].is_launch);
+        assert_eq!(lexicon.resolve(rec.custom_tabs[0].method), "launchUrl");
     }
 
     #[test]
@@ -248,16 +352,38 @@ mod tests {
         // Without the decompiler's subclass knowledge, the subclass call is
         // missed — this is exactly why the pipeline needs step (3).
         let (dex, manifest) = build_fixture();
-        let g = CallGraph::build(&dex);
-        let roots = entry_points(&g, &manifest);
-        let rec = record_web_calls(&g, &roots, &HashSet::new());
+        let mut lexicon = LocalInterner::new();
+        let rec = record(&dex, &manifest, &[], &mut lexicon);
         assert_eq!(
             rec.webview
                 .iter()
-                .filter(|s| s.receiver_class == "com/x/MyWebView")
+                .filter(|s| lexicon.resolve(s.receiver_class) == "com/x/MyWebView")
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn caller_packages_are_labeled_at_record_time() {
+        let (dex, manifest) = build_fixture();
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let mut lexicon = LocalInterner::new();
+        let subs: HashSet<Symbol> = [lexicon.intern("com/x/MyWebView")].into();
+        let catalog = SdkIndex::paper();
+        let mut labels = LabelCache::new();
+        let rec = record_web_calls(&g, &roots, &subs, &catalog, &mut lexicon, &mut labels);
+        // `com.x` is in no catalog and not obfuscated-looking ("com" is 3
+        // chars): everything here is Unlabeled, computed without any
+        // downstream string resolution.
+        for s in &rec.webview {
+            assert_eq!(s.label, LabelId::Unlabeled);
+        }
+        // Only two distinct caller *classes* record sites (Helper, Dead);
+        // the TypeId memo collapses Helper's three sites to one lookup, and
+        // both classes share `com.x`, so the label cache sees exactly one
+        // miss and one hit.
+        assert_eq!((labels.hits, labels.misses), (1, 1));
     }
 
     #[test]

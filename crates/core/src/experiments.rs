@@ -60,6 +60,10 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
             .iter()
             .map(|(kind, count)| ((*kind).to_owned(), *count as u64))
             .collect(),
+        interned_symbols: s.interner.global_symbols as u64,
+        interned_bytes: s.interner.global_bytes as u64,
+        intern_hit_rate: s.interner.local_hit_rate(),
+        label_hit_rate: s.interner.label_hit_rate(),
     }
 }
 

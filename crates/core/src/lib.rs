@@ -37,6 +37,7 @@ pub use wla_crawler;
 pub use wla_decompile;
 pub use wla_device;
 pub use wla_dynamic;
+pub use wla_intern;
 pub use wla_manifest;
 pub use wla_net;
 pub use wla_report;

@@ -104,7 +104,7 @@ impl Study {
                 bytes: g.bytes.clone(),
             })
             .collect();
-        let output = run_pipeline(&inputs, PipelineConfig::default());
+        let output = run_pipeline(&inputs, &self.catalog, PipelineConfig::default());
         // The catalog already encodes the paper's >100-apps popularity
         // criterion; any observed usage of a catalog SDK counts.
         let top_sdk_threshold = 1;

@@ -28,4 +28,4 @@ pub mod subclasses;
 
 pub use lifter::{lift_class, lift_dex, SourceFile};
 pub use parser::{parse_source, ParseError, ParsedClass};
-pub use subclasses::webview_subclasses;
+pub use subclasses::{webview_subclasses, webview_subclasses_interned};

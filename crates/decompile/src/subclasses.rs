@@ -4,29 +4,41 @@
 use crate::lifter::SourceFile;
 use crate::parser::{parse_source, ParsedClass};
 use std::collections::{HashMap, HashSet};
+use wla_intern::{LocalInterner, Symbol};
 
 /// Qualified source name of the WebView class.
 pub const WEBVIEW_SOURCE_NAME: &str = "android.webkit.WebView";
 
 /// Parse every source file and return the binary names of classes that
-/// extend `android.webkit.WebView` directly or transitively. Files that
-/// fail to parse are skipped, as the paper's tooling skips decompilation
-/// failures.
-pub fn webview_subclasses(files: &[SourceFile]) -> HashSet<String> {
-    // qualified source name -> (binary name, resolved superclass).
-    let mut classes: HashMap<String, (String, Option<String>)> = HashMap::new();
+/// extend `android.webkit.WebView` directly or transitively, interned into
+/// `lexicon`. Files that fail to parse are skipped, as the paper's tooling
+/// skips decompilation failures.
+///
+/// The fixed point runs entirely on symbols: qualified names, superclass
+/// names, and the returned binary names are interned once up front, so the
+/// iteration hashes `u32`s instead of strings.
+pub fn webview_subclasses_interned(
+    files: &[SourceFile],
+    lexicon: &mut LocalInterner,
+) -> HashSet<Symbol> {
+    let webview = lexicon.intern(WEBVIEW_SOURCE_NAME);
+    // interned qualified source name -> (interned binary name, superclass).
+    let mut classes: HashMap<Symbol, (Symbol, Option<Symbol>)> = HashMap::new();
     for f in files {
         let parsed: ParsedClass = match parse_source(&f.source) {
             Ok(p) => p,
             Err(_) => continue,
         };
-        let sup = parsed.resolved_superclass();
-        classes.insert(parsed.qualified_name(), (f.binary_name.clone(), sup));
+        let sup = parsed.resolved_superclass().map(|s| lexicon.intern(&s));
+        classes.insert(
+            lexicon.intern(&parsed.qualified_name()),
+            (lexicon.intern(&f.binary_name), sup),
+        );
     }
 
     // Fixed-point: a class is a WebView subclass if its superclass is
     // WebView or an already-known subclass.
-    let mut subclass_qualified: HashSet<String> = HashSet::new();
+    let mut subclass_qualified: HashSet<Symbol> = HashSet::new();
     loop {
         let mut changed = false;
         for (qname, (_, sup)) in &classes {
@@ -34,8 +46,8 @@ pub fn webview_subclasses(files: &[SourceFile]) -> HashSet<String> {
                 continue;
             }
             if let Some(sup) = sup {
-                if sup == WEBVIEW_SOURCE_NAME || subclass_qualified.contains(sup) {
-                    subclass_qualified.insert(qname.clone());
+                if *sup == webview || subclass_qualified.contains(sup) {
+                    subclass_qualified.insert(*qname);
                     changed = true;
                 }
             }
@@ -49,6 +61,16 @@ pub fn webview_subclasses(files: &[SourceFile]) -> HashSet<String> {
         .into_iter()
         .filter(|(q, _)| subclass_qualified.contains(q))
         .map(|(_, (binary, _))| binary)
+        .collect()
+}
+
+/// String-typed convenience wrapper over [`webview_subclasses_interned`]
+/// for callers outside the interned pipeline (tests, one-off tooling).
+pub fn webview_subclasses(files: &[SourceFile]) -> HashSet<String> {
+    let mut lexicon = LocalInterner::new();
+    webview_subclasses_interned(files, &mut lexicon)
+        .into_iter()
+        .map(|s| lexicon.resolve(s).to_owned())
         .collect()
 }
 

@@ -34,6 +34,15 @@ pub struct PipelineStatsReport {
     pub stages_ms: Vec<(String, f64)>,
     /// `(failure kind, count)` taxonomy, sorted by kind.
     pub failure_kinds: Vec<(String, u64)>,
+    /// Distinct strings in the merged global symbol table.
+    pub interned_symbols: u64,
+    /// Bytes held by the global symbol table.
+    pub interned_bytes: u64,
+    /// Worker-local interner hit rate in `0.0..=1.0` (repeat lookups that
+    /// avoided allocating a new symbol).
+    pub intern_hit_rate: f64,
+    /// Worker-local package-label cache hit rate in `0.0..=1.0`.
+    pub label_hit_rate: f64,
 }
 
 impl PipelineStatsReport {
@@ -54,6 +63,24 @@ impl PipelineStatsReport {
             format!("{} (batch {})", self.workers, self.batch),
         ]);
         t.row_owned(vec!["Pool utilization".into(), percent(self.utilization)]);
+        if self.interned_symbols > 0 {
+            t.row_owned(vec![
+                "Interned symbols".into(),
+                format!(
+                    "{} ({} KiB)",
+                    thousands(self.interned_symbols),
+                    self.interned_bytes / 1024
+                ),
+            ]);
+            t.row_owned(vec![
+                "Intern cache hit rate".into(),
+                percent(self.intern_hit_rate),
+            ]);
+            t.row_owned(vec![
+                "Label cache hit rate".into(),
+                percent(self.label_hit_rate),
+            ]);
+        }
         t
     }
 
@@ -132,6 +159,10 @@ mod tests {
                 ("label".into(), 20.0),
             ],
             failure_kinds: vec![("analysis-panic".into(), 1), ("bad-magic".into(), 1)],
+            interned_symbols: 20_480,
+            interned_bytes: 524_288,
+            intern_hit_rate: 0.42,
+            label_hit_rate: 0.87,
         }
     }
 
@@ -147,6 +178,14 @@ mod tests {
         assert!(r.contains("50.0%")); // decode share of the 200ms stage total
         assert!(r.contains("Failure taxonomy"));
         assert!(r.contains("analysis-panic"));
+        assert!(r.contains("20,480 (512 KiB)"));
+        assert!(r.contains("87.0%")); // label cache hit rate
+    }
+
+    #[test]
+    fn interner_rows_are_optional() {
+        let r = PipelineStatsReport::default().render();
+        assert!(!r.contains("Interned symbols"));
     }
 
     #[test]

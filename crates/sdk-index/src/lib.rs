@@ -33,6 +33,7 @@ pub mod catalog;
 pub mod trie;
 
 use serde::{Deserialize, Serialize};
+use wla_intern::PkgId;
 
 /// SDK functional categories — exactly the rows of Table 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -73,6 +74,23 @@ impl SdkCategory {
         SdkCategory::Utility,
         SdkCategory::UserSupport,
     ];
+
+    /// Dense index of this category in [`SdkCategory::ALL`] (Table 3 row
+    /// order) — lets aggregation use flat arrays instead of keyed maps.
+    pub fn table3_index(self) -> usize {
+        match self {
+            SdkCategory::Advertising => 0,
+            SdkCategory::Payments => 1,
+            SdkCategory::DevelopmentTools => 2,
+            SdkCategory::Engagement => 3,
+            SdkCategory::Social => 4,
+            SdkCategory::Authentication => 5,
+            SdkCategory::Unknown => 6,
+            SdkCategory::HybridFunctionality => 7,
+            SdkCategory::Utility => 8,
+            SdkCategory::UserSupport => 9,
+        }
+    }
 
     /// Human-readable label used in tables.
     pub fn label(self) -> &'static str {
@@ -156,11 +174,29 @@ pub enum Label<'a> {
     Unlabeled,
 }
 
-/// The labeling index: catalog + prefix trie.
+/// [`Label`] without the borrow: a `Copy` handle suitable for storing on
+/// interned call-site summaries and for `u32`-keyed aggregation. `Sdk`
+/// carries the catalog index of the matched entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LabelId {
+    /// Attributed to a cataloged SDK (catalog index).
+    Sdk(u32),
+    /// Part of the core Android SDK.
+    CoreAndroid,
+    /// ProGuard-style obfuscated package (heuristic or obfuscated catalog
+    /// entry — merged, exactly as [`SdkIndex::label`] merges them).
+    Obfuscated,
+    /// No catalog match.
+    Unlabeled,
+}
+
+/// The labeling index: catalog + prefix tries (string-keyed baseline and
+/// segment-interned hot path).
 #[derive(Debug, Clone)]
 pub struct SdkIndex {
     sdks: Vec<Sdk>,
     trie: trie::PrefixTrie,
+    interned_trie: trie::InternedTrie,
 }
 
 /// Prefix excluded from SDK attribution.
@@ -170,12 +206,18 @@ impl SdkIndex {
     /// Build an index over an arbitrary catalog.
     pub fn new(sdks: Vec<Sdk>) -> Self {
         let mut trie = trie::PrefixTrie::new();
+        let mut interned_trie = trie::InternedTrie::new();
         for (i, sdk) in sdks.iter().enumerate() {
             for p in &sdk.prefixes {
                 trie.insert(p, i as u32);
+                interned_trie.insert(p, i as u32);
             }
         }
-        SdkIndex { sdks, trie }
+        SdkIndex {
+            sdks,
+            trie,
+            interned_trie,
+        }
     }
 
     /// The full paper catalog (Tables 3–5).
@@ -243,6 +285,62 @@ impl SdkIndex {
             None if is_obfuscated_package(package) => Label::Obfuscated,
             None => Label::Unlabeled,
         }
+    }
+
+    /// [`label`](Self::label) on the segment-interned trie, returning the
+    /// `Copy` [`LabelId`] the interned pipeline stores on call sites.
+    /// Semantics are identical to `label`: `com.google.android` precedence,
+    /// longest prefix match, obfuscated catalog entries and the obfuscation
+    /// heuristic both collapse to [`LabelId::Obfuscated`].
+    pub fn label_id(&self, package: &str) -> LabelId {
+        if package == CORE_ANDROID_PREFIX || package.starts_with("com.google.android.") {
+            return LabelId::CoreAndroid;
+        }
+        if let Some(idx) = self.interned_trie.longest_match(package) {
+            if self.sdks[idx as usize].obfuscated {
+                return LabelId::Obfuscated;
+            }
+            return LabelId::Sdk(idx);
+        }
+        if is_obfuscated_package(package) {
+            return LabelId::Obfuscated;
+        }
+        LabelId::Unlabeled
+    }
+}
+
+/// Per-worker package-label memo: [`PkgId`] → [`LabelId`].
+///
+/// Caller packages repeat massively across call sites and apps (every
+/// AppLovin app calls from the same handful of packages), and within one
+/// worker a [`PkgId`] is a stable dense key — so after the first trie walk
+/// a label costs one `u32`-hash probe. Hit/miss counters feed the
+/// pipeline's interner observability.
+#[derive(Debug, Default)]
+pub struct LabelCache {
+    map: std::collections::HashMap<u32, LabelId, wla_intern::U32BuildHasher>,
+    /// Labels served from the memo.
+    pub hits: u64,
+    /// Labels that walked the trie.
+    pub misses: u64,
+}
+
+impl LabelCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Label `pkg` (whose resolved text is `package`), memoized.
+    pub fn label(&mut self, catalog: &SdkIndex, pkg: PkgId, package: &str) -> LabelId {
+        if let Some(&l) = self.map.get(&pkg.symbol().raw()) {
+            self.hits += 1;
+            return l;
+        }
+        self.misses += 1;
+        let l = catalog.label_id(package);
+        self.map.insert(pkg.symbol().raw(), l);
+        l
     }
 }
 
@@ -388,6 +486,83 @@ mod tests {
             let b = format!("{:?}", index.label_linear(p));
             assert_eq!(a, b, "mismatch for {p}");
         }
+    }
+
+    /// Project a borrow-carrying [`Label`] onto the `Copy` [`LabelId`]
+    /// space for equality checks.
+    fn label_as_id(index: &SdkIndex, l: Label<'_>) -> LabelId {
+        match l {
+            Label::Sdk(sdk) => LabelId::Sdk(
+                index
+                    .sdks()
+                    .iter()
+                    .position(|s| std::ptr::eq(s, sdk))
+                    .expect("label borrows from the catalog") as u32,
+            ),
+            Label::CoreAndroid => LabelId::CoreAndroid,
+            Label::Obfuscated => LabelId::Obfuscated,
+            Label::Unlabeled => LabelId::Unlabeled,
+        }
+    }
+
+    #[test]
+    fn label_id_agrees_with_label_on_catalog_probes() {
+        let index = SdkIndex::paper();
+        let probes = [
+            "com.applovin.adview",
+            "com.applovin",
+            "com.applovinx",
+            "com.google.android",
+            "com.google.android.gms.ads",
+            "com.google.firebase.auth.internal",
+            "io.flutter.plugins.webview",
+            "zendesk.support.ui",
+            "a.b",
+            "ab.cd.ef",
+            "com.unknownthing.x",
+            "epic.mychart.android",
+            "com.navercorp.nid.oauth",
+        ];
+        for p in probes {
+            assert_eq!(
+                index.label_id(p),
+                label_as_id(&index, index.label(p)),
+                "mismatch for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_id_agrees_with_label_on_every_catalog_prefix() {
+        let index = SdkIndex::paper();
+        let prefixes: Vec<String> = index
+            .sdks()
+            .iter()
+            .flat_map(|s| s.prefixes.iter().cloned())
+            .collect();
+        for p in &prefixes {
+            for probe in [p.clone(), format!("{p}.internal.ui"), format!("{p}x")] {
+                assert_eq!(
+                    index.label_id(&probe),
+                    label_as_id(&index, index.label(&probe)),
+                    "mismatch for {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_cache_memoizes_by_pkgid() {
+        use wla_intern::LocalInterner;
+        let index = SdkIndex::paper();
+        let mut lex = LocalInterner::new();
+        let mut cache = LabelCache::new();
+        let pkg = PkgId(lex.intern("com.applovin.adview"));
+        let first = cache.label(&index, pkg, "com.applovin.adview");
+        let second = cache.label(&index, pkg, "com.applovin.adview");
+        assert_eq!(first, second);
+        assert!(matches!(first, LabelId::Sdk(_)));
+        assert_eq!((cache.hits, cache.misses), (1, 1));
     }
 
     #[test]

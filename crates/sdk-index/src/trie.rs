@@ -6,6 +6,7 @@
 //! compares this against a linear scan of all prefixes.
 
 use std::collections::HashMap;
+use wla_intern::{FxBuildHasher, U32BuildHasher};
 
 #[derive(Debug, Clone, Default)]
 struct Node {
@@ -42,7 +43,14 @@ impl PrefixTrie {
     pub fn insert(&mut self, prefix: &str, value: u32) {
         let mut node = &mut self.root;
         for seg in prefix.split('.') {
-            node = node.children.entry(seg.to_owned()).or_default();
+            // Probe before `entry`: the entry API would allocate an owned
+            // key for every segment even when the child already exists,
+            // which for a catalog of shared roots (`com.*`) is most of them.
+            node = if node.children.contains_key(seg) {
+                node.children.get_mut(seg).expect("probed above")
+            } else {
+                node.children.entry(seg.to_owned()).or_default()
+            };
         }
         if node.value.replace(value).is_none() {
             self.len += 1;
@@ -62,6 +70,112 @@ impl PrefixTrie {
                     }
                 }
                 None => break,
+            }
+        }
+        best
+    }
+
+    /// Whether `package` has any inserted prefix.
+    pub fn contains_prefix_of(&self, package: &str) -> bool {
+        self.longest_match(package).is_some()
+    }
+}
+
+/// Arena node of [`InternedTrie`]: children keyed by interned segment id.
+#[derive(Debug, Clone, Default)]
+struct INode {
+    children: HashMap<u32, u32, U32BuildHasher>,
+    value: Option<u32>,
+}
+
+/// [`PrefixTrie`] variant keyed by *interned segments*.
+///
+/// Each distinct dot-separated segment (`com`, `applovin`, …) is assigned
+/// a `u32` id in a private segment table; trie edges are then `u32 → node`
+/// maps hashed with a single multiply. A lookup hashes each segment string
+/// exactly once (the segment-table probe) and walks the rest of the trie
+/// on integer keys; a segment never seen in any inserted prefix terminates
+/// the walk immediately, without per-node string hashing. Nodes live in a
+/// flat arena (`Vec`), so descent is index chasing, not pointer chasing.
+#[derive(Debug, Clone)]
+pub struct InternedTrie {
+    /// Segment string → segment id.
+    segments: HashMap<Box<str>, u32, FxBuildHasher>,
+    /// Node arena; index 0 is the root.
+    nodes: Vec<INode>,
+    len: usize,
+}
+
+impl Default for InternedTrie {
+    fn default() -> Self {
+        InternedTrie {
+            segments: HashMap::default(),
+            nodes: vec![INode::default()],
+            len: 0,
+        }
+    }
+}
+
+impl InternedTrie {
+    /// Empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn segment_id(&mut self, seg: &str) -> u32 {
+        if let Some(&id) = self.segments.get(seg) {
+            return id;
+        }
+        let id = self.segments.len() as u32;
+        self.segments.insert(Box::from(seg), id);
+        id
+    }
+
+    /// Insert `prefix` (dotted) with payload `value`. Re-inserting a prefix
+    /// overwrites its payload.
+    pub fn insert(&mut self, prefix: &str, value: u32) {
+        let mut node = 0usize;
+        for seg in prefix.split('.') {
+            let sid = self.segment_id(seg);
+            node = match self.nodes[node].children.get(&sid) {
+                Some(&child) => child as usize,
+                None => {
+                    let child = self.nodes.len();
+                    self.nodes.push(INode::default());
+                    self.nodes[node].children.insert(sid, child as u32);
+                    child
+                }
+            };
+        }
+        if self.nodes[node].value.replace(value).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Payload of the longest inserted prefix of `package`, if any.
+    pub fn longest_match(&self, package: &str) -> Option<u32> {
+        let mut node = &self.nodes[0];
+        let mut best = node.value;
+        for seg in package.split('.') {
+            let Some(&sid) = self.segments.get(seg) else {
+                break;
+            };
+            let Some(&child) = node.children.get(&sid) else {
+                break;
+            };
+            node = &self.nodes[child as usize];
+            if node.value.is_some() {
+                best = node.value;
             }
         }
         best
@@ -142,5 +256,65 @@ mod tests {
             t.insert("io.flutter", 2);
             prop_assert_eq!(t.longest_match(&pkg), None);
         }
+
+        /// The segment-interned trie, the string trie, and a linear scan
+        /// agree on arbitrary dotted prefixes and probes — the interning
+        /// refactor must not change a single label.
+        #[test]
+        fn prop_interned_trie_agrees_with_string_trie_and_linear_scan(
+            prefixes in proptest::collection::hash_set("[a-z]{1,4}(\\.[a-z]{1,4}){0,3}", 1..16),
+            probes in proptest::collection::vec("[a-z]{1,4}(\\.[a-z]{1,4}){0,5}", 1..32),
+        ) {
+            let prefixes: Vec<String> = prefixes.into_iter().collect();
+            let mut strie = PrefixTrie::new();
+            let mut itrie = InternedTrie::new();
+            for (i, p) in prefixes.iter().enumerate() {
+                strie.insert(p, i as u32);
+                itrie.insert(p, i as u32);
+            }
+            prop_assert_eq!(itrie.len(), strie.len());
+            // Probe both the random packages and the prefixes themselves
+            // (plus a descendant of each) for boundary coverage.
+            let mut all = probes;
+            for p in &prefixes {
+                all.push(p.clone());
+                all.push(format!("{p}.zz"));
+            }
+            for probe in &all {
+                // Linear-scan oracle: longest segment-aligned prefix wins.
+                let linear = prefixes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        probe == *p
+                            || (probe.len() > p.len()
+                                && probe.starts_with(p.as_str())
+                                && probe.as_bytes()[p.len()] == b'.')
+                    })
+                    .max_by_key(|(_, p)| p.len())
+                    .map(|(i, _)| i as u32);
+                prop_assert_eq!(strie.longest_match(probe), linear, "string trie, {}", probe);
+                prop_assert_eq!(itrie.longest_match(probe), linear, "interned trie, {}", probe);
+            }
+        }
+    }
+
+    #[test]
+    fn interned_trie_basics() {
+        let mut t = InternedTrie::new();
+        t.insert("com.applovin", 1);
+        t.insert("com.naver.maps", 2);
+        t.insert("com.naver", 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.longest_match("com.applovin.adview"), Some(1));
+        assert_eq!(t.longest_match("com.applovinx"), None);
+        assert_eq!(t.longest_match("com.naver.maps.geo"), Some(2));
+        assert_eq!(t.longest_match("com.naver.login"), Some(3));
+        assert_eq!(t.longest_match("org.other"), None);
+        assert!(t.contains_prefix_of("com.naver.x"));
+        // Reinsert overwrites without growing.
+        t.insert("com.applovin", 9);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.longest_match("com.applovin"), Some(9));
     }
 }

@@ -1,12 +1,25 @@
 //! Corpus-level aggregation: everything Tables 3/4/5/7 and Figures 3/4
 //! report, computed from per-app analyses plus the SDK index.
+//!
+//! The hot loop runs entirely on the interned IR: methods are counted by
+//! their record-time [`WEBVIEW_CONTENT_METHODS`] index, packages by their
+//! record-time [`LabelId`], and SDKs by catalog index into flat arrays.
+//! No symbol is resolved and no `String` is hashed anywhere in here —
+//! the only strings the result owns are display names copied at the very
+//! end (method names, SDK names).
+//!
+//! [`WEBVIEW_CONTENT_METHODS`]: wla_apk::names::WEBVIEW_CONTENT_METHODS
 
 use crate::analyze::AppAnalysis;
 use crate::pipeline::PipelineOutput;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use wla_corpus::playstore::PlayCategory;
 use wla_corpus::METHODS;
-use wla_sdk_index::{Label, SdkCategory, SdkIndex};
+use wla_intern::U32BuildHasher;
+use wla_sdk_index::{LabelId, SdkCategory, SdkIndex};
+
+/// Number of SDK categories (Table 3 rows).
+const NCAT: usize = SdkCategory::ALL.len();
 
 /// Per-SDK usage counts (Tables 4 and 5 rows).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,16 +140,11 @@ pub fn aggregate(
     top_sdk_threshold: usize,
 ) -> StudyResults {
     let analyses: Vec<&AppAnalysis> = output.analyzed().collect();
+    let n_sdks = catalog.sdks().len();
 
-    // Per-SDK app sets (by catalog index).
-    let mut sdk_wv_apps: HashMap<usize, usize> = HashMap::new();
-    let mut sdk_ct_apps: HashMap<usize, usize> = HashMap::new();
-    let sdk_position: HashMap<*const wla_sdk_index::Sdk, usize> = catalog
-        .sdks()
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s as *const _, i))
-        .collect();
+    // Per-SDK app counts, indexed by catalog position.
+    let mut sdk_wv_apps: Vec<usize> = vec![0; n_sdks];
+    let mut sdk_ct_apps: Vec<usize> = vec![0; n_sdks];
 
     let mut webview_apps = 0usize;
     let mut ct_apps = 0usize;
@@ -152,14 +160,19 @@ pub fn aggregate(
     let mut method_apps = [0usize; 7];
     let mut method_via = [0usize; 7];
 
-    // Figure 4 accumulators: per SDK category, apps using it (wv) and per
-    // method, apps where that category's SDK code calls the method.
-    let mut cat_apps: BTreeMap<SdkCategory, usize> = BTreeMap::new();
-    let mut cat_method_apps: BTreeMap<SdkCategory, [usize; 7]> = BTreeMap::new();
+    // Figure 4 accumulators, indexed by `SdkCategory::table3_index`:
+    // per SDK category, apps using it (wv) and per method, apps where
+    // that category's SDK code calls the method.
+    let mut cat_apps = [0usize; NCAT];
+    let mut cat_method_apps = [[0usize; 7]; NCAT];
 
-    // Figure 3 accumulators.
-    let mut play_wv: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>> = BTreeMap::new();
-    let mut play_ct: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>> = BTreeMap::new();
+    // Figure 3 accumulators: Play category → per-SDK-category app counts.
+    let mut play_wv: BTreeMap<PlayCategory, [usize; NCAT]> = BTreeMap::new();
+    let mut play_ct: BTreeMap<PlayCategory, [usize; NCAT]> = BTreeMap::new();
+
+    // Per-app scratch, reused across the corpus (cleared, not realloc'd).
+    let mut app_wv_sdks: HashSet<u32, U32BuildHasher> = HashSet::default();
+    let mut app_ct_sdks: HashSet<u32, U32BuildHasher> = HashSet::default();
 
     let mut wv_no_deeplink_excl = 0usize;
     let mut wv_no_reach = 0usize;
@@ -185,53 +198,39 @@ pub fn aggregate(
             both_apps += 1;
         }
 
-        // Label caller packages once per app.
-        let mut app_wv_sdks: HashSet<usize> = HashSet::new();
-        let mut app_ct_sdks: HashSet<usize> = HashSet::new();
+        // Record-time labels: no trie walks, no package strings here.
+        app_wv_sdks.clear();
+        app_ct_sdks.clear();
         let mut app_obfuscated = false;
         let mut app_unlabeled = false;
         // Methods called, and methods called from any labeled SDK package.
         let mut methods = [false; 7];
         let mut methods_sdk = [false; 7];
         // Per SDK category, methods called from that category's packages.
-        let mut methods_by_cat: HashMap<SdkCategory, [bool; 7]> = HashMap::new();
+        let mut methods_by_cat = [[false; 7]; NCAT];
 
         for site in a.third_party_webview() {
-            let mi = METHODS
-                .iter()
-                .position(|m| *m == site.method)
-                .expect("known method");
+            let mi = site.method_idx as usize;
             methods[mi] = true;
-            let label = site
-                .caller_package
-                .as_deref()
-                .map(|p| catalog.label(p))
-                .unwrap_or(Label::Unlabeled);
-            match label {
-                Label::Sdk(sdk) => {
+            match site.label {
+                LabelId::Sdk(idx) => {
                     methods_sdk[mi] = true;
-                    methods_by_cat.entry(sdk.category).or_default()[mi] = true;
+                    let cat = catalog.sdks()[idx as usize].category;
+                    methods_by_cat[cat.table3_index()][mi] = true;
                     if site.is_load_method {
-                        let idx = sdk_position[&(sdk as *const _)];
                         app_wv_sdks.insert(idx);
                     }
                 }
-                Label::Obfuscated if site.is_load_method => app_obfuscated = true,
-                Label::Unlabeled if site.is_load_method => app_unlabeled = true,
+                LabelId::Obfuscated if site.is_load_method => app_obfuscated = true,
+                LabelId::Unlabeled if site.is_load_method => app_unlabeled = true,
                 _ => {}
             }
         }
         for site in a.third_party_ct() {
-            if site.method != wla_apk::names::CT_LAUNCH_METHOD {
+            if !site.is_launch {
                 continue;
             }
-            let label = site
-                .caller_package
-                .as_deref()
-                .map(|p| catalog.label(p))
-                .unwrap_or(Label::Unlabeled);
-            if let Label::Sdk(sdk) = label {
-                let idx = sdk_position[&(sdk as *const _)];
+            if let LabelId::Sdk(idx) = site.label {
                 app_ct_sdks.insert(idx);
             }
         }
@@ -244,11 +243,11 @@ pub fn aggregate(
                 method_via[i] += 1;
             }
         }
-        for idx in &app_wv_sdks {
-            *sdk_wv_apps.entry(*idx).or_default() += 1;
+        for &idx in &app_wv_sdks {
+            sdk_wv_apps[idx as usize] += 1;
         }
-        for idx in &app_ct_sdks {
-            *sdk_ct_apps.entry(*idx).or_default() += 1;
+        for &idx in &app_ct_sdks {
+            sdk_ct_apps[idx as usize] += 1;
         }
         if app_obfuscated {
             obfuscated_caller_apps += 1;
@@ -269,52 +268,55 @@ pub fn aggregate(
             both_via += 1;
         }
 
-        // Figure 4.
-        let app_cats: HashSet<SdkCategory> = app_wv_sdks
-            .iter()
-            .map(|&i| catalog.sdks()[i].category)
-            .collect();
-        for cat in &app_cats {
-            *cat_apps.entry(*cat).or_default() += 1;
-            let row = cat_method_apps.entry(*cat).or_default();
-            if let Some(ms) = methods_by_cat.get(cat) {
-                for (i, &hit) in ms.iter().enumerate() {
-                    if hit {
-                        row[i] += 1;
-                    }
+        // Figure 4: categories of this app's load-method SDK callers.
+        let mut app_cats = [false; NCAT];
+        for &idx in &app_wv_sdks {
+            app_cats[catalog.sdks()[idx as usize].category.table3_index()] = true;
+        }
+        for (t3, &used) in app_cats.iter().enumerate() {
+            if !used {
+                continue;
+            }
+            cat_apps[t3] += 1;
+            for (i, &hit) in methods_by_cat[t3].iter().enumerate() {
+                if hit {
+                    cat_method_apps[t3][i] += 1;
                 }
             }
         }
 
         // Figure 3.
-        for cat in &app_cats {
-            *play_wv
-                .entry(a.meta.category)
-                .or_default()
-                .entry(*cat)
-                .or_default() += 1;
+        if app_cats.iter().any(|&u| u) {
+            let row = play_wv.entry(a.meta.category).or_insert([0; NCAT]);
+            for (t3, &used) in app_cats.iter().enumerate() {
+                if used {
+                    row[t3] += 1;
+                }
+            }
         }
-        let ct_cats: HashSet<SdkCategory> = app_ct_sdks
-            .iter()
-            .map(|&i| catalog.sdks()[i].category)
-            .collect();
-        for cat in &ct_cats {
-            *play_ct
-                .entry(a.meta.category)
-                .or_default()
-                .entry(*cat)
-                .or_default() += 1;
+        let mut ct_cats = [false; NCAT];
+        for &idx in &app_ct_sdks {
+            ct_cats[catalog.sdks()[idx as usize].category.table3_index()] = true;
+        }
+        if ct_cats.iter().any(|&u| u) {
+            let row = play_ct.entry(a.meta.category).or_insert([0; NCAT]);
+            for (t3, &used) in ct_cats.iter().enumerate() {
+                if used {
+                    row[t3] += 1;
+                }
+            }
         }
     }
 
-    // Per-SDK usage rows above the popularity threshold.
+    // Per-SDK usage rows above the popularity threshold. Display names are
+    // copied here, at the report boundary.
     let mut sdk_usage: Vec<SdkUsageRow> = catalog
         .sdks()
         .iter()
         .enumerate()
         .filter_map(|(i, sdk)| {
-            let wv = sdk_wv_apps.get(&i).copied().unwrap_or(0);
-            let ct = sdk_ct_apps.get(&i).copied().unwrap_or(0);
+            let wv = sdk_wv_apps[i];
+            let ct = sdk_ct_apps[i];
             if wv.max(ct) >= top_sdk_threshold.max(1) && !sdk.obfuscated {
                 Some(SdkUsageRow {
                     name: sdk.name.clone(),
@@ -355,18 +357,17 @@ pub fn aggregate(
         })
         .collect();
 
-    // Figure 4 rows.
-    let heatmap = cat_apps
+    // Figure 4 rows, in `SdkCategory` order (the order keyed maps used to
+    // produce) — only categories with observed apps appear.
+    let mut heatmap: Vec<HeatmapRow> = SdkCategory::ALL
         .iter()
-        .map(|(&category, &apps)| {
-            let hits = cat_method_apps.get(&category).copied().unwrap_or_default();
+        .filter(|c| cat_apps[c.table3_index()] > 0)
+        .map(|&category| {
+            let t3 = category.table3_index();
+            let apps = cat_apps[t3];
             let mut frac = [0f64; 7];
             for i in 0..7 {
-                frac[i] = if apps > 0 {
-                    hits[i] as f64 / apps as f64
-                } else {
-                    0.0
-                };
+                frac[i] = cat_method_apps[t3][i] as f64 / apps as f64;
             }
             HeatmapRow {
                 category,
@@ -375,17 +376,25 @@ pub fn aggregate(
             }
         })
         .collect();
+    heatmap.sort_by_key(|r| r.category);
 
     // Figure 3 top-10 panels.
-    let top10 = |map: BTreeMap<PlayCategory, BTreeMap<SdkCategory, usize>>| {
+    let top10 = |map: BTreeMap<PlayCategory, [usize; NCAT]>| {
         let mut rows: Vec<CategoryBreakdown> = map
             .into_iter()
             .map(|(play_category, by)| {
-                let total = by.values().sum();
+                let mut by_sdk_category: Vec<(SdkCategory, usize)> = SdkCategory::ALL
+                    .iter()
+                    .filter_map(|&c| {
+                        let count = by[c.table3_index()];
+                        (count > 0).then_some((c, count))
+                    })
+                    .collect();
+                by_sdk_category.sort_by_key(|&(c, _)| c);
                 CategoryBreakdown {
                     play_category,
-                    total,
-                    by_sdk_category: by.into_iter().collect(),
+                    total: by_sdk_category.iter().map(|&(_, n)| n).sum(),
+                    by_sdk_category,
                 }
             })
             .collect();
@@ -449,7 +458,7 @@ mod tests {
                 bytes: g.bytes.clone(),
             })
             .collect();
-        let out = run_pipeline(&inputs, PipelineConfig::default());
+        let out = run_pipeline(&inputs, &catalog, PipelineConfig::default());
         let threshold = (100 / scale as usize).max(1);
         (aggregate(&out, &catalog, threshold), apps)
     }

@@ -1,14 +1,22 @@
 //! Per-app static analysis: container → decoded artifacts → decompiled
 //! subclass map → call graph → recorded, deep-link-filtered call sites.
+//!
+//! Everything downstream of decoding speaks the interned IR: site
+//! summaries carry [`Symbol`]/[`PkgId`] handles resolved against the
+//! worker's [`LocalInterner`], and package labels are baked in at record
+//! time. The only strings an [`AppAnalysis`] owns are the manifest package
+//! and the Play metadata.
 
 use std::collections::HashSet;
 use std::time::Instant;
-use wla_apk::names::package_of;
+use wla_apk::names::WEBVIEW_CONTENT_METHODS;
 use wla_apk::{ApkError, Dex, Sapk};
 use wla_callgraph::{entry_points, record_web_calls, CallGraph, WebCallRecord};
 use wla_corpus::playstore::AppMeta;
-use wla_decompile::{lift_dex, webview_subclasses};
+use wla_decompile::{lift_dex, webview_subclasses_interned};
+use wla_intern::{LocalInterner, PkgId, Symbol};
 use wla_manifest::{wireformat, Manifest};
+use wla_sdk_index::{LabelCache, LabelId, SdkIndex};
 
 /// Wall-clock nanoseconds spent in each per-app analysis stage.
 ///
@@ -44,15 +52,49 @@ impl StageTimings {
     }
 }
 
+/// Per-worker analysis state threaded through [`analyze_app_timed_with`]:
+/// the shared catalog plus the worker-local string lexicon and package-label
+/// memo. One context serves many apps; its lexicon is merged into the
+/// global interner when the pipeline joins.
+#[derive(Debug)]
+pub struct AnalysisCtx<'c> {
+    /// SDK catalog used for record-time package labeling.
+    pub catalog: &'c SdkIndex,
+    /// Worker-local interner; every symbol in this worker's analyses
+    /// resolves against it.
+    pub lexicon: LocalInterner,
+    /// Package-label memo shared across this worker's apps.
+    pub labels: LabelCache,
+}
+
+impl<'c> AnalysisCtx<'c> {
+    /// Fresh context over `catalog`.
+    pub fn new(catalog: &'c SdkIndex) -> Self {
+        AnalysisCtx {
+            catalog,
+            lexicon: LocalInterner::new(),
+            labels: LabelCache::new(),
+        }
+    }
+}
+
 /// One reachable WebView content-method call, summarized for aggregation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Names are symbols in the producing [`AnalysisCtx`]'s lexicon (or the
+/// global table after the pipeline remap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WebViewSiteSummary {
     /// Method name (`loadUrl`, …).
-    pub method: String,
+    pub method: Symbol,
+    /// Position of the method in
+    /// [`WEBVIEW_CONTENT_METHODS`](wla_apk::names::WEBVIEW_CONTENT_METHODS);
+    /// Table 7 accounting indexes by this.
+    pub method_idx: u8,
     /// Binary name of the calling class.
-    pub caller_class: String,
+    pub caller_class: Symbol,
     /// Dotted package of the calling class (`None` for default package).
-    pub caller_package: Option<String>,
+    pub caller_package: Option<PkgId>,
+    /// Catalog label of the caller package, fixed at record time.
+    pub label: LabelId,
     /// The call sits inside a deep-link (first-party) activity and is
     /// excluded from third-party accounting.
     pub in_deep_link_activity: bool,
@@ -62,14 +104,18 @@ pub struct WebViewSiteSummary {
 }
 
 /// One reachable Custom-Tabs interaction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CtSiteSummary {
     /// `launchUrl`, `build`, or `<init>`.
-    pub method: String,
+    pub method: Symbol,
+    /// Whether this is the content-populating `launchUrl`.
+    pub is_launch: bool,
     /// Binary name of the calling class.
-    pub caller_class: String,
+    pub caller_class: Symbol,
     /// Dotted package of the calling class.
-    pub caller_package: Option<String>,
+    pub caller_package: Option<PkgId>,
+    /// Catalog label of the caller package, fixed at record time.
+    pub label: LabelId,
     /// Deep-link exclusion flag (parallel to WebView sites).
     pub in_deep_link_activity: bool,
 }
@@ -85,8 +131,9 @@ pub struct AppAnalysis {
     pub webview_sites: Vec<WebViewSiteSummary>,
     /// Reachable CT call sites.
     pub ct_sites: Vec<CtSiteSummary>,
-    /// Binary names of `extends WebView` classes found by decompilation.
-    pub custom_webview_classes: Vec<String>,
+    /// `extends WebView` classes found by decompilation, sorted by
+    /// resolved binary name.
+    pub custom_webview_classes: Vec<Symbol>,
     /// Unreachable WebView call sites that were discarded (kept as a count
     /// for the traversal ablation).
     pub unreachable_webview_sites: usize,
@@ -115,15 +162,53 @@ impl AppAnalysis {
         self.third_party_ct().next().is_some()
     }
 
-    /// Distinct method names called (third-party sites only).
-    pub fn methods_used(&self) -> HashSet<&str> {
+    /// Bitmask over `WEBVIEW_CONTENT_METHODS` of distinct methods called
+    /// (third-party sites only) — bit `i` set iff method `i` is used.
+    pub fn method_mask(&self) -> u8 {
         self.third_party_webview()
-            .map(|s| s.method.as_str())
+            .fold(0u8, |m, s| m | (1 << s.method_idx))
+    }
+
+    /// Distinct method names called (third-party sites only), recovered
+    /// from the mask — no symbol resolution involved.
+    pub fn methods_used(&self) -> HashSet<&'static str> {
+        let mask = self.method_mask();
+        WEBVIEW_CONTENT_METHODS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, m)| *m)
             .collect()
+    }
+
+    /// Rewrite every symbol through `f` — used by the pipeline to translate
+    /// worker-local symbols into the global table at join time.
+    pub fn remap_symbols(&mut self, f: &mut impl FnMut(Symbol) -> Symbol) {
+        for s in &mut self.webview_sites {
+            s.method = f(s.method);
+            s.caller_class = f(s.caller_class);
+            if let Some(p) = &mut s.caller_package {
+                *p = PkgId(f(p.symbol()));
+            }
+        }
+        for s in &mut self.ct_sites {
+            s.method = f(s.method);
+            s.caller_class = f(s.caller_class);
+            if let Some(p) = &mut s.caller_package {
+                *p = PkgId(f(p.symbol()));
+            }
+        }
+        for c in &mut self.custom_webview_classes {
+            *c = f(*c);
+        }
     }
 }
 
-/// Run the full per-app pipeline on raw container bytes.
+/// Run the full per-app pipeline on raw container bytes, with a private
+/// single-use context over the paper catalog. Convenience for one-off
+/// callers; batch callers should reuse an [`AnalysisCtx`] via
+/// [`analyze_app_timed_with`] (symbols are only meaningful against the
+/// context that produced them).
 ///
 /// Multi-dex containers are handled the way the paper's tooling handles
 /// `classes2.dex`: every dex section is decoded (one broken dex makes the
@@ -138,13 +223,24 @@ pub fn analyze_app(meta: AppMeta, bytes: &[u8]) -> Result<AppAnalysis, ApkError>
 }
 
 /// [`analyze_app`] plus per-stage wall-clock timings.
+pub fn analyze_app_timed(
+    meta: AppMeta,
+    bytes: &[u8],
+) -> (Result<AppAnalysis, ApkError>, StageTimings) {
+    let catalog = SdkIndex::paper();
+    let mut ctx = AnalysisCtx::new(&catalog);
+    analyze_app_timed_with(meta, bytes, &mut ctx)
+}
+
+/// The per-app pipeline against a reusable worker context.
 ///
 /// The timings are always returned, even when the result is an error: a
 /// broken container still spends (and reports) its decode time, which is
 /// what the pipeline's failure-taxonomy throughput accounting wants.
-pub fn analyze_app_timed(
+pub fn analyze_app_timed_with(
     meta: AppMeta,
     bytes: &[u8],
+    ctx: &mut AnalysisCtx<'_>,
 ) -> (Result<AppAnalysis, ApkError>, StageTimings) {
     let mut timings = StageTimings::default();
 
@@ -163,27 +259,37 @@ pub fn analyze_app_timed(
     for dex in &dexes {
         sources.extend(lift_dex(dex));
     }
-    let subclasses = webview_subclasses(&sources);
+    let subclasses = webview_subclasses_interned(&sources, &mut ctx.lexicon);
     timings.decompile_ns = started.elapsed().as_nanos() as u64;
 
-    // (4) call graph; (5) traversal + recording — per dex.
+    // (4) call graph; (5) traversal + recording — per dex. Recording
+    // interns every retained name and labels caller packages in one pass.
     let started = Instant::now();
     let records: Vec<WebCallRecord> = dexes
         .iter()
         .map(|dex| {
             let graph = CallGraph::build(dex);
             let roots = entry_points(&graph, &manifest);
-            record_web_calls(&graph, &roots, &subclasses)
+            record_web_calls(
+                &graph,
+                &roots,
+                &subclasses,
+                ctx.catalog,
+                &mut ctx.lexicon,
+                &mut ctx.labels,
+            )
         })
         .collect();
     timings.callgraph_ns = started.elapsed().as_nanos() as u64;
 
-    // §3.1.3–3.1.4: deep-link exclusion and call-site package labels.
+    // §3.1.3–3.1.4: deep-link exclusion. Non-inserting lookups: a
+    // deep-link class no site referenced was never interned and can't
+    // match anything.
     let started = Instant::now();
-    let deep_link_classes: HashSet<&str> = manifest
+    let deep_link_classes: HashSet<Symbol> = manifest
         .deep_link_activities()
         .iter()
-        .map(|c| c.class_name.as_str())
+        .filter_map(|c| ctx.lexicon.get(&c.class_name))
         .collect();
 
     let mut webview_sites = Vec::new();
@@ -193,11 +299,13 @@ pub fn analyze_app_timed(
         unreachable_webview_sites += record.webview.iter().filter(|s| !s.reachable).count();
         webview_sites.extend(record.webview.iter().filter(|s| s.reachable).map(|s| {
             WebViewSiteSummary {
-                method: s.method.clone(),
-                caller_package: package_of(&s.caller_class),
-                in_deep_link_activity: deep_link_classes.contains(s.caller_class.as_str()),
-                is_load_method: wla_apk::names::WEBVIEW_LOAD_METHODS.contains(&s.method.as_str()),
-                caller_class: s.caller_class.clone(),
+                method: s.method,
+                method_idx: s.method_idx,
+                caller_class: s.caller_class,
+                caller_package: s.caller_package,
+                label: s.label,
+                in_deep_link_activity: deep_link_classes.contains(&s.caller_class),
+                is_load_method: s.is_load_method,
             }
         }));
         ct_sites.extend(
@@ -206,16 +314,18 @@ pub fn analyze_app_timed(
                 .iter()
                 .filter(|s| s.reachable)
                 .map(|s| CtSiteSummary {
-                    method: s.method.clone(),
-                    caller_package: package_of(&s.caller_class),
-                    in_deep_link_activity: deep_link_classes.contains(s.caller_class.as_str()),
-                    caller_class: s.caller_class.clone(),
+                    method: s.method,
+                    is_launch: s.is_launch,
+                    caller_class: s.caller_class,
+                    caller_package: s.caller_package,
+                    label: s.label,
+                    in_deep_link_activity: deep_link_classes.contains(&s.caller_class),
                 }),
         );
     }
 
-    let mut custom_webview_classes: Vec<String> = subclasses.into_iter().collect();
-    custom_webview_classes.sort();
+    let mut custom_webview_classes: Vec<Symbol> = subclasses.into_iter().collect();
+    custom_webview_classes.sort_by(|a, b| ctx.lexicon.resolve(*a).cmp(ctx.lexicon.resolve(*b)));
     timings.label_ns = started.elapsed().as_nanos() as u64;
 
     let analysis = AppAnalysis {
@@ -258,7 +368,6 @@ mod tests {
     use wla_corpus::lowering::lower;
     use wla_corpus::playstore::PlayCategory;
     use wla_corpus::EcosystemParams;
-    use wla_sdk_index::SdkIndex;
 
     fn meta() -> AppMeta {
         AppMeta {
@@ -361,12 +470,15 @@ mod tests {
         spec.dead_code_webview = false;
         let mut rng = StdRng::seed_from_u64(3);
         let bytes = lower(&spec, &catalog, &mut rng).encode();
-        let analysis = analyze_app(meta(), &bytes).unwrap();
+        let mut ctx = AnalysisCtx::new(&catalog);
+        let analysis = analyze_app_timed_with(meta(), &bytes, &mut ctx).0.unwrap();
         assert!(analysis.uses_webview());
-        assert_eq!(
-            analysis.custom_webview_classes,
-            vec!["com/testapp/example/web/AppWebView".to_owned()]
-        );
+        let resolved: Vec<&str> = analysis
+            .custom_webview_classes
+            .iter()
+            .map(|s| ctx.lexicon.resolve(*s))
+            .collect();
+        assert_eq!(resolved, vec!["com/testapp/example/web/AppWebView"]);
     }
 
     #[test]
@@ -406,17 +518,24 @@ mod tests {
         spec.dead_code_webview = false;
         let mut rng = StdRng::seed_from_u64(5);
         let bytes = lower(&spec, &catalog, &mut rng).encode();
-        let analysis = analyze_app(meta(), &bytes).unwrap();
-        let load_packages: HashSet<_> = analysis
+        let mut ctx = AnalysisCtx::new(&catalog);
+        let analysis = analyze_app_timed_with(meta(), &bytes, &mut ctx).0.unwrap();
+        let load_packages: HashSet<&str> = analysis
             .third_party_webview()
             .filter(|s| s.is_load_method)
-            .filter_map(|s| s.caller_package.clone())
+            .filter_map(|s| s.caller_package)
+            .map(|p| ctx.lexicon.resolve(p.symbol()))
             .collect();
         assert!(
             load_packages.iter().all(|p| p.starts_with("com.applovin")),
             "{load_packages:?}"
         );
         assert!(!load_packages.is_empty());
+        // Record-time labels agree: every AppLovin caller is Sdk-labeled.
+        assert!(analysis
+            .third_party_webview()
+            .filter(|s| s.is_load_method)
+            .all(|s| matches!(s.label, LabelId::Sdk(i) if i as usize == applovin)));
     }
 }
 
@@ -429,7 +548,6 @@ mod multidex_tests {
     use wla_corpus::lowering::lower;
     use wla_corpus::playstore::PlayCategory;
     use wla_corpus::EcosystemParams;
-    use wla_sdk_index::SdkIndex;
 
     fn meta() -> AppMeta {
         AppMeta {

@@ -19,6 +19,7 @@
 
 pub mod aggregate;
 pub mod analyze;
+pub mod oracle;
 pub mod pipeline;
 pub mod privacy;
 
@@ -27,10 +28,12 @@ pub use aggregate::{
     StudyResults,
 };
 pub use analyze::{
-    analyze_app, analyze_app_timed, AppAnalysis, CtSiteSummary, StageTimings, WebViewSiteSummary,
+    analyze_app, analyze_app_timed, analyze_app_timed_with, AnalysisCtx, AppAnalysis,
+    CtSiteSummary, StageTimings, WebViewSiteSummary,
 };
+pub use oracle::aggregate_string_oracle;
 pub use pipeline::{
-    run_pipeline, run_pipeline_with, CorpusInput, PipelineConfig, PipelineOutput, PipelineStats,
-    WorkerStats,
+    run_pipeline, run_pipeline_with, CorpusInput, InternerCounters, PipelineConfig, PipelineOutput,
+    PipelineStats, WorkerStats,
 };
 pub use privacy::{grade_distribution, privacy_label, ExposureGrade, PrivacyLabel};

@@ -15,16 +15,28 @@
 //!   mutex on the hot path, and batch claiming amortizes the one shared
 //!   atomic across [`PipelineConfig::batch`] apps.
 //! - **Observability.** [`PipelineStats`] carries per-stage timers,
-//!   per-worker counters, throughput, and a failure taxonomy, surfaced
-//!   through [`PipelineOutput::stats`] and rendered by `wla-report`.
+//!   per-worker counters, interner counters, throughput, and a failure
+//!   taxonomy, surfaced through [`PipelineOutput::stats`] and rendered by
+//!   `wla-report`.
+//!
+//! Interned-IR lifecycle: each worker interns into a private
+//! [`LocalInterner`] (no synchronization while analyzing); at join time
+//! the merge walks results in *input order* and translates every symbol
+//! into the shared global [`Interner`] through a lazy per-worker
+//! [`SymbolRemap`]. Because the walk order is the input order, global
+//! symbol ids are a pure function of the corpus — independent of worker
+//! count, batch size, and scheduling — which keeps parallel and serial
+//! runs bit-identical.
 
-use crate::analyze::{analyze_app_timed, AppAnalysis, StageTimings};
+use crate::analyze::{analyze_app_timed_with, AnalysisCtx, AppAnalysis, StageTimings};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use wla_apk::ApkError;
 use wla_corpus::playstore::AppMeta;
+use wla_intern::{Interner, LocalInterner, SymbolRemap, SymbolTable};
+use wla_sdk_index::SdkIndex;
 
 /// One corpus entry: the metadata the Play Store provides plus the raw
 /// container bytes fetched from the archive.
@@ -90,6 +102,49 @@ pub struct WorkerStats {
     pub busy_ns: u64,
 }
 
+/// Interning observability for one run: how much string work the corpus
+/// generated and how well the worker-local memos absorbed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerCounters {
+    /// Distinct symbols in the merged global table.
+    pub global_symbols: usize,
+    /// Bytes of distinct strings in the global table.
+    pub global_bytes: usize,
+    /// Distinct symbols summed over worker-local interners (≥ global:
+    /// workers re-discover shared names independently).
+    pub local_symbols: usize,
+    /// Bytes summed over worker-local interners.
+    pub local_bytes: usize,
+    /// Worker-local intern calls that found the string already present.
+    pub local_hits: u64,
+    /// Worker-local intern calls that inserted a new string.
+    pub local_misses: u64,
+    /// Package labels served from the per-worker memo.
+    pub label_hits: u64,
+    /// Package labels that walked the catalog trie.
+    pub label_misses: u64,
+}
+
+impl InternerCounters {
+    /// Fraction of intern calls absorbed by worker-local tables.
+    pub fn local_hit_rate(&self) -> f64 {
+        let total = self.local_hits + self.local_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_hits as f64 / total as f64
+    }
+
+    /// Fraction of package-label lookups served from the memo.
+    pub fn label_hit_rate(&self) -> f64 {
+        let total = self.label_hits + self.label_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.label_hits as f64 / total as f64
+    }
+}
+
 /// Run-level observability: totals, failure taxonomy, per-stage timers,
 /// per-worker counters, and throughput.
 #[derive(Debug, Clone, Default)]
@@ -115,6 +170,8 @@ pub struct PipelineStats {
     pub workers: Vec<WorkerStats>,
     /// Failure counts keyed by [`ApkError::kind`] label.
     pub failure_kinds: BTreeMap<&'static str, usize>,
+    /// Interned-IR counters for the run.
+    pub interner: InternerCounters,
 }
 
 impl PipelineStats {
@@ -142,13 +199,18 @@ impl PipelineStats {
     }
 }
 
-/// Pipeline output: per-app results in input order plus run statistics.
+/// Pipeline output: per-app results in input order, run statistics, and
+/// the global symbol table every surviving [`AppAnalysis`] resolves
+/// against.
 #[derive(Debug)]
 pub struct PipelineOutput {
-    /// Per-app analysis or decode error, in input order.
+    /// Per-app analysis or decode error, in input order. Symbols are
+    /// global (already remapped).
     pub results: Vec<Result<AppAnalysis, ApkError>>,
     /// Observability counters for the run.
     pub stats: PipelineStats,
+    /// Merged global interner.
+    pub interner: Interner,
 }
 
 impl PipelineOutput {
@@ -166,6 +228,12 @@ impl PipelineOutput {
     pub fn broken_count(&self) -> usize {
         self.results.iter().filter(|r| r.is_err()).count()
     }
+
+    /// Display-time symbol snapshot — the report boundary's only way to
+    /// turn a [`wla_intern::Symbol`] back into text.
+    pub fn symbols(&self) -> SymbolTable {
+        self.interner.snapshot()
+    }
 }
 
 /// Render a panic payload as text for [`ApkError::AnalysisPanic`].
@@ -181,34 +249,48 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// What one worker brings back to the merge step.
 struct WorkerYield {
-    /// `(input index, result)` pairs, in claim order.
+    /// `(input index, result)` pairs, in claim order. Symbols inside are
+    /// local to this worker's `lexicon`.
     results: Vec<(usize, Result<AppAnalysis, ApkError>)>,
     stats: WorkerStats,
     stage: StageTimings,
     failures: BTreeMap<&'static str, usize>,
     panicked: usize,
+    /// The worker's private interner; consumed by the join-time remap.
+    lexicon: LocalInterner,
+    /// Package-label memo hits/misses.
+    label_hits: u64,
+    label_misses: u64,
 }
 
-/// Analyze every corpus entry, in parallel.
-pub fn run_pipeline(inputs: &[CorpusInput], config: PipelineConfig) -> PipelineOutput {
-    run_pipeline_with(inputs, config, |input| {
-        analyze_app_timed(input.meta.clone(), &input.bytes)
+/// Analyze every corpus entry, in parallel, labeling against `catalog`.
+pub fn run_pipeline(
+    inputs: &[CorpusInput],
+    catalog: &SdkIndex,
+    config: PipelineConfig,
+) -> PipelineOutput {
+    run_pipeline_with(inputs, catalog, config, |input, ctx| {
+        analyze_app_timed_with(input.meta.clone(), &input.bytes, ctx)
     })
 }
 
 /// [`run_pipeline`] with a caller-supplied analysis function.
 ///
-/// The scheduler, fault isolation, and stats collection are identical to
-/// [`run_pipeline`]; only the per-app work differs. Tests use this to
-/// inject deliberately panicking analyses; ablation benches use it to
-/// isolate scheduler overhead from analysis cost.
+/// The scheduler, fault isolation, interner merge, and stats collection
+/// are identical to [`run_pipeline`]; only the per-app work differs. Tests
+/// use this to inject deliberately panicking analyses; ablation benches
+/// use it to isolate scheduler overhead from analysis cost. The analysis
+/// function receives the worker's [`AnalysisCtx`] and must intern every
+/// symbol its result carries into `ctx.lexicon`.
 pub fn run_pipeline_with<F>(
     inputs: &[CorpusInput],
+    catalog: &SdkIndex,
     config: PipelineConfig,
     analyze: F,
 ) -> PipelineOutput
 where
-    F: Fn(&CorpusInput) -> (Result<AppAnalysis, ApkError>, StageTimings) + Sync,
+    F: Fn(&CorpusInput, &mut AnalysisCtx<'_>) -> (Result<AppAnalysis, ApkError>, StageTimings)
+        + Sync,
 {
     let n = inputs.len();
     let workers = config.effective_workers().min(n.max(1));
@@ -221,12 +303,16 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut ctx = AnalysisCtx::new(catalog);
                     let mut y = WorkerYield {
                         results: Vec::new(),
                         stats: WorkerStats::default(),
                         stage: StageTimings::default(),
                         failures: BTreeMap::new(),
                         panicked: 0,
+                        lexicon: LocalInterner::new(),
+                        label_hits: 0,
+                        label_misses: 0,
                     };
                     loop {
                         let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -237,7 +323,8 @@ where
                         y.stats.batches += 1;
                         let claimed = Instant::now();
                         for (i, input) in inputs.iter().enumerate().take(end).skip(start) {
-                            let outcome = catch_unwind(AssertUnwindSafe(|| analyze(input)));
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| analyze(input, &mut ctx)));
                             let result = match outcome {
                                 Ok((result, timings)) => {
                                     if config.stage_timings {
@@ -260,6 +347,9 @@ where
                         }
                         y.stats.busy_ns += claimed.elapsed().as_nanos() as u64;
                     }
+                    y.lexicon = ctx.lexicon;
+                    y.label_hits = ctx.labels.hits;
+                    y.label_misses = ctx.labels.misses;
                     y
                 })
             })
@@ -274,17 +364,20 @@ where
     });
 
     // Merge per-worker buffers back into input order and fold the stats.
-    let mut slots: Vec<Option<Result<AppAnalysis, ApkError>>> = Vec::with_capacity(n);
+    // Slots remember which worker produced each result so the remap below
+    // can consult the right lexicon.
+    let mut slots: Vec<Option<(usize, Result<AppAnalysis, ApkError>)>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let mut stats = PipelineStats {
         total: n,
         batch,
         ..PipelineStats::default()
     };
-    for y in yields {
+    let mut lexicons: Vec<LocalInterner> = Vec::with_capacity(yields.len());
+    for (w, y) in yields.into_iter().enumerate() {
         for (i, result) in y.results {
             debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-            slots[i] = Some(result);
+            slots[i] = Some((w, result));
         }
         stats.stage.accumulate(&y.stage);
         stats.panicked += y.panicked;
@@ -292,15 +385,43 @@ where
             *stats.failure_kinds.entry(kind).or_insert(0) += count;
         }
         stats.workers.push(y.stats);
+        stats.interner.local_symbols += y.lexicon.len();
+        stats.interner.local_bytes += y.lexicon.bytes();
+        stats.interner.local_hits += y.lexicon.hits();
+        stats.interner.local_misses += y.lexicon.misses();
+        stats.interner.label_hits += y.label_hits;
+        stats.interner.label_misses += y.label_misses;
+        lexicons.push(y.lexicon);
     }
+
+    // Translate worker-local symbols into the global table, walking
+    // results in input order so global ids are schedule-independent.
+    let interner = Interner::new();
+    let mut remaps: Vec<SymbolRemap> = lexicons.iter().map(|l| SymbolRemap::new(l.len())).collect();
     let results: Vec<Result<AppAnalysis, ApkError>> = slots
         .into_iter()
-        .map(|s| s.expect("batch claiming covers every index exactly once"))
+        .map(|s| {
+            let (w, mut result) = s.expect("batch claiming covers every index exactly once");
+            if let Ok(analysis) = &mut result {
+                let lexicon = &lexicons[w];
+                let remap = &mut remaps[w];
+                analysis.remap_symbols(&mut |sym| {
+                    remap.map(sym, || interner.intern_arc(lexicon.resolve_arc(sym)))
+                });
+            }
+            result
+        })
         .collect();
+    stats.interner.global_symbols = interner.len();
+    stats.interner.global_bytes = interner.bytes();
     stats.broken = results.iter().filter(|r| r.is_err()).count();
     stats.analyzed = n - stats.broken;
     stats.wall_ns = started.elapsed().as_nanos() as u64;
-    PipelineOutput { results, stats }
+    PipelineOutput {
+        results,
+        stats,
+        interner,
+    }
 }
 
 #[cfg(test)]
@@ -308,17 +429,15 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use wla_corpus::{CorpusConfig, Generator};
-    use wla_sdk_index::SdkIndex;
 
-    fn inputs(scale: u32, seed: u64, corrupt: f64) -> Vec<CorpusInput> {
-        let catalog = SdkIndex::paper();
+    fn inputs(catalog: &SdkIndex, scale: u32, seed: u64, corrupt: f64) -> Vec<CorpusInput> {
         let cfg = CorpusConfig {
             scale,
             seed,
             corrupt_fraction: corrupt,
             ..CorpusConfig::default()
         };
-        Generator::new(&catalog, cfg)
+        Generator::new(catalog, cfg)
             .generate()
             .into_iter()
             .map(|g| CorpusInput {
@@ -330,9 +449,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let ins = inputs(2_000, 11, 0.1);
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 2_000, 11, 0.1);
         let par = run_pipeline(
             &ins,
+            &catalog,
             PipelineConfig {
                 workers: 8,
                 ..PipelineConfig::default()
@@ -340,12 +461,15 @@ mod tests {
         );
         let ser = run_pipeline(
             &ins,
+            &catalog,
             PipelineConfig {
                 workers: 1,
                 ..PipelineConfig::default()
             },
         );
         assert_eq!(par.results.len(), ser.results.len());
+        // The input-order remap makes global symbol ids — and therefore
+        // whole analyses — bit-identical across worker counts.
         for (a, b) in par.results.iter().zip(&ser.results) {
             match (a, b) {
                 (Ok(x), Ok(y)) => assert_eq!(x, y),
@@ -353,13 +477,23 @@ mod tests {
                 other => panic!("mismatch {other:?}"),
             }
         }
+        // And the global tables agree symbol-for-symbol.
+        assert_eq!(par.interner.len(), ser.interner.len());
+        let (ps, ss) = (par.symbols(), ser.symbols());
+        for a in par.analyzed() {
+            for s in &a.webview_sites {
+                assert_eq!(ps.resolve(s.method), ss.resolve(s.method));
+            }
+        }
     }
 
     #[test]
     fn batch_sizes_do_not_change_results() {
-        let ins = inputs(2_000, 19, 0.15);
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 2_000, 19, 0.15);
         let baseline = run_pipeline(
             &ins,
+            &catalog,
             PipelineConfig {
                 workers: 1,
                 batch: 1,
@@ -369,6 +503,7 @@ mod tests {
         for batch in [1usize, 2, 5, 17, 1000] {
             let out = run_pipeline(
                 &ins,
+                &catalog,
                 PipelineConfig {
                     workers: 4,
                     batch,
@@ -385,8 +520,9 @@ mod tests {
 
     #[test]
     fn broken_fraction_counted() {
-        let ins = inputs(2_000, 3, 0.25);
-        let out = run_pipeline(&ins, PipelineConfig::default());
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 2_000, 3, 0.25);
+        let out = run_pipeline(&ins, &catalog, PipelineConfig::default());
         assert_eq!(out.results.len(), ins.len());
         assert!(out.broken_count() > 0);
         assert_eq!(out.analyzed_count() + out.broken_count(), ins.len());
@@ -394,11 +530,43 @@ mod tests {
 
     #[test]
     fn empty_corpus_ok() {
-        let out = run_pipeline(&[], PipelineConfig::default());
+        let catalog = SdkIndex::paper();
+        let out = run_pipeline(&[], &catalog, PipelineConfig::default());
         assert_eq!(out.results.len(), 0);
         assert_eq!(out.broken_count(), 0);
         assert_eq!(out.stats.total, 0);
         assert_eq!(out.stats.apps_per_second(), 0.0);
+        assert_eq!(out.stats.interner.global_symbols, 0);
+    }
+
+    #[test]
+    fn interner_counters_populated() {
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 2_000, 23, 0.0);
+        let out = run_pipeline(
+            &ins,
+            &catalog,
+            PipelineConfig {
+                workers: 4,
+                ..PipelineConfig::default()
+            },
+        );
+        let c = &out.stats.interner;
+        assert!(c.global_symbols > 0);
+        assert_eq!(c.global_symbols, out.interner.len());
+        assert!(c.global_bytes > 0);
+        // Workers re-discover shared strings, so local ≥ global.
+        assert!(c.local_symbols >= c.global_symbols);
+        assert!(c.local_bytes >= c.global_bytes);
+        // Every unique local string misses exactly once; repeats (method
+        // names, shared packages) land as hits.
+        assert_eq!(c.local_misses, c.local_symbols as u64);
+        assert!(c.local_hits > 0);
+        // Package labels are memoized per worker, so repeats hit the cache.
+        assert!(c.label_hits > 0);
+        assert!(c.label_hit_rate() > 0.0);
+        // Snapshot covers exactly the global table.
+        assert_eq!(out.symbols().len(), c.global_symbols);
     }
 
     /// Keep deliberate test panics out of stderr while still letting any
@@ -429,19 +597,21 @@ mod tests {
     #[test]
     fn panicking_analysis_is_isolated() {
         quiet_injected_panics();
-        let ins = inputs(2_000, 7, 0.0);
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 2_000, 7, 0.0);
         let trap = ins.len() / 2;
         let out = run_pipeline_with(
             &ins,
+            &catalog,
             PipelineConfig {
                 workers: 4,
                 ..PipelineConfig::default()
             },
-            |input| {
+            |input, ctx| {
                 if std::ptr::eq(input, &ins[trap]) {
                     panic!("injected analysis fault");
                 }
-                analyze_app_timed(input.meta.clone(), &input.bytes)
+                analyze_app_timed_with(input.meta.clone(), &input.bytes, ctx)
             },
         );
         assert_eq!(out.results.len(), ins.len());
@@ -458,10 +628,12 @@ mod tests {
 
     #[test]
     fn stage_timings_can_be_disabled() {
-        let ins = inputs(3_000, 5, 0.0);
-        let on = run_pipeline(&ins, PipelineConfig::default());
+        let catalog = SdkIndex::paper();
+        let ins = inputs(&catalog, 3_000, 5, 0.0);
+        let on = run_pipeline(&ins, &catalog, PipelineConfig::default());
         let off = run_pipeline(
             &ins,
+            &catalog,
             PipelineConfig {
                 stage_timings: false,
                 ..PipelineConfig::default()
@@ -481,9 +653,11 @@ mod tests {
             batch in 0usize..40,
             corrupt in prop_oneof![Just(0.0f64), Just(0.2f64)],
         ) {
-            let ins = inputs(4_000, seed, corrupt);
+            let catalog = SdkIndex::paper();
+            let ins = inputs(&catalog, 4_000, seed, corrupt);
             let out = run_pipeline(
                 &ins,
+                &catalog,
                 PipelineConfig { workers, batch, stage_timings: true },
             );
             let s = &out.stats;
@@ -501,6 +675,13 @@ mod tests {
                 s.total
             );
             prop_assert!(s.workers.len() <= workers);
+            // Interner invariants: the local tables cover the global one.
+            prop_assert!(s.interner.local_symbols >= s.interner.global_symbols);
+            prop_assert_eq!(s.interner.global_symbols, out.interner.len());
+            prop_assert_eq!(
+                s.interner.local_misses,
+                s.interner.local_symbols as u64
+            );
             if s.total > 0 {
                 prop_assert!(s.wall_ns > 0);
                 prop_assert!(s.apps_per_second() > 0.0);

@@ -10,7 +10,13 @@
 
 use crate::analyze::AppAnalysis;
 use std::collections::BTreeSet;
-use wla_sdk_index::{Label, SdkCategory, SdkIndex};
+use wla_sdk_index::{LabelId, SdkCategory, SdkIndex};
+
+/// Bit of `addJavascriptInterface` in [`AppAnalysis::method_mask`]
+/// (position in `WEBVIEW_CONTENT_METHODS`).
+const M_ADD_JS_IFACE: u8 = 1 << 1;
+/// Bit of `evaluateJavascript`.
+const M_EVAL_JS: u8 = 1 << 3;
 
 /// Overall third-party web-content exposure grade.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -81,27 +87,25 @@ impl PrivacyLabel {
     }
 }
 
-/// Derive the label for one analyzed app.
+/// Derive the label for one analyzed app. Pure interned-IR consumer: the
+/// method mask and record-time [`LabelId`]s carry everything it needs, so
+/// no symbol is ever resolved here.
 pub fn privacy_label(analysis: &AppAnalysis, catalog: &SdkIndex) -> PrivacyLabel {
     let uses_webview = analysis.uses_webview();
     let uses_custom_tabs = analysis.uses_custom_tabs();
-    let methods = analysis.methods_used();
-    let js_bridge_exposed = methods.contains("addJavascriptInterface");
-    let can_inject_js = methods.contains("evaluateJavascript");
+    let mask = analysis.method_mask();
+    let js_bridge_exposed = mask & M_ADD_JS_IFACE != 0;
+    let can_inject_js = mask & M_EVAL_JS != 0;
 
     let mut sdk_categories: BTreeSet<SdkCategory> = BTreeSet::new();
     for site in analysis.third_party_webview() {
-        if let Some(pkg) = &site.caller_package {
-            if let Label::Sdk(sdk) = catalog.label(pkg) {
-                sdk_categories.insert(sdk.category);
-            }
+        if let LabelId::Sdk(idx) = site.label {
+            sdk_categories.insert(catalog.sdks()[idx as usize].category);
         }
     }
     for site in analysis.third_party_ct() {
-        if let Some(pkg) = &site.caller_package {
-            if let Label::Sdk(sdk) = catalog.label(pkg) {
-                sdk_categories.insert(sdk.category);
-            }
+        if let LabelId::Sdk(idx) = site.label {
+            sdk_categories.insert(catalog.sdks()[idx as usize].category);
         }
     }
 
@@ -159,7 +163,7 @@ mod tests {
                 bytes: g.bytes,
             })
             .collect();
-        let out = run_pipeline(&inputs, PipelineConfig::default());
+        let out = run_pipeline(&inputs, &catalog, PipelineConfig::default());
         out.analyzed().map(|a| privacy_label(a, &catalog)).collect()
     }
 

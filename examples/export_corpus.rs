@@ -35,7 +35,7 @@ fn main() {
             bytes: d.bytes,
         })
         .collect();
-    let out = run_pipeline(&inputs, PipelineConfig::default());
+    let out = run_pipeline(&inputs, &catalog, PipelineConfig::default());
     println!(
         "re-analyzed from disk: {} ok, {} broken",
         out.analyzed_count(),

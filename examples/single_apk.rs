@@ -13,9 +13,10 @@ use whatcha_lookin_at::wla_callgraph::{entry_points, record_web_calls, CallGraph
 use whatcha_lookin_at::wla_corpus::ecosystem::{Ecosystem, EcosystemParams};
 use whatcha_lookin_at::wla_corpus::lowering::lower;
 use whatcha_lookin_at::wla_corpus::playstore::{AppMeta, PlayCategory};
-use whatcha_lookin_at::wla_decompile::{lift_dex, webview_subclasses};
+use whatcha_lookin_at::wla_decompile::{lift_dex, webview_subclasses_interned};
+use whatcha_lookin_at::wla_intern::LocalInterner;
 use whatcha_lookin_at::wla_manifest::wireformat;
-use whatcha_lookin_at::wla_sdk_index::{Label, SdkIndex};
+use whatcha_lookin_at::wla_sdk_index::{LabelCache, LabelId, SdkIndex};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -55,15 +56,17 @@ fn main() {
         dex.instruction_count()
     );
 
-    // 3. Decompile and parse for WebView subclasses.
+    // 3. Decompile and parse for WebView subclasses (interned handles; the
+    // lexicon resolves them back to text whenever we print).
     let sources = lift_dex(&dex);
-    let subclasses = webview_subclasses(&sources);
+    let mut lexicon = LocalInterner::new();
+    let subclasses = webview_subclasses_interned(&sources, &mut lexicon);
     println!(
         "\ndecompiled {} source files; WebView subclasses:",
         sources.len()
     );
     for s in &subclasses {
-        println!("  {s}");
+        println!("  {}", lexicon.resolve(*s));
     }
     if let Some(first) = sources.first() {
         println!("\nfirst decompiled file ({}):", first.binary_name);
@@ -83,28 +86,44 @@ fn main() {
         roots.len()
     );
 
-    // 5. Record and label the WebView/CT call sites.
-    let record = record_web_calls(&graph, &roots, &subclasses);
+    // 5. Record and label the WebView/CT call sites. Labels are attached
+    // at record time; symbols resolve to text only here, at the print.
+    let mut labels = LabelCache::default();
+    let record = record_web_calls(
+        &graph,
+        &roots,
+        &subclasses,
+        &catalog,
+        &mut lexicon,
+        &mut labels,
+    );
     println!("\nWebView call sites:");
     for site in &record.webview {
-        let pkg = whatcha_lookin_at::wla_apk::names::package_of(&site.caller_class);
-        let label = match pkg.as_deref().map(|p| catalog.label(p)) {
-            Some(Label::Sdk(sdk)) => format!("SDK: {} [{}]", sdk.name, sdk.category.label()),
-            Some(Label::CoreAndroid) => "core Android".to_owned(),
-            Some(Label::Obfuscated) => "obfuscated package".to_owned(),
-            _ => "first-party / unlabeled".to_owned(),
+        let label = match site.label {
+            LabelId::Sdk(idx) => {
+                let sdk = &catalog.sdks()[idx as usize];
+                format!("SDK: {} [{}]", sdk.name, sdk.category.label())
+            }
+            LabelId::CoreAndroid => "core Android".to_owned(),
+            LabelId::Obfuscated => "obfuscated package".to_owned(),
+            LabelId::Unlabeled => "first-party / unlabeled".to_owned(),
         };
+        let receiver = lexicon.resolve(site.receiver_class);
         println!(
             "  {}{} {}.{}  ←  {}",
             if site.reachable { "" } else { "[DEAD] " },
             label,
-            site.receiver_class.rsplit('/').next().unwrap_or(""),
-            site.method,
-            site.caller_class,
+            receiver.rsplit('/').next().unwrap_or(""),
+            lexicon.resolve(site.method),
+            lexicon.resolve(site.caller_class),
         );
     }
     println!("\nCustom-Tabs call sites:");
     for site in &record.custom_tabs {
-        println!("  {} ← {}", site.method, site.caller_class);
+        println!(
+            "  {} ← {}",
+            lexicon.resolve(site.method),
+            lexicon.resolve(site.caller_class)
+        );
     }
 }

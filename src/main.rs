@@ -131,6 +131,7 @@ fn main() {
                     .collect();
                 let out = whatcha_lookin_at::wla_static::run_pipeline(
                     &inputs,
+                    &study.catalog,
                     whatcha_lookin_at::wla_static::PipelineConfig::default(),
                 );
                 out.analyzed()

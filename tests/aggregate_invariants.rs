@@ -21,7 +21,7 @@ fn results(seed: u64) -> whatcha_lookin_at::wla_static::StudyResults {
             bytes: g.bytes,
         })
         .collect();
-    let out = run_pipeline(&inputs, PipelineConfig::default());
+    let out = run_pipeline(&inputs, &catalog, PipelineConfig::default());
     aggregate(&out, &catalog, 1)
 }
 

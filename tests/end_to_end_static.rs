@@ -84,6 +84,7 @@ fn pipeline_is_deterministic_across_worker_counts() {
     let a = aggregate(
         &run_pipeline(
             &inputs,
+            &catalog,
             PipelineConfig {
                 workers: 1,
                 ..PipelineConfig::default()
@@ -95,6 +96,7 @@ fn pipeline_is_deterministic_across_worker_counts() {
     let b = aggregate(
         &run_pipeline(
             &inputs,
+            &catalog,
             PipelineConfig {
                 workers: 7,
                 ..PipelineConfig::default()

@@ -40,6 +40,7 @@ fn privacy_labels_cover_the_corpus_and_track_bridges() {
         .collect();
     let out = whatcha_lookin_at::wla_static::run_pipeline(
         &inputs,
+        &study.catalog,
         whatcha_lookin_at::wla_static::PipelineConfig::default(),
     );
     let labels: Vec<_> = out

@@ -7,8 +7,11 @@ use rand::SeedableRng;
 use whatcha_lookin_at::wla_corpus::ecosystem::{Ecosystem, EcosystemParams, MethodSet};
 use whatcha_lookin_at::wla_corpus::lowering::lower;
 use whatcha_lookin_at::wla_corpus::playstore::{AppMeta, PlayCategory};
+use whatcha_lookin_at::wla_corpus::{CorpusConfig, Generator};
 use whatcha_lookin_at::wla_sdk_index::SdkIndex;
-use whatcha_lookin_at::wla_static::analyze_app;
+use whatcha_lookin_at::wla_static::{
+    aggregate, aggregate_string_oracle, analyze_app, run_pipeline, CorpusInput, PipelineConfig,
+};
 
 fn meta() -> AppMeta {
     AppMeta {
@@ -101,5 +104,46 @@ proptest! {
         prop_assert!(!analysis.uses_custom_tabs());
         prop_assert!(analysis.webview_sites.is_empty());
         prop_assert!(analysis.ct_sites.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The interned aggregation path (u32 keys end to end) produces
+    /// *identical* `StudyResults` to the string-path oracle on randomized
+    /// corpora — including broken containers and any worker count.
+    #[test]
+    fn interned_aggregate_matches_string_oracle(
+        seed in 0u64..10_000,
+        workers in 1usize..8,
+    ) {
+        let catalog = SdkIndex::paper();
+        let cfg = CorpusConfig {
+            scale: 1_500,
+            seed,
+            corrupt_fraction: 0.1,
+            ..CorpusConfig::default()
+        };
+        let inputs: Vec<CorpusInput> = Generator::new(&catalog, cfg)
+            .generate()
+            .into_iter()
+            .map(|g| CorpusInput {
+                meta: g.spec.meta.clone(),
+                bytes: g.bytes,
+            })
+            .collect();
+        let out = run_pipeline(
+            &inputs,
+            &catalog,
+            PipelineConfig {
+                workers,
+                ..PipelineConfig::default()
+            },
+        );
+        prop_assert_eq!(
+            aggregate(&out, &catalog, 1),
+            aggregate_string_oracle(&out, &catalog, 1)
+        );
     }
 }

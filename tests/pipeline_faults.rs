@@ -7,7 +7,7 @@ use whatcha_lookin_at::wla_apk::ApkError;
 use whatcha_lookin_at::wla_corpus::{CorpusConfig, Generator};
 use whatcha_lookin_at::wla_sdk_index::SdkIndex;
 use whatcha_lookin_at::wla_static::{
-    aggregate, analyze_app_timed, run_pipeline_with, CorpusInput, PipelineConfig,
+    aggregate, analyze_app_timed_with, run_pipeline_with, CorpusInput, PipelineConfig,
 };
 
 /// Suppress the default panic-hook backtrace for the panics this test
@@ -49,11 +49,12 @@ fn panicking_containers_do_not_abort_the_corpus_run() {
     // pathological containers a 146.8K-app corpus inevitably contains.
     let output = run_pipeline_with(
         &inputs,
+        &catalog,
         PipelineConfig {
             workers: 4,
             ..PipelineConfig::default()
         },
-        |input| {
+        |input, ctx| {
             let idx = inputs
                 .iter()
                 .position(|i| std::ptr::eq(i, input))
@@ -61,7 +62,7 @@ fn panicking_containers_do_not_abort_the_corpus_run() {
             if idx % 10 == 0 {
                 panic!("injected fault in app {idx}");
             }
-            analyze_app_timed(input.meta.clone(), &input.bytes)
+            analyze_app_timed_with(input.meta.clone(), &input.bytes, ctx)
         },
     );
 
