@@ -4,8 +4,39 @@
 # Codec regressions (e.g. the content-length and bare-\r bugs fixed in
 # the net crate) are exactly the kind of thing `clippy -D warnings` plus
 # the proptest suites catch mechanically — run this before every push.
+#
+# `ci.sh bench-snapshot` refreshes BENCH_static.json: it runs the
+# callgraph and static-pipeline benches in quick mode (WLA_BENCH_QUICK=1,
+# ~seconds instead of minutes) and assembles the per-bench medians into a
+# committed JSON snapshot. Quick-mode numbers are noisier than a full
+# `cargo bench` run — use them for order-of-magnitude regression spotting,
+# and EXPERIMENTS.md for the measured full-mode ablations.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+bench_snapshot() {
+    echo "== bench snapshot (quick mode) =="
+    local tsv
+    tsv=$(mktemp)
+    trap 'rm -f "$tsv"' RETURN
+    WLA_BENCH_QUICK=1 WLA_BENCH_JSON="$tsv" \
+        cargo bench -q -p wla-bench --bench callgraph --bench static_pipeline
+    # TSV (id<TAB>median_ns) -> sorted JSON object, no jq/python needed.
+    LC_ALL=C sort "$tsv" | awk -F'\t' '
+        BEGIN { print "{" }
+        { lines[NR] = sprintf("  \"%s\": %s", $1, $2) }
+        END {
+            for (i = 1; i <= NR; i++)
+                print lines[i] (i < NR ? "," : "")
+            print "}"
+        }' > BENCH_static.json
+    echo "wrote BENCH_static.json ($(grep -c '":' BENCH_static.json) benches)"
+}
+
+if [[ "${1:-}" == "bench-snapshot" ]]; then
+    bench_snapshot
+    exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check

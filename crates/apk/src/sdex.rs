@@ -291,6 +291,12 @@ impl Dex {
         (0..self.types.len() as u32).map(TypeId)
     }
 
+    /// Number of entries in the type table — direct-indexed caches (e.g.
+    /// the call graph's per-class vtables) size themselves from this.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
     /// The method table entry for `id`.
     pub fn method_ref(&self, id: MethodId) -> MethodRef {
         self.methods[id.0 as usize]
@@ -332,15 +338,20 @@ impl Dex {
     }
 
     /// Walk the superclass chain of `ty` (excluding `ty` itself), yielding
-    /// type ids until the chain leaves the defined set.
-    pub fn superclass_chain(&self, ty: TypeId) -> Vec<TypeId> {
-        let mut chain = Vec::new();
-        let mut cur = self.class(ty).and_then(|c| c.superclass);
-        while let Some(s) = cur {
-            chain.push(s);
-            cur = self.class(s).and_then(|c| c.superclass);
+    /// type ids until the chain leaves the defined set. Allocation-free;
+    /// the call-graph resolver and entry-point discovery iterate this per
+    /// invoke site / per class, so it must not build a `Vec` each time.
+    pub fn superclasses(&self, ty: TypeId) -> Superclasses<'_> {
+        Superclasses {
+            dex: self,
+            cur: self.class(ty).and_then(|c| c.superclass),
         }
-        chain
+    }
+
+    /// [`Dex::superclasses`] collected into a `Vec` — kept for callers that
+    /// want an owned chain (tests, one-off tooling).
+    pub fn superclass_chain(&self, ty: TypeId) -> Vec<TypeId> {
+        self.superclasses(ty).collect()
     }
 
     /// Total number of instructions across every defined method — a useful
@@ -542,6 +553,26 @@ impl Dex {
             }
         }
         Ok(())
+    }
+}
+
+/// Iterator over the defined ancestors of a type, produced by
+/// [`Dex::superclasses`]. Terminates because `Dex::decode` rejects
+/// superclass cycles (builder-made dexes are trusted the same way the
+/// old `superclass_chain` trusted them).
+#[derive(Debug, Clone)]
+pub struct Superclasses<'d> {
+    dex: &'d Dex,
+    cur: Option<TypeId>,
+}
+
+impl Iterator for Superclasses<'_> {
+    type Item = TypeId;
+
+    fn next(&mut self) -> Option<TypeId> {
+        let s = self.cur?;
+        self.cur = self.dex.class(s).and_then(|c| c.superclass);
+        Some(s)
     }
 }
 

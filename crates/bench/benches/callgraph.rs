@@ -1,11 +1,17 @@
-//! Call-graph construction and traversal; ablation: entry-point-bounded
+//! Call-graph construction and traversal; ablations: CSR + bitset vs the
+//! hash-based oracle path (DESIGN.md §6.3), and entry-point-bounded
 //! traversal vs whole-graph site scan (DESIGN.md §6.2).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wla_core::wla_apk::Dex;
-use wla_core::wla_callgraph::reach::{reachable_methods, record_web_calls};
+use wla_core::wla_callgraph::oracle::{
+    reachable_methods_oracle, record_web_calls_oracle, HashCallGraph,
+};
+use wla_core::wla_callgraph::reach::{
+    reachable_methods, record_web_calls, record_web_calls_with, ReachScratch,
+};
 use wla_core::wla_callgraph::scc::strongly_connected_components;
 use wla_core::wla_callgraph::{entry_points, CallGraph};
 use wla_core::wla_corpus::ecosystem::{Ecosystem, EcosystemParams};
@@ -45,26 +51,63 @@ fn bench(c: &mut Criterion) {
     let catalog = SdkIndex::paper();
     let (dex, manifest) = fixture();
     let graph = CallGraph::build(&dex);
+    let oracle = HashCallGraph::build(&dex);
     let roots = entry_points(&graph, &manifest);
     let subs: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
 
     let mut group = c.benchmark_group("callgraph");
+    // Build ablation: two-pass CSR (dense indices, vtable cache, dedup) vs
+    // the single-pass HashMap adjacency build.
     group.bench_function("build", |b| b.iter(|| CallGraph::build(black_box(&dex))));
+    group.bench_function("build_hash_oracle", |b| {
+        b.iter(|| HashCallGraph::build(black_box(&dex)))
+    });
     group.bench_function("entry_points", |b| {
         b.iter(|| entry_points(black_box(&graph), black_box(&manifest)))
     });
-    group.bench_function("reachability", |b| {
+    // Reachability ablation (the ISSUE's ≥2x criterion): reused bitset +
+    // worklist over the CSR arena vs HashSet BFS over HashMap adjacency.
+    // The scratch persists across iterations like a pipeline worker's.
+    group.bench_function("reachability_bitset", |b| {
+        let mut scratch = ReachScratch::new();
+        b.iter(|| {
+            scratch.mark_reachable(black_box(&graph), black_box(&roots));
+        })
+    });
+    group.bench_function("reachability_hash_oracle", |b| {
+        b.iter(|| reachable_methods_oracle(black_box(&oracle), black_box(&roots)))
+    });
+    // Set-materializing variant (allocates the HashSet): what callers of
+    // the compat wrapper pay.
+    group.bench_function("reachability_set", |b| {
         b.iter(|| reachable_methods(black_box(&graph), black_box(&roots)))
     });
-    // Ablation: traversal-bounded recording vs scanning every site. The
-    // lexicon and label cache persist across iterations like a pipeline
-    // worker's do across apps.
+    // Ablation: traversal-bounded recording vs scanning every site, plus
+    // the end-to-end record against the hash oracle. The lexicon and label
+    // cache persist across iterations like a pipeline worker's do across
+    // apps.
     group.bench_function("record_entrypoint_bounded", |b| {
         let mut lexicon = LocalInterner::new();
         let mut labels = LabelCache::default();
+        let mut scratch = ReachScratch::new();
         b.iter(|| {
-            record_web_calls(
+            record_web_calls_with(
                 black_box(&graph),
+                black_box(&roots),
+                &subs,
+                &catalog,
+                &mut lexicon,
+                &mut labels,
+                &mut scratch,
+            )
+        })
+    });
+    group.bench_function("record_hash_oracle", |b| {
+        let mut lexicon = LocalInterner::new();
+        let mut labels = LabelCache::default();
+        b.iter(|| {
+            record_web_calls_oracle(
+                black_box(&oracle),
                 black_box(&roots),
                 &subs,
                 &catalog,

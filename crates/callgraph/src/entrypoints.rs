@@ -36,8 +36,7 @@ pub fn entry_points(graph: &CallGraph<'_>, manifest: &Manifest) -> Vec<MethodId>
         let class_name = dex.type_name(class.ty);
         // Is this class (or any defined ancestor) a manifest component?
         let component = manifest.component_by_class(class_name).or_else(|| {
-            dex.superclass_chain(class.ty)
-                .into_iter()
+            dex.superclasses(class.ty)
                 .find_map(|a| manifest.component_by_class(dex.type_name(a)))
         });
 

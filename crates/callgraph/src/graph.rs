@@ -1,4 +1,15 @@
 //! Call-graph construction from SDEX bytecode.
+//!
+//! The graph is a **compressed-sparse-row (CSR) edge arena over dense
+//! method indices**: every method defined in the dex gets a dense `u32`
+//! node index (assigned in class/method order), out-edges live in one
+//! contiguous `targets` array sliced by an `offsets` array, and the
+//! `MethodId → dense` translation is a direct-indexed table sized from
+//! `dex.method_count()` — no hashing on any traversal path. Virtual and
+//! interface dispatch resolve through a per-class **flattened vtable**
+//! built lazily (once per receiver class) instead of walking the
+//! superclass chain at every invoke site. The pre-CSR hash-based build is
+//! preserved verbatim in [`crate::oracle`] as the correctness reference.
 
 use std::collections::HashMap;
 use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodId, TypeId};
@@ -20,39 +31,98 @@ pub struct CallSite {
     pub preceding_string: Option<u32>,
 }
 
-/// A whole-app call graph over a [`Dex`].
+/// Sentinel in the `MethodId → dense` table for method-table entries with
+/// no definition in this dex (framework references).
+const NOT_DEFINED: u32 = u32::MAX;
+
+/// Counters from one [`CallGraph::build`], surfaced through the pipeline's
+/// observability (`PipelineStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Virtual/interface resolutions served by an already-built vtable.
+    pub vtable_hits: u64,
+    /// Vtables built (one per receiver class that needed hierarchy search).
+    pub vtable_misses: u64,
+    /// Repeated same-callee invokes collapsed by the CSR dedup.
+    pub duplicate_edges: u64,
+}
+
+/// A whole-app call graph over a [`Dex`], stored as CSR over dense method
+/// indices.
 #[derive(Debug)]
 pub struct CallGraph<'d> {
     dex: &'d Dex,
-    /// method-table id -> index of the class defining it (for defined
-    /// methods).
-    defined: HashMap<MethodId, TypeId>,
-    /// Resolved internal edges: caller -> defined callees.
-    edges: HashMap<MethodId, Vec<MethodId>>,
-    /// Every call site, resolved or not.
+    /// `MethodId.0 → dense node index`; [`NOT_DEFINED`] for external refs.
+    dense: Vec<u32>,
+    /// dense index → method-table id.
+    nodes: Vec<MethodId>,
+    /// dense index → class defining the method.
+    node_class: Vec<TypeId>,
+    /// CSR row starts into `targets`; `len == nodes.len() + 1`.
+    offsets: Vec<u32>,
+    /// CSR edge arena: dense callee indices, sorted and deduped per caller.
+    targets: Vec<u32>,
+    /// Every call site, resolved or not, in program order.
     sites: Vec<CallSite>,
+    stats: BuildStats,
 }
 
 impl<'d> CallGraph<'d> {
-    /// Build the graph. Cost is linear in code size; virtual resolution
-    /// walks superclass chains (bounded by hierarchy depth).
+    /// Build the graph with a two-pass count-then-fill CSR construction:
+    /// pass one assigns dense indices and counts invoke sites to pre-size
+    /// every arena; pass two resolves each site (vtable-cached) into a
+    /// flat edge list that is then bucketed, sorted, and deduped in place.
     pub fn build(dex: &'d Dex) -> Self {
-        // Index defined methods: (class, name, desc) -> MethodId, and
-        // MethodId -> defining class.
-        let mut defined: HashMap<MethodId, TypeId> = HashMap::new();
-        let mut by_signature: HashMap<(TypeId, u32, u32), MethodId> = HashMap::new();
+        // Pass 1 (count): dense index per defined method, signature index
+        // for resolution, and the invoke-site count for exact pre-sizing.
+        let mut dense = vec![NOT_DEFINED; dex.method_count()];
+        let mut defined_methods = 0usize;
+        let mut invoke_sites = 0usize;
         for class in dex.classes() {
             for m in &class.methods {
+                defined_methods += 1;
+                invoke_sites += m
+                    .code
+                    .iter()
+                    .filter(|i| matches!(i, Instruction::Invoke { .. }))
+                    .count();
+            }
+        }
+        let mut nodes: Vec<MethodId> = Vec::with_capacity(defined_methods);
+        let mut node_class: Vec<TypeId> = Vec::with_capacity(defined_methods);
+        let mut by_signature: HashMap<(u32, u32, u32), u32> =
+            HashMap::with_capacity(defined_methods);
+        for class in dex.classes() {
+            for m in &class.methods {
+                let slot = &mut dense[m.method.0 as usize];
+                let idx = if *slot == NOT_DEFINED {
+                    let idx = nodes.len() as u32;
+                    *slot = idx;
+                    nodes.push(m.method);
+                    node_class.push(class.ty);
+                    idx
+                } else {
+                    // Re-defined method id: merge edges into one node and
+                    // let the later defining class win, matching the
+                    // hash-path's insert-overwrites semantics.
+                    let idx = *slot;
+                    node_class[idx as usize] = class.ty;
+                    idx
+                };
                 let r = dex.method_ref(m.method);
-                defined.insert(m.method, class.ty);
-                by_signature.insert((class.ty, r.name, r.descriptor), m.method);
+                by_signature.insert((class.ty.0, r.name, r.descriptor), idx);
             }
         }
 
-        let mut edges: HashMap<MethodId, Vec<MethodId>> = HashMap::new();
-        let mut sites = Vec::new();
+        // Pass 2 (fill): record sites and resolve internal edges into a
+        // flat (caller, callee) list, then bucket it into CSR.
+        let mut stats = BuildStats::default();
+        let mut vtables = VtableCache::new(dex.type_count());
+        let mut sites: Vec<CallSite> = Vec::with_capacity(invoke_sites);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(invoke_sites);
         for class in dex.classes() {
             for m in &class.methods {
+                let caller = dense[m.method.0 as usize];
                 let mut pending_string: Option<u32> = None;
                 for ins in &m.code {
                     match ins {
@@ -67,8 +137,16 @@ impl<'d> CallGraph<'d> {
                                 kind: *kind,
                                 preceding_string: pending_string.take(),
                             });
-                            if let Some(target) = resolve(dex, &by_signature, *method, *kind) {
-                                edges.entry(m.method).or_default().push(target);
+                            if let Some(target) = resolve(
+                                dex,
+                                &by_signature,
+                                &dense,
+                                &mut vtables,
+                                &mut stats,
+                                *method,
+                                *kind,
+                            ) {
+                                pairs.push((caller, target));
                             }
                         }
                         // §3.1's heuristic attaches a const-string only when
@@ -81,11 +159,18 @@ impl<'d> CallGraph<'d> {
             }
         }
 
+        let (offsets, targets, duplicate_edges) = csr_from_pairs(nodes.len(), &pairs);
+        stats.duplicate_edges = duplicate_edges;
+
         CallGraph {
             dex,
-            defined,
-            edges,
+            dense,
+            nodes,
+            node_class,
+            offsets,
+            targets,
             sites,
+            stats,
         }
     }
 
@@ -99,51 +184,199 @@ impl<'d> CallGraph<'d> {
         &self.sites
     }
 
-    /// Resolved internal callees of `m`.
-    pub fn callees(&self, m: MethodId) -> &[MethodId] {
-        self.edges.get(&m).map(Vec::as_slice).unwrap_or(&[])
+    /// Number of graph nodes (methods defined in this dex).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Dense node index of `m`, or `None` for external (framework) refs.
+    #[inline]
+    pub fn node_index(&self, m: MethodId) -> Option<u32> {
+        let d = *self.dense.get(m.0 as usize)?;
+        (d != NOT_DEFINED).then_some(d)
+    }
+
+    /// Method-table id of a dense node.
+    #[inline]
+    pub fn method_at(&self, idx: u32) -> MethodId {
+        self.nodes[idx as usize]
+    }
+
+    /// Defining class of a dense node.
+    #[inline]
+    pub fn class_at(&self, idx: u32) -> TypeId {
+        self.node_class[idx as usize]
+    }
+
+    /// CSR out-edge slice of a dense node (sorted, deduped dense indices).
+    #[inline]
+    pub fn callee_indices(&self, idx: u32) -> &[u32] {
+        let start = self.offsets[idx as usize] as usize;
+        let end = self.offsets[idx as usize + 1] as usize;
+        &self.targets[start..end]
+    }
+
+    /// Resolved internal callees of `m` as method ids (compat wrapper over
+    /// the dense CSR slice).
+    pub fn callees(&self, m: MethodId) -> impl Iterator<Item = MethodId> + '_ {
+        let slice = match self.node_index(m) {
+            Some(i) => self.callee_indices(i),
+            None => &[],
+        };
+        slice.iter().map(|&t| self.method_at(t))
     }
 
     /// Class defining `m`, if `m` is defined in this dex.
     pub fn defining_class(&self, m: MethodId) -> Option<TypeId> {
-        self.defined.get(&m).copied()
+        self.node_index(m).map(|i| self.class_at(i))
     }
 
     /// Number of defined methods (graph nodes with potential out-edges).
     pub fn defined_count(&self) -> usize {
-        self.defined.len()
+        self.nodes.len()
     }
 
-    /// Total internal edge count.
+    /// Total internal edge count (after per-caller dedup).
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(Vec::len).sum()
+        self.targets.len()
+    }
+
+    /// Build-time resolution counters.
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
     }
 }
 
-/// Resolve a callee reference to a *defined* method, or `None` for external
-/// (framework) targets. Virtual/interface/super dispatch searches the
-/// receiver class then its defined ancestors (class-hierarchy analysis on
-/// the static type — the paper's tooling does the same).
+/// Bucket a flat `(caller, callee)` edge list into CSR: count per caller,
+/// prefix-sum into row starts, scatter-fill, then sort + dedup each row in
+/// place (compacting the arena). Returns `(offsets, targets, duplicates)`.
+fn csr_from_pairs(n: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>, u64) {
+    let mut offsets = vec![0u32; n + 1];
+    for &(c, _) in pairs {
+        offsets[c as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut targets = vec![0u32; pairs.len()];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for &(c, t) in pairs {
+        let pos = &mut cursor[c as usize];
+        targets[*pos as usize] = t;
+        *pos += 1;
+    }
+    // Dedup row by row; `write` trails `start`, so in-place is safe.
+    let mut write = 0usize;
+    let mut start = 0usize;
+    for i in 0..n {
+        let end = offsets[i + 1] as usize;
+        targets[start..end].sort_unstable();
+        offsets[i] = write as u32;
+        let mut prev: Option<u32> = None;
+        for r in start..end {
+            let t = targets[r];
+            if prev != Some(t) {
+                targets[write] = t;
+                write += 1;
+                prev = Some(t);
+            }
+        }
+        start = end;
+    }
+    offsets[n] = write as u32;
+    let duplicates = (targets.len() - write) as u64;
+    targets.truncate(write);
+    (offsets, targets, duplicates)
+}
+
+/// One flattened vtable entry: `(name, descriptor) → dense method index`,
+/// with the nearest definition in the hierarchy winning.
+type VtEntry = (u32, u32, u32);
+
+/// Lazily built per-class flattened vtables, direct-indexed by `TypeId`.
+/// Each table is the class's own methods plus every inherited signature,
+/// sorted by `(name, descriptor)` for binary-search lookup — computed once
+/// per receiver class instead of re-walking the superclass chain at every
+/// virtual invoke site.
+struct VtableCache {
+    tables: Vec<Option<Box<[VtEntry]>>>,
+    scratch: Vec<VtEntry>,
+}
+
+impl VtableCache {
+    fn new(type_count: usize) -> Self {
+        VtableCache {
+            tables: (0..type_count).map(|_| None).collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn lookup(
+        &mut self,
+        dex: &Dex,
+        dense: &[u32],
+        ty: TypeId,
+        name: u32,
+        descriptor: u32,
+        stats: &mut BuildStats,
+    ) -> Option<u32> {
+        let slot = self.tables.get_mut(ty.0 as usize)?;
+        if slot.is_none() {
+            stats.vtable_misses += 1;
+            self.scratch.clear();
+            // Scan order = hierarchy order (class, then ancestors), so a
+            // stable sort keyed on the signature keeps the *nearest*
+            // definition first and dedup drops shadowed ones.
+            let mut collect = |t: TypeId| {
+                if let Some(class) = dex.class(t) {
+                    for m in &class.methods {
+                        let r = dex.method_ref(m.method);
+                        self.scratch
+                            .push((r.name, r.descriptor, dense[m.method.0 as usize]));
+                    }
+                }
+            };
+            collect(ty);
+            for ancestor in dex.superclasses(ty) {
+                collect(ancestor);
+            }
+            self.scratch.sort_by_key(|&(n, d, _)| (n, d));
+            self.scratch.dedup_by_key(|&mut (n, d, _)| (n, d));
+            *slot = Some(self.scratch.as_slice().into());
+        } else {
+            stats.vtable_hits += 1;
+        }
+        let table = slot.as_deref().expect("just built");
+        table
+            .binary_search_by_key(&(name, descriptor), |&(n, d, _)| (n, d))
+            .ok()
+            .map(|i| table[i].2)
+    }
+}
+
+/// Resolve a callee reference to the dense index of a *defined* method, or
+/// `None` for external (framework) targets. Virtual/interface/super
+/// dispatch searches the receiver class then its defined ancestors via the
+/// flattened vtable (class-hierarchy analysis on the static type — the
+/// paper's tooling does the same).
+#[allow(clippy::too_many_arguments)]
 fn resolve(
     dex: &Dex,
-    by_signature: &HashMap<(TypeId, u32, u32), MethodId>,
+    by_signature: &HashMap<(u32, u32, u32), u32>,
+    dense: &[u32],
+    vtables: &mut VtableCache,
+    stats: &mut BuildStats,
     callee_ref: MethodId,
     kind: InvokeKind,
-) -> Option<MethodId> {
+) -> Option<u32> {
     let r = dex.method_ref(callee_ref);
-    if let Some(&m) = by_signature.get(&(r.class, r.name, r.descriptor)) {
-        return Some(m);
+    if let Some(&idx) = by_signature.get(&(r.class.0, r.name, r.descriptor)) {
+        return Some(idx);
     }
     match kind {
         InvokeKind::Static | InvokeKind::Direct => None,
         InvokeKind::Virtual | InvokeKind::Interface | InvokeKind::Super => {
-            // Walk defined ancestors of the static receiver type.
-            for ancestor in dex.superclass_chain(r.class) {
-                if let Some(&m) = by_signature.get(&(ancestor, r.name, r.descriptor)) {
-                    return Some(m);
-                }
-            }
-            None
+            vtables.lookup(dex, dense, r.class, r.name, r.descriptor, stats)
         }
     }
 }
@@ -192,7 +425,7 @@ mod tests {
             .unwrap()
             .methods[0]
             .method;
-        assert_eq!(g.callees(a_id).len(), 1);
+        assert_eq!(g.callees(a_id).count(), 1);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.defined_count(), 2);
     }
@@ -228,12 +461,96 @@ mod tests {
         let dex = b.build();
         let g = CallGraph::build(&dex);
         let main = dex.class_by_name("com/x/Main").unwrap().methods[0].method;
-        let callees = g.callees(main);
+        let callees: Vec<MethodId> = g.callees(main).collect();
         assert_eq!(callees.len(), 1);
         assert_eq!(
             dex.type_name(g.defining_class(callees[0]).unwrap()),
             "com/x/A"
         );
+        // The walk went through the vtable cache, not an exact-probe hit.
+        assert_eq!(g.build_stats().vtable_misses, 1);
+    }
+
+    #[test]
+    fn nearest_override_wins_in_vtable() {
+        // A and B both define handle; a call through C must bind to B's
+        // (nearest) definition, not A's.
+        let mut b = DexBuilder::new();
+        let c_handle = b.intern_method("com/x/C", "handle", "()V");
+        let caller = def(
+            &mut b,
+            "com/x/Main",
+            "go",
+            vec![
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    method: c_handle,
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let a_def = def(&mut b, "com/x/A", "handle", vec![Instruction::ReturnVoid]);
+        let b_def = def(&mut b, "com/x/B", "handle", vec![Instruction::ReturnVoid]);
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a_def])
+            .unwrap();
+        b.define_class(
+            "com/x/B",
+            Some("com/x/A"),
+            ClassFlags::default(),
+            vec![b_def],
+        )
+        .unwrap();
+        b.define_class("com/x/C", Some("com/x/B"), ClassFlags::default(), vec![])
+            .unwrap();
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        let main = dex.class_by_name("com/x/Main").unwrap().methods[0].method;
+        let callees: Vec<MethodId> = g.callees(main).collect();
+        assert_eq!(callees.len(), 1);
+        assert_eq!(
+            dex.type_name(g.defining_class(callees[0]).unwrap()),
+            "com/x/B"
+        );
+    }
+
+    #[test]
+    fn repeated_call_sites_dedup_to_one_edge() {
+        // Three invokes of the same callee in one method: three sites but
+        // exactly one CSR edge (regression pin for the dedup satellite).
+        let mut b = DexBuilder::new();
+        let callee = b.intern_method("com/x/B", "run", "()V");
+        let other = b.intern_method("com/x/B", "other", "()V");
+        let call = |m| Instruction::Invoke {
+            kind: InvokeKind::Static,
+            method: m,
+        };
+        let a = def(
+            &mut b,
+            "com/x/A",
+            "go",
+            vec![
+                call(callee),
+                call(callee),
+                call(other),
+                call(callee),
+                Instruction::ReturnVoid,
+            ],
+        );
+        let b_run = def(&mut b, "com/x/B", "run", vec![Instruction::ReturnVoid]);
+        let b_other = def(&mut b, "com/x/B", "other", vec![Instruction::ReturnVoid]);
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a])
+            .unwrap();
+        b.define_class("com/x/B", None, ClassFlags::default(), vec![b_run, b_other])
+            .unwrap();
+        let dex = b.build();
+        let g = CallGraph::build(&dex);
+        assert_eq!(g.sites().len(), 4, "every invoke site is retained");
+        assert_eq!(g.edge_count(), 2, "edges are deduped per caller");
+        assert_eq!(g.build_stats().duplicate_edges, 2);
+        let a_id = dex.class_by_name("com/x/A").unwrap().methods[0].method;
+        assert_eq!(g.callees(a_id).count(), 2);
     }
 
     #[test]

@@ -5,27 +5,36 @@
 //! or a CT is initialized", traversing "the app's entire call graph via all
 //! entry points" because Android apps have no `main` (§3.1.3).
 //!
-//! * [`graph`] — builds the call graph from SDEX bytecode: one node per
-//!   method-table entry, edges from `invoke-*` sites, virtual dispatch
-//!   resolved through the superclass chain (CHA-style), with every call
-//!   site retained (caller, callee reference, invoke kind, preceding
-//!   string constant);
+//! * [`graph`] — builds the call graph from SDEX bytecode as a
+//!   compressed-sparse-row edge arena over dense method indices: one node
+//!   per defined method, edges from `invoke-*` sites, virtual dispatch
+//!   resolved through a lazily built per-class flattened vtable
+//!   (CHA-style), with every call site retained (caller, callee reference,
+//!   invoke kind, preceding string constant);
 //! * [`entrypoints`] — discovers traversal roots from the manifest:
 //!   lifecycle methods of declared components (including components whose
 //!   class *transitively* extends a declared component class) plus GUI/event
 //!   callbacks;
-//! * [`reach`] — BFS reachability over the graph and the recording of
-//!   WebView / Custom-Tabs call sites with their reachability status.
-//!   Recorded sites carry *interned* names ([`wla_intern::Symbol`]) plus
-//!   record-time package labels, so later pipeline stages never touch
-//!   strings.
+//! * [`reach`] — bitset + worklist reachability over the CSR arena
+//!   (reusable [`reach::ReachScratch`], allocation-free in steady state)
+//!   and the recording of WebView / Custom-Tabs call sites with their
+//!   reachability status. Recorded sites carry *interned* names
+//!   ([`wla_intern::Symbol`]) plus record-time package labels, so later
+//!   pipeline stages never touch strings;
+//! * [`oracle`] — the pre-CSR hash-based path, kept as `reach_oracle` for
+//!   equivalence tests and the ablation bench.
 
 pub mod entrypoints;
 pub mod graph;
+pub mod oracle;
 pub mod reach;
 pub mod scc;
 
 pub use entrypoints::entry_points;
-pub use graph::{CallGraph, CallSite};
-pub use reach::{record_web_calls, CtSite, WebCallRecord, WebViewSite};
+pub use graph::{BuildStats, CallGraph, CallSite};
+pub use oracle::{reachable_methods_oracle, record_web_calls_oracle, HashCallGraph};
+pub use reach::{
+    record_web_calls, record_web_calls_with, CallGraphCounters, CtSite, ReachScratch,
+    WebCallRecord, WebViewSite,
+};
 pub use scc::{graph_shape, strongly_connected_components, GraphShape};

@@ -1,0 +1,221 @@
+//! The pre-CSR hash-based call-graph path, kept as the correctness oracle
+//! (`reach_oracle`). Deliberately not optimized — its value is being the
+//! obviously-correct old semantics: `HashMap` adjacency with duplicate
+//! edges retained, a superclass-chain walk per virtual invoke site, and a
+//! `HashSet` BFS. `tests/reach_equivalence.rs` pins the CSR + bitset path
+//! against it on randomized dexes; the `callgraph` bench uses it as the
+//! ablation baseline.
+
+use crate::graph::CallSite;
+use crate::reach::{record_sites, WebCallRecord};
+use std::collections::{HashMap, HashSet};
+use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodId, TypeId};
+use wla_intern::{LocalInterner, Symbol};
+use wla_sdk_index::{LabelCache, SdkIndex};
+
+/// The old hash-based call graph: adjacency lists keyed by `MethodId`,
+/// duplicate edges preserved in call-site order.
+#[derive(Debug)]
+pub struct HashCallGraph<'d> {
+    dex: &'d Dex,
+    defined: HashMap<MethodId, TypeId>,
+    edges: HashMap<MethodId, Vec<MethodId>>,
+    sites: Vec<CallSite>,
+}
+
+impl<'d> HashCallGraph<'d> {
+    /// Build with the original single-pass algorithm: exact-signature probe
+    /// plus an ancestor-chain walk per virtual/interface/super site. Maps
+    /// are pre-sized from the dex tables (the one optimization retained).
+    pub fn build(dex: &'d Dex) -> Self {
+        let mut defined: HashMap<MethodId, TypeId> = HashMap::with_capacity(dex.method_count());
+        let mut by_signature: HashMap<(u32, u32, u32), MethodId> =
+            HashMap::with_capacity(dex.method_count());
+        for class in dex.classes() {
+            for m in &class.methods {
+                defined.insert(m.method, class.ty);
+                let r = dex.method_ref(m.method);
+                by_signature.insert((class.ty.0, r.name, r.descriptor), m.method);
+            }
+        }
+
+        let mut edges: HashMap<MethodId, Vec<MethodId>> = HashMap::with_capacity(defined.len());
+        let mut sites: Vec<CallSite> = Vec::with_capacity(dex.instruction_count());
+        for class in dex.classes() {
+            for m in &class.methods {
+                let mut pending_string: Option<u32> = None;
+                for ins in &m.code {
+                    match ins {
+                        Instruction::ConstString { string } => {
+                            pending_string = Some(*string);
+                        }
+                        Instruction::Invoke { kind, method } => {
+                            sites.push(CallSite {
+                                caller: m.method,
+                                caller_class: class.ty,
+                                callee_ref: *method,
+                                kind: *kind,
+                                preceding_string: pending_string.take(),
+                            });
+                            if let Some(target) = resolve(dex, &by_signature, *method, *kind) {
+                                edges.entry(m.method).or_default().push(target);
+                            }
+                        }
+                        _ => pending_string = None,
+                    }
+                }
+            }
+        }
+
+        HashCallGraph {
+            dex,
+            defined,
+            edges,
+            sites,
+        }
+    }
+
+    /// The dex this graph was built over.
+    pub fn dex(&self) -> &'d Dex {
+        self.dex
+    }
+
+    /// Every call site in program order.
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Resolved internal callees of `m` (duplicates included).
+    pub fn callees(&self, m: MethodId) -> &[MethodId] {
+        self.edges.get(&m).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Class defining `m`, if `m` is defined in this dex.
+    pub fn defining_class(&self, m: MethodId) -> Option<TypeId> {
+        self.defined.get(&m).copied()
+    }
+
+    /// Number of defined methods.
+    pub fn defined_count(&self) -> usize {
+        self.defined.len()
+    }
+
+    /// Total internal edge count (duplicates included).
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+}
+
+/// The original per-site resolution: exact signature, then the superclass
+/// chain for virtual-ish kinds.
+fn resolve(
+    dex: &Dex,
+    by_signature: &HashMap<(u32, u32, u32), MethodId>,
+    callee_ref: MethodId,
+    kind: InvokeKind,
+) -> Option<MethodId> {
+    let r = dex.method_ref(callee_ref);
+    if let Some(&m) = by_signature.get(&(r.class.0, r.name, r.descriptor)) {
+        return Some(m);
+    }
+    match kind {
+        InvokeKind::Static | InvokeKind::Direct => None,
+        InvokeKind::Virtual | InvokeKind::Interface | InvokeKind::Super => dex
+            .superclasses(r.class)
+            .find_map(|a| by_signature.get(&(a.0, r.name, r.descriptor)).copied()),
+    }
+}
+
+/// The old `HashSet` BFS from `roots`.
+pub fn reachable_methods_oracle(
+    graph: &HashCallGraph<'_>,
+    roots: &[MethodId],
+) -> HashSet<MethodId> {
+    let mut seen: HashSet<MethodId> = roots.iter().copied().collect();
+    let mut queue: Vec<MethodId> = roots.to_vec();
+    while let Some(m) = queue.pop() {
+        for &callee in graph.callees(m) {
+            if seen.insert(callee) {
+                queue.push(callee);
+            }
+        }
+    }
+    seen
+}
+
+/// Oracle analog of `record_web_calls`: identical recording loop (shared
+/// via `record_sites`), reachability from the hash BFS.
+pub fn record_web_calls_oracle(
+    graph: &HashCallGraph<'_>,
+    roots: &[MethodId],
+    webview_subclasses: &HashSet<Symbol>,
+    catalog: &SdkIndex,
+    lexicon: &mut LocalInterner,
+    labels: &mut LabelCache,
+) -> WebCallRecord {
+    let reachable = reachable_methods_oracle(graph, roots);
+    record_sites(
+        graph.dex(),
+        graph.sites(),
+        |caller| reachable.contains(&caller),
+        webview_subclasses,
+        catalog,
+        lexicon,
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, MethodDef};
+
+    #[test]
+    fn oracle_and_csr_agree_on_a_small_graph() {
+        let mut b = DexBuilder::new();
+        let callee = b.intern_method("com/x/B", "run", "()V");
+        let a = MethodDef {
+            method: b.intern_method("com/x/A", "go", "()V"),
+            public: true,
+            static_: true,
+            code: vec![
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: callee,
+                },
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: callee,
+                },
+                Instruction::ReturnVoid,
+            ],
+        };
+        let b_run = MethodDef {
+            method: callee,
+            public: true,
+            static_: false,
+            code: vec![Instruction::ReturnVoid],
+        };
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a])
+            .unwrap();
+        b.define_class("com/x/B", None, ClassFlags::default(), vec![b_run])
+            .unwrap();
+        let dex = b.build();
+
+        let oracle = HashCallGraph::build(&dex);
+        let csr = CallGraph::build(&dex);
+        let a_id = dex.class_by_name("com/x/A").unwrap().methods[0].method;
+
+        // Oracle keeps the duplicate edge, CSR dedups it — but reachability
+        // and sites agree.
+        assert_eq!(oracle.edge_count(), 2);
+        assert_eq!(csr.edge_count(), 1);
+        assert_eq!(oracle.sites(), csr.sites());
+        assert_eq!(
+            reachable_methods_oracle(&oracle, &[a_id]),
+            crate::reach::reachable_methods(&csr, &[a_id])
+        );
+        assert_eq!(oracle.defining_class(callee), csr.defining_class(callee));
+    }
+}

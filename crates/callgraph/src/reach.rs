@@ -1,6 +1,12 @@
 //! Reachability traversal and WebView / Custom-Tabs call-site recording —
 //! step (5) of the pipeline.
 //!
+//! Traversal runs on a **reusable bitset + `Vec` worklist**
+//! ([`ReachScratch`]): the visited bitmap is indexed by the graph's dense
+//! node indices, shared across all of an app's entry-point roots (common
+//! subgraphs are walked once), and *cleared, not reallocated* between apps
+//! — the worker's `AnalysisCtx` owns one scratch for its whole shard.
+//!
 //! Recording is also where strings leave the hot path: every name a site
 //! carries (method, classes, package, argument) is interned into the
 //! worker's [`LocalInterner`] here, and the caller package is labeled
@@ -8,12 +14,12 @@
 //! Downstream stages (summaries, aggregation) operate purely on the
 //! resulting `u32` handles.
 
-use crate::graph::CallGraph;
+use crate::graph::{BuildStats, CallGraph, CallSite};
 use std::collections::{HashMap, HashSet};
 use wla_apk::names::{
     framework, package_of_into, CT_LAUNCH_METHOD, WEBVIEW_CONTENT_METHODS, WEBVIEW_LOAD_METHODS,
 };
-use wla_apk::sdex::MethodId;
+use wla_apk::sdex::{Dex, MethodId};
 use wla_intern::{LocalInterner, PkgId, Symbol, U32BuildHasher};
 use wla_sdk_index::{LabelCache, LabelId, SdkIndex};
 
@@ -70,28 +76,201 @@ pub struct WebCallRecord {
     pub custom_tabs: Vec<CtSite>,
 }
 
-/// BFS over internal edges from `roots`.
-pub fn reachable_methods(graph: &CallGraph<'_>, roots: &[MethodId]) -> HashSet<MethodId> {
-    let mut seen: HashSet<MethodId> = roots.iter().copied().collect();
-    let mut queue: Vec<MethodId> = roots.to_vec();
-    while let Some(m) = queue.pop() {
-        for &callee in graph.callees(m) {
-            if seen.insert(callee) {
-                queue.push(callee);
+/// Reusable traversal scratch: a visited bitmap over dense node indices
+/// plus a worklist. Owned by the worker's `AnalysisCtx` and cleared (never
+/// shrunk) between apps, so steady-state traversal is allocation-free.
+#[derive(Debug, Default)]
+pub struct ReachScratch {
+    /// Visited bitmap, one bit per dense node index.
+    visited: Vec<u64>,
+    /// DFS worklist of dense node indices.
+    worklist: Vec<u32>,
+    /// Traversals served without growing the bitmap.
+    pub reuses: u64,
+    /// Traversals that had to grow the bitmap (first app, or a bigger dex).
+    pub grows: u64,
+    /// Total CSR edges scanned across all traversals.
+    pub edges_traversed: u64,
+}
+
+impl ReachScratch {
+    /// Fresh scratch (first traversal will count as a grow).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset the bitmap for a graph of `nodes` methods, growing only if a
+    /// previous app's dex was smaller.
+    fn begin(&mut self, nodes: usize) {
+        let words = nodes.div_ceil(64);
+        if self.visited.len() < words {
+            self.visited.resize(words, 0);
+            self.grows += 1;
+        } else {
+            self.reuses += 1;
+        }
+        self.visited[..words].fill(0);
+        self.worklist.clear();
+    }
+
+    /// Set the bit for `idx`; true if it was previously unset.
+    #[inline]
+    fn mark(&mut self, idx: u32) -> bool {
+        let word = &mut self.visited[(idx >> 6) as usize];
+        let bit = 1u64 << (idx & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Whether dense node `idx` was reached by the last [`mark_reachable`].
+    ///
+    /// [`mark_reachable`]: ReachScratch::mark_reachable
+    #[inline]
+    pub fn is_marked(&self, idx: u32) -> bool {
+        self.visited[(idx >> 6) as usize] & (1u64 << (idx & 63)) != 0
+    }
+
+    /// Traverse `graph` from all `roots` at once, leaving the visited
+    /// bitmap populated until the next call. Roots not defined in the dex
+    /// (external refs) contribute nothing, matching the hash path where
+    /// they had no out-edges.
+    pub fn mark_reachable(&mut self, graph: &CallGraph<'_>, roots: &[MethodId]) {
+        self.begin(graph.node_count());
+        for &root in roots {
+            if let Some(idx) = graph.node_index(root) {
+                if self.mark(idx) {
+                    self.worklist.push(idx);
+                }
             }
+        }
+        while let Some(v) = self.worklist.pop() {
+            let callees = graph.callee_indices(v);
+            self.edges_traversed += callees.len() as u64;
+            for &t in callees {
+                if self.mark(t) {
+                    self.worklist.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker call-graph counters, merged into `PipelineStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallGraphCounters {
+    /// Call graphs built (≥ apps analyzed; one per dex).
+    pub graphs: u64,
+    /// Virtual resolutions served by an already-built vtable.
+    pub vtable_hits: u64,
+    /// Vtables built (one per receiver class needing hierarchy search).
+    pub vtable_misses: u64,
+    /// CSR edges across all graphs (after dedup).
+    pub edges: u64,
+    /// Duplicate same-callee invokes collapsed by the CSR dedup.
+    pub duplicate_edges: u64,
+    /// Traversals that reused the bitset without growing it.
+    pub bitset_reuses: u64,
+    /// Traversals that grew the bitset.
+    pub bitset_grows: u64,
+    /// CSR edges scanned by reachability traversals.
+    pub edges_traversed: u64,
+}
+
+impl CallGraphCounters {
+    /// Fold one graph's build stats in.
+    pub fn absorb_build(&mut self, stats: &BuildStats, edge_count: usize) {
+        self.graphs += 1;
+        self.vtable_hits += stats.vtable_hits;
+        self.vtable_misses += stats.vtable_misses;
+        self.edges += edge_count as u64;
+        self.duplicate_edges += stats.duplicate_edges;
+    }
+
+    /// Copy the scratch's traversal counters in (call once per worker,
+    /// after its shard is done — the scratch accumulates across apps).
+    pub fn absorb_scratch(&mut self, scratch: &ReachScratch) {
+        self.bitset_reuses += scratch.reuses;
+        self.bitset_grows += scratch.grows;
+        self.edges_traversed += scratch.edges_traversed;
+    }
+
+    /// Merge another worker's counters.
+    pub fn merge(&mut self, other: &CallGraphCounters) {
+        self.graphs += other.graphs;
+        self.vtable_hits += other.vtable_hits;
+        self.vtable_misses += other.vtable_misses;
+        self.edges += other.edges;
+        self.duplicate_edges += other.duplicate_edges;
+        self.bitset_reuses += other.bitset_reuses;
+        self.bitset_grows += other.bitset_grows;
+        self.edges_traversed += other.edges_traversed;
+    }
+
+    /// Fraction of virtual resolutions served from cache.
+    pub fn vtable_hit_rate(&self) -> f64 {
+        let total = self.vtable_hits + self.vtable_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.vtable_hits as f64 / total as f64
+        }
+    }
+}
+
+/// BFS over internal edges from `roots`, as a set of method ids.
+///
+/// Compat wrapper over [`ReachScratch::mark_reachable`] for callers that
+/// want a queryable set; like the old hash path, the result contains every
+/// root (even external refs) plus every defined method reached.
+pub fn reachable_methods(graph: &CallGraph<'_>, roots: &[MethodId]) -> HashSet<MethodId> {
+    let mut scratch = ReachScratch::new();
+    scratch.mark_reachable(graph, roots);
+    let mut seen: HashSet<MethodId> = roots.iter().copied().collect();
+    for idx in 0..graph.node_count() as u32 {
+        if scratch.is_marked(idx) {
+            seen.insert(graph.method_at(idx));
         }
     }
     seen
 }
 
 /// Record every WebView content-method call and CT interaction in `graph`,
-/// marking reachability from `roots`.
+/// marking reachability from `roots`, using the caller-owned `scratch` for
+/// the traversal (allocation-free after the first app).
 ///
 /// `webview_subclasses` is the set of (interned) binary names the
 /// decompilation step found to extend WebView; its symbols must come from
 /// `lexicon`. Caller classes are interned once per dex type (memoized),
 /// their packages extracted into a reused scratch buffer and labeled
 /// through `labels`.
+pub fn record_web_calls_with(
+    graph: &CallGraph<'_>,
+    roots: &[MethodId],
+    webview_subclasses: &HashSet<Symbol>,
+    catalog: &SdkIndex,
+    lexicon: &mut LocalInterner,
+    labels: &mut LabelCache,
+    scratch: &mut ReachScratch,
+) -> WebCallRecord {
+    scratch.mark_reachable(graph, roots);
+    record_sites(
+        graph.dex(),
+        graph.sites(),
+        |caller| {
+            graph
+                .node_index(caller)
+                .is_some_and(|idx| scratch.is_marked(idx))
+        },
+        webview_subclasses,
+        catalog,
+        lexicon,
+        labels,
+    )
+}
+
+/// [`record_web_calls_with`] with a throwaway scratch — convenience for
+/// tests and one-shot callers.
 pub fn record_web_calls(
     graph: &CallGraph<'_>,
     roots: &[MethodId],
@@ -100,8 +279,30 @@ pub fn record_web_calls(
     lexicon: &mut LocalInterner,
     labels: &mut LabelCache,
 ) -> WebCallRecord {
-    let dex = graph.dex();
-    let reachable = reachable_methods(graph, roots);
+    let mut scratch = ReachScratch::new();
+    record_web_calls_with(
+        graph,
+        roots,
+        webview_subclasses,
+        catalog,
+        lexicon,
+        labels,
+        &mut scratch,
+    )
+}
+
+/// The site-recording loop, shared between the CSR path and the hash
+/// oracle so both provably apply identical semantics: only the
+/// reachability predicate differs.
+pub(crate) fn record_sites(
+    dex: &Dex,
+    sites: &[CallSite],
+    mut is_reachable: impl FnMut(MethodId) -> bool,
+    webview_subclasses: &HashSet<Symbol>,
+    catalog: &SdkIndex,
+    lexicon: &mut LocalInterner,
+    labels: &mut LabelCache,
+) -> WebCallRecord {
     let mut record = WebCallRecord::default();
 
     // TypeId → (class symbol, package + label). TypeIds are per-dex, so
@@ -110,7 +311,7 @@ pub fn record_web_calls(
     let mut callers: HashMap<u32, CallerInfo, U32BuildHasher> = HashMap::default();
     let mut scratch = String::new();
 
-    for site in graph.sites() {
+    for site in sites {
         let callee_ref = dex.method_ref(site.callee_ref);
         let receiver = dex.type_name(callee_ref.class);
         let name = dex.string(callee_ref.name);
@@ -147,7 +348,7 @@ pub fn record_web_calls(
             Some((id, l)) => (Some(id), l),
             None => (None, LabelId::Unlabeled),
         };
-        let is_reachable = reachable.contains(&site.caller);
+        let reachable = is_reachable(site.caller);
 
         if let Some(idx) = method_idx {
             record.webview.push(WebViewSite {
@@ -159,7 +360,7 @@ pub fn record_web_calls(
                 caller_package,
                 label,
                 argument: site.preceding_string.map(|s| lexicon.intern(dex.string(s))),
-                reachable: is_reachable,
+                reachable,
             });
         }
 
@@ -170,7 +371,7 @@ pub fn record_web_calls(
                 caller_class,
                 caller_package,
                 label,
-                reachable: is_reachable,
+                reachable,
             });
         }
     }
@@ -427,5 +628,35 @@ mod tests {
         let g = CallGraph::build(&dex);
         let reach = reachable_methods(&g, &[f]);
         assert_eq!(reach.len(), 2);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_graphs_without_state_leaks() {
+        // Two different dexes through the same scratch: the second (smaller)
+        // traversal must not see the first's visited bits, and the counters
+        // must show one grow + one reuse.
+        let (dex, manifest) = build_fixture();
+        let g = CallGraph::build(&dex);
+        let roots = entry_points(&g, &manifest);
+        let mut scratch = ReachScratch::new();
+        scratch.mark_reachable(&g, &roots);
+        assert_eq!((scratch.grows, scratch.reuses), (1, 0));
+        let first_marked: Vec<bool> = (0..g.node_count() as u32)
+            .map(|i| scratch.is_marked(i))
+            .collect();
+        assert!(first_marked.iter().any(|&m| m));
+        assert!(first_marked.iter().any(|&m| !m), "Dead::zombie stays dead");
+
+        // Same graph, no roots: everything must read unvisited again.
+        scratch.mark_reachable(&g, &[]);
+        assert_eq!((scratch.grows, scratch.reuses), (1, 1));
+        assert!((0..g.node_count() as u32).all(|i| !scratch.is_marked(i)));
+
+        // And a re-run from the real roots reproduces the first bitmap.
+        scratch.mark_reachable(&g, &roots);
+        let third: Vec<bool> = (0..g.node_count() as u32)
+            .map(|i| scratch.is_marked(i))
+            .collect();
+        assert_eq!(first_marked, third);
     }
 }

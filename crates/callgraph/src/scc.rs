@@ -3,22 +3,19 @@
 //! Mutual recursion shows up as non-trivial SCCs; the analysis uses the
 //! condensation to report call-graph shape metrics (depth, recursion), and
 //! the traversal ablation bench uses component counts as a sanity check.
+//! The algorithm runs directly on the graph's dense node indices —
+//! per-node state is a flat `Vec`, and edges come from the CSR arena, so
+//! no hashing happens anywhere in the traversal.
 
 use crate::graph::CallGraph;
-use std::collections::HashMap;
 use wla_apk::sdex::MethodId;
 
 /// SCCs of the internal call graph, each a list of method ids. Components
 /// are emitted in reverse topological order (callees before callers), as
 /// Tarjan produces them.
 pub fn strongly_connected_components(graph: &CallGraph<'_>) -> Vec<Vec<MethodId>> {
-    // Collect all defined methods as nodes.
-    let nodes: Vec<MethodId> = graph
-        .dex()
-        .classes()
-        .iter()
-        .flat_map(|c| c.methods.iter().map(|m| m.method))
-        .collect();
+    let n = graph.node_count();
+    const UNVISITED: u32 = u32::MAX;
 
     #[derive(Clone, Copy)]
     struct NodeState {
@@ -27,67 +24,64 @@ pub fn strongly_connected_components(graph: &CallGraph<'_>) -> Vec<Vec<MethodId>
         on_stack: bool,
     }
 
-    let mut state: HashMap<MethodId, NodeState> = HashMap::with_capacity(nodes.len());
-    let mut stack: Vec<MethodId> = Vec::new();
+    let mut state = vec![
+        NodeState {
+            index: UNVISITED,
+            lowlink: 0,
+            on_stack: false,
+        };
+        n
+    ];
+    let mut stack: Vec<u32> = Vec::new();
     let mut next_index: u32 = 0;
     let mut components: Vec<Vec<MethodId>> = Vec::new();
 
     // Iterative Tarjan: explicit work stack of (node, child cursor).
-    for &root in &nodes {
-        if state.contains_key(&root) {
+    for root in 0..n as u32 {
+        if state[root as usize].index != UNVISITED {
             continue;
         }
-        let mut work: Vec<(MethodId, usize)> = vec![(root, 0)];
-        state.insert(
-            root,
-            NodeState {
-                index: next_index,
-                lowlink: next_index,
-                on_stack: true,
-            },
-        );
+        let mut work: Vec<(u32, usize)> = vec![(root, 0)];
+        state[root as usize] = NodeState {
+            index: next_index,
+            lowlink: next_index,
+            on_stack: true,
+        };
         stack.push(root);
         next_index += 1;
 
         while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
-            let callees = graph.callees(v);
+            let callees = graph.callee_indices(v);
             if *cursor < callees.len() {
                 let w = callees[*cursor];
                 *cursor += 1;
-                match state.get(&w) {
-                    None => {
-                        state.insert(
-                            w,
-                            NodeState {
-                                index: next_index,
-                                lowlink: next_index,
-                                on_stack: true,
-                            },
-                        );
-                        stack.push(w);
-                        next_index += 1;
-                        work.push((w, 0));
-                    }
-                    Some(ws) if ws.on_stack => {
-                        let w_index = ws.index;
-                        let vs = state.get_mut(&v).expect("visited");
-                        vs.lowlink = vs.lowlink.min(w_index);
-                    }
-                    Some(_) => {}
+                let ws = state[w as usize];
+                if ws.index == UNVISITED {
+                    state[w as usize] = NodeState {
+                        index: next_index,
+                        lowlink: next_index,
+                        on_stack: true,
+                    };
+                    stack.push(w);
+                    next_index += 1;
+                    work.push((w, 0));
+                } else if ws.on_stack {
+                    let vs = &mut state[v as usize];
+                    vs.lowlink = vs.lowlink.min(ws.index);
                 }
             } else {
                 work.pop();
-                let v_state = state[&v];
+                let v_state = state[v as usize];
                 if let Some(&(parent, _)) = work.last() {
-                    let pl = state[&parent].lowlink.min(v_state.lowlink);
-                    state.get_mut(&parent).expect("visited").lowlink = pl;
+                    let ps = &mut state[parent as usize];
+                    ps.lowlink = ps.lowlink.min(v_state.lowlink);
                 }
                 if v_state.lowlink == v_state.index {
                     let mut component = Vec::new();
                     loop {
                         let w = stack.pop().expect("stack non-empty");
-                        state.get_mut(&w).expect("visited").on_stack = false;
-                        component.push(w);
+                        state[w as usize].on_stack = false;
+                        component.push(graph.method_at(w));
                         if w == v {
                             break;
                         }
@@ -119,7 +113,7 @@ pub fn graph_shape(graph: &CallGraph<'_>) -> GraphShape {
     let sccs = strongly_connected_components(graph);
     let recursive_methods = sccs
         .iter()
-        .filter(|c| c.len() > 1 || (c.len() == 1 && graph.callees(c[0]).contains(&c[0])))
+        .filter(|c| c.len() > 1 || (c.len() == 1 && graph.callees(c[0]).any(|m| m == c[0])))
         .map(Vec::len)
         .sum();
     GraphShape {

@@ -64,6 +64,14 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         interned_bytes: s.interner.global_bytes as u64,
         intern_hit_rate: s.interner.local_hit_rate(),
         label_hit_rate: s.interner.label_hit_rate(),
+        callgraph_edges: s.callgraph.edges,
+        vtable_hit_rate: s.callgraph.vtable_hit_rate(),
+        bitset_reuses: s.callgraph.bitset_reuses,
+        edges_per_second: if s.stage.callgraph_ns > 0 {
+            s.callgraph.edges_traversed as f64 / (s.stage.callgraph_ns as f64 * 1e-9)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -847,9 +855,17 @@ mod tests {
         assert_eq!(report.analyzed + report.broken, report.total);
         assert_eq!(report.stages_ms.len(), 4);
         assert!(report.apps_per_second > 0.0);
+        // Call-graph observability flows through: edges were built, the
+        // traversal speed is derived from the callgraph stage timer, and
+        // the hit rate is a valid fraction.
+        assert_eq!(report.callgraph_edges, run.stats.callgraph.edges);
+        assert!(report.callgraph_edges > 0);
+        assert!(report.edges_per_second > 0.0);
+        assert!((0.0..=1.0).contains(&report.vtable_hit_rate));
         let rendered = report.render();
         assert!(rendered.contains("Pipeline run summary"));
         assert!(rendered.contains("decode"));
+        assert!(rendered.contains("Call-graph edges (CSR)"));
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub struct PipelineStatsReport {
     pub intern_hit_rate: f64,
     /// Worker-local package-label cache hit rate in `0.0..=1.0`.
     pub label_hit_rate: f64,
+    /// CSR call-graph edges built across the run (after dedup).
+    pub callgraph_edges: u64,
+    /// Vtable-cache hit rate for virtual resolution in `0.0..=1.0`.
+    pub vtable_hit_rate: f64,
+    /// Reachability traversals that reused a worker's bitset scratch
+    /// without growing it.
+    pub bitset_reuses: u64,
+    /// Traversal speed: CSR edges scanned per second of callgraph-stage
+    /// time (0 when stage timing was disabled).
+    pub edges_per_second: f64,
 }
 
 impl PipelineStatsReport {
@@ -80,6 +90,26 @@ impl PipelineStatsReport {
                 "Label cache hit rate".into(),
                 percent(self.label_hit_rate),
             ]);
+        }
+        if self.callgraph_edges > 0 {
+            t.row_owned(vec![
+                "Call-graph edges (CSR)".into(),
+                thousands(self.callgraph_edges),
+            ]);
+            t.row_owned(vec![
+                "Vtable cache hit rate".into(),
+                percent(self.vtable_hit_rate),
+            ]);
+            t.row_owned(vec![
+                "Bitset scratch reuses".into(),
+                thousands(self.bitset_reuses),
+            ]);
+            if self.edges_per_second > 0.0 {
+                t.row_owned(vec![
+                    "Traversal speed".into(),
+                    format!("{:.1} Medges/s", self.edges_per_second / 1e6),
+                ]);
+            }
         }
         t
     }
@@ -163,6 +193,10 @@ mod tests {
             interned_bytes: 524_288,
             intern_hit_rate: 0.42,
             label_hit_rate: 0.87,
+            callgraph_edges: 123_456,
+            vtable_hit_rate: 0.75,
+            bitset_reuses: 1_460,
+            edges_per_second: 2_500_000.0,
         }
     }
 
@@ -180,12 +214,17 @@ mod tests {
         assert!(r.contains("analysis-panic"));
         assert!(r.contains("20,480 (512 KiB)"));
         assert!(r.contains("87.0%")); // label cache hit rate
+        assert!(r.contains("123,456")); // CSR edges
+        assert!(r.contains("75.0%")); // vtable hit rate
+        assert!(r.contains("1,460")); // bitset reuses
+        assert!(r.contains("2.5 Medges/s"));
     }
 
     #[test]
     fn interner_rows_are_optional() {
         let r = PipelineStatsReport::default().render();
         assert!(!r.contains("Interned symbols"));
+        assert!(!r.contains("Call-graph edges"));
     }
 
     #[test]

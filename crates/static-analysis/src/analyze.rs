@@ -11,7 +11,9 @@ use std::collections::HashSet;
 use std::time::Instant;
 use wla_apk::names::WEBVIEW_CONTENT_METHODS;
 use wla_apk::{ApkError, Dex, Sapk};
-use wla_callgraph::{entry_points, record_web_calls, CallGraph, WebCallRecord};
+use wla_callgraph::{
+    entry_points, record_web_calls_with, CallGraph, CallGraphCounters, ReachScratch, WebCallRecord,
+};
 use wla_corpus::playstore::AppMeta;
 use wla_decompile::{lift_dex, webview_subclasses_interned};
 use wla_intern::{LocalInterner, PkgId, Symbol};
@@ -65,6 +67,13 @@ pub struct AnalysisCtx<'c> {
     pub lexicon: LocalInterner,
     /// Package-label memo shared across this worker's apps.
     pub labels: LabelCache,
+    /// Reusable reachability scratch (bitset + worklist), cleared — not
+    /// reallocated — between apps.
+    pub reach: ReachScratch,
+    /// Call-graph build counters (vtable hits/misses, edges, dedup)
+    /// accumulated across this worker's apps; traversal counters stay on
+    /// `reach` until [`AnalysisCtx::callgraph_counters`] folds them in.
+    pub graph_counters: CallGraphCounters,
 }
 
 impl<'c> AnalysisCtx<'c> {
@@ -74,7 +83,17 @@ impl<'c> AnalysisCtx<'c> {
             catalog,
             lexicon: LocalInterner::new(),
             labels: LabelCache::new(),
+            reach: ReachScratch::new(),
+            graph_counters: CallGraphCounters::default(),
         }
+    }
+
+    /// Complete counter snapshot: build counters plus the scratch's
+    /// traversal counters. Call once per worker when its shard is done.
+    pub fn callgraph_counters(&self) -> CallGraphCounters {
+        let mut c = self.graph_counters;
+        c.absorb_scratch(&self.reach);
+        c
     }
 }
 
@@ -269,14 +288,17 @@ pub fn analyze_app_timed_with(
         .iter()
         .map(|dex| {
             let graph = CallGraph::build(dex);
+            ctx.graph_counters
+                .absorb_build(&graph.build_stats(), graph.edge_count());
             let roots = entry_points(&graph, &manifest);
-            record_web_calls(
+            record_web_calls_with(
                 &graph,
                 &roots,
                 &subclasses,
                 ctx.catalog,
                 &mut ctx.lexicon,
                 &mut ctx.labels,
+                &mut ctx.reach,
             )
         })
         .collect();

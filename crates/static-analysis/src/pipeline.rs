@@ -34,6 +34,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use wla_apk::ApkError;
+use wla_callgraph::CallGraphCounters;
 use wla_corpus::playstore::AppMeta;
 use wla_intern::{Interner, LocalInterner, SymbolRemap, SymbolTable};
 use wla_sdk_index::SdkIndex;
@@ -172,6 +173,9 @@ pub struct PipelineStats {
     pub failure_kinds: BTreeMap<&'static str, usize>,
     /// Interned-IR counters for the run.
     pub interner: InternerCounters,
+    /// Call-graph counters for the run (CSR edges, vtable cache, bitset
+    /// scratch reuse), merged across workers.
+    pub callgraph: CallGraphCounters,
 }
 
 impl PipelineStats {
@@ -261,6 +265,8 @@ struct WorkerYield {
     /// Package-label memo hits/misses.
     label_hits: u64,
     label_misses: u64,
+    /// Call-graph build + traversal counters for this worker's shard.
+    callgraph: CallGraphCounters,
 }
 
 /// Analyze every corpus entry, in parallel, labeling against `catalog`.
@@ -313,6 +319,7 @@ where
                         lexicon: LocalInterner::new(),
                         label_hits: 0,
                         label_misses: 0,
+                        callgraph: CallGraphCounters::default(),
                     };
                     loop {
                         let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -347,6 +354,7 @@ where
                         }
                         y.stats.busy_ns += claimed.elapsed().as_nanos() as u64;
                     }
+                    y.callgraph = ctx.callgraph_counters();
                     y.lexicon = ctx.lexicon;
                     y.label_hits = ctx.labels.hits;
                     y.label_misses = ctx.labels.misses;
@@ -391,6 +399,7 @@ where
         stats.interner.local_misses += y.lexicon.misses();
         stats.interner.label_hits += y.label_hits;
         stats.interner.label_misses += y.label_misses;
+        stats.callgraph.merge(&y.callgraph);
         lexicons.push(y.lexicon);
     }
 
@@ -682,6 +691,19 @@ mod tests {
                 s.interner.local_misses,
                 s.interner.local_symbols as u64
             );
+            // Call-graph counters: one graph (and one traversal) per dex,
+            // so graphs ≥ analyzed apps and every traversal either reused
+            // or grew the worker's bitset.
+            prop_assert!(s.callgraph.graphs >= s.analyzed as u64);
+            prop_assert_eq!(
+                s.callgraph.bitset_reuses + s.callgraph.bitset_grows,
+                s.callgraph.graphs
+            );
+            if s.analyzed > 0 {
+                prop_assert!(s.callgraph.edges > 0);
+                prop_assert!(s.callgraph.edges_traversed > 0);
+                prop_assert!(s.callgraph.vtable_hit_rate() <= 1.0);
+            }
             if s.total > 0 {
                 prop_assert!(s.wall_ns > 0);
                 prop_assert!(s.apps_per_second() > 0.0);

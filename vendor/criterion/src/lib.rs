@@ -6,9 +6,38 @@
 //! auto-scaled iteration batches until a target of ~300 ms of samples is
 //! collected; the median per-iteration time is printed. No history files
 //! or plots are produced.
+//!
+//! Two environment knobs support CI snapshots (`ci.sh bench-snapshot`):
+//!
+//! - `WLA_BENCH_QUICK=1` — quick mode: samples are clamped to 3 per bench
+//!   and timed batches target ~5 ms instead of ~25 ms, trading precision
+//!   for wall time;
+//! - `WLA_BENCH_JSON=<path>` — append one tab-separated `id<TAB>median_ns`
+//!   line per result to `<path>`, for machine assembly into
+//!   `BENCH_static.json`.
 
 use std::hint;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+/// Quick mode: fewer samples, shorter batches (`WLA_BENCH_QUICK=1`).
+fn quick_mode() -> bool {
+    std::env::var_os("WLA_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Append one `id<TAB>median_ns` line to `WLA_BENCH_JSON`, if set. Errors
+/// are ignored: a broken sink must not fail the bench run itself.
+fn emit_machine_line(id: &str, median_ns: f64) {
+    if let Some(path) = std::env::var_os("WLA_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{id}\t{median_ns:.1}");
+        }
+    }
+}
 
 /// Opaque value barrier preventing the optimizer from deleting work.
 pub fn black_box<T>(x: T) -> T {
@@ -82,18 +111,24 @@ impl Bencher {
     fn new(sample_target: usize) -> Bencher {
         Bencher {
             samples: Vec::new(),
-            sample_target,
+            sample_target: if quick_mode() {
+                sample_target.min(3)
+            } else {
+                sample_target
+            },
         }
     }
 
     /// Time `routine` repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up + per-batch iteration sizing: aim each timed batch at
-        // roughly 25 ms so short routines are still resolvable.
+        // roughly 25 ms (5 ms in quick mode) so short routines are still
+        // resolvable.
         let warm = Instant::now();
         black_box(routine());
         let once = warm.elapsed().max(Duration::from_nanos(1));
-        let per_batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+        let target = Duration::from_millis(if quick_mode() { 5 } else { 25 });
+        let per_batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
 
         for _ in 0..self.sample_target {
             let start = Instant::now();
@@ -209,6 +244,7 @@ impl BenchmarkGroup<'_> {
             human_time(median_ns),
             rate
         );
+        emit_machine_line(&format!("{}/{}", self.name, id), median_ns);
     }
 
     /// End the group (kept for API parity; reporting is immediate).
