@@ -11,32 +11,86 @@
 # committed JSON snapshot. Quick-mode numbers are noisier than a full
 # `cargo bench` run — use them for order-of-magnitude regression spotting,
 # and EXPERIMENTS.md for the measured full-mode ablations.
+#
+# `ci.sh bench-check` re-runs the same quick snapshot into a temp file and
+# fails, with a printed diff, if any bench present in the committed
+# BENCH_static.json got more than 25% slower. Quick-mode noise stays well
+# inside that allowance; real regressions (an accidental re-allocation in
+# the decode path, a serial-tail blowup) do not.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-bench_snapshot() {
-    echo "== bench snapshot (quick mode) =="
-    local tsv
-    tsv=$(mktemp)
-    trap 'rm -f "$tsv"' RETURN
-    WLA_BENCH_QUICK=1 WLA_BENCH_JSON="$tsv" \
+run_quick_benches() {
+    # TSV (id<TAB>median_ns), one line per bench, sorted.
+    local tsv=$1
+    WLA_BENCH_QUICK=1 WLA_BENCH_JSON="$tsv.raw" \
         cargo bench -q -p wla-bench --bench callgraph --bench static_pipeline
-    # TSV (id<TAB>median_ns) -> sorted JSON object, no jq/python needed.
-    LC_ALL=C sort "$tsv" | awk -F'\t' '
+    LC_ALL=C sort "$tsv.raw" > "$tsv"
+    rm -f "$tsv.raw"
+}
+
+tsv_to_json() {
+    awk -F'\t' '
         BEGIN { print "{" }
         { lines[NR] = sprintf("  \"%s\": %s", $1, $2) }
         END {
             for (i = 1; i <= NR; i++)
                 print lines[i] (i < NR ? "," : "")
             print "}"
-        }' > BENCH_static.json
+        }' "$1"
+}
+
+bench_snapshot() {
+    echo "== bench snapshot (quick mode) =="
+    local tsv
+    tsv=$(mktemp)
+    trap 'rm -f "$tsv"' RETURN
+    run_quick_benches "$tsv"
+    tsv_to_json "$tsv" > BENCH_static.json
     echo "wrote BENCH_static.json ($(grep -c '":' BENCH_static.json) benches)"
 }
 
-if [[ "${1:-}" == "bench-snapshot" ]]; then
+bench_check() {
+    echo "== bench check (quick mode, +25% regression gate) =="
+    [[ -f BENCH_static.json ]] || { echo "bench-check: no committed BENCH_static.json"; exit 1; }
+    local tsv
+    tsv=$(mktemp)
+    trap 'rm -f "$tsv"' RETURN
+    run_quick_benches "$tsv"
+    # Compare every committed entry against the fresh run; entries only on
+    # one side (added or retired benches) are reported but never fail.
+    awk -F'\t' '
+        NR == FNR { fresh[$1] = $2; next }
+        /":/ {
+            line = $0
+            gsub(/^[ ]*"|",?$/, "", line)
+            split(line, kv, /": /)
+            id = kv[1]; old = kv[2] + 0
+            if (!(id in fresh)) { printf "  retired   %-40s (baseline %.0f ns)\n", id, old; next }
+            new = fresh[id] + 0
+            ratio = (old > 0) ? new / old : 1
+            verdict = (ratio > 1.25) ? "REGRESSED" : "ok"
+            printf "  %-9s %-40s %12.0f -> %12.0f ns (%+.1f%%)\n", verdict, id, old, new, (ratio - 1) * 100
+            if (ratio > 1.25) bad++
+            seen[id] = 1
+        }
+        END {
+            for (id in fresh) if (!(id in seen)) printf "  new       %-40s %12.0f ns\n", id, fresh[id] + 0
+            exit bad > 0 ? 1 : 0
+        }' "$tsv" BENCH_static.json || { echo "bench-check: FAILED (>25% regression above)"; exit 1; }
+    echo "bench-check: all within 25% of committed snapshot"
+}
+
+case "${1:-}" in
+bench-snapshot)
     bench_snapshot
     exit 0
-fi
+    ;;
+bench-check)
+    bench_check
+    exit 0
+    ;;
+esac
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check

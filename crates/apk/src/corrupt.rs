@@ -22,7 +22,23 @@ pub enum CorruptionKind {
     },
     /// Overwrite the magic (file is not an APK at all).
     ClobberMagic,
+    /// Overwrite one body byte with `0xF5` *and re-stamp the checksum*, so
+    /// the damage slips past the adler gate and reaches the validators
+    /// behind it (`0xF5` can never appear in UTF-8, so a hit inside a
+    /// string pool becomes `BadUtf8`; elsewhere it lands on varint or
+    /// index checks). Works on any SAPK/SDEX-framed blob — both share the
+    /// 10-byte `magic + version + adler32` header. Unlike the other kinds
+    /// this does not always break *container* decoding: SAPK treats
+    /// section payloads as opaque bytes, so the error may only surface
+    /// when the inner SDEX blob is decoded.
+    ClobberRechecksum {
+        /// Body byte position as a fraction of the body, out of 256.
+        pos_num: u8,
+    },
 }
+
+/// Byte length of the shared `magic + version + adler32` header.
+const HEADER_LEN: usize = 10;
 
 /// Apply `kind` to `bytes`, returning the damaged container.
 ///
@@ -53,6 +69,18 @@ pub fn corrupt(bytes: &[u8], kind: CorruptionKind) -> Vec<u8> {
             let mut out = bytes.to_vec();
             for (i, b) in out.iter_mut().take(4).enumerate() {
                 *b = b"GARB"[i];
+            }
+            out
+        }
+        CorruptionKind::ClobberRechecksum { pos_num } => {
+            let mut out = bytes.to_vec();
+            if out.len() > HEADER_LEN {
+                let body = out.len() - HEADER_LEN;
+                let pos = HEADER_LEN + ((body as u64 * pos_num as u64) / 256) as usize;
+                let pos = pos.min(out.len() - 1);
+                out[pos] = 0xF5;
+                let sum = crate::wire::adler32(&out[HEADER_LEN..]);
+                out[6..HEADER_LEN].copy_from_slice(&sum.to_le_bytes());
             }
             out
         }
@@ -96,6 +124,37 @@ mod tests {
         let good = sample_bytes();
         let kind = CorruptionKind::BitFlip { pos_num: 77 };
         assert_eq!(corrupt(&good, kind), corrupt(&good, kind));
+    }
+
+    #[test]
+    fn rechecksum_reaches_past_the_checksum_gate() {
+        // The rewritten checksum must be accepted; whatever fails after
+        // that is one of the inner validators, never the adler gate.
+        let mut b = crate::DexBuilder::new();
+        b.define_class(
+            "com/example/Main",
+            Some("android/app/Activity"),
+            crate::ClassFlags::default(),
+            vec![],
+        )
+        .unwrap();
+        let blob = b.build().encode().to_vec();
+        for pos_num in [0u8, 64, 128, 200, 255] {
+            let bad = corrupt(&blob, CorruptionKind::ClobberRechecksum { pos_num });
+            if let Err(e) = crate::Dex::decode(&bad) {
+                assert_ne!(e.kind(), "checksum-mismatch", "pos_num={pos_num}");
+                assert_ne!(e.kind(), "bad-magic", "pos_num={pos_num}");
+            }
+        }
+        // At least one position lands inside string bytes, where 0xF5 is
+        // invalid UTF-8.
+        let hits_pool = (0..=255u8).any(|pos_num| {
+            matches!(
+                crate::Dex::decode(&corrupt(&blob, CorruptionKind::ClobberRechecksum { pos_num })),
+                Err(e) if e.kind() == "bad-utf8"
+            )
+        });
+        assert!(hits_pool);
     }
 
     #[test]

@@ -17,11 +17,21 @@
 //! (index bounds, superclass acyclicity, checksum). The decoder must accept
 //! exactly the encoder's output and reject everything [`crate::corrupt`]
 //! produces.
+//!
+//! Decoding is **zero-copy**: the string pool is kept as `(offset, len)`
+//! spans into the backing [`Bytes`] blob, validated (UTF-8 and bounds) in
+//! the same linear pass that parses the tables, so no per-entry `String` is
+//! ever allocated. [`Dex::decode_bytes`] shares the caller's buffer via the
+//! `Bytes` refcount — handing it an SAPK section decodes a whole dex with a
+//! single table-sized allocation per table. The pre-zero-copy owning
+//! decoder survives as [`oracle`], and property tests pin the two together
+//! byte-for-byte on valid and corrupted input alike.
 
 use crate::error::ApkError;
-use crate::wire::{adler32, get_string, get_uvarint, put_string, put_uvarint};
+use crate::wire::{adler32, get_string_span, get_uvarint, put_string, put_uvarint};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Magic bytes at the start of every SDEX blob.
 pub const SDEX_MAGIC: [u8; 4] = *b"SDEX";
@@ -258,10 +268,28 @@ pub struct ClassDef {
     pub methods: Vec<MethodDef>,
 }
 
+/// Location of one string-pool entry inside [`Dex::pool`]. The bytes were
+/// UTF-8-validated when the span was recorded, so lookups can slice without
+/// re-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StrSpan {
+    off: u32,
+    len: u32,
+}
+
 /// A parsed, validated SDEX file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The string pool is a span table into `pool` rather than a
+/// `Vec<String>`: for decoded files `pool` is the raw blob itself (shared
+/// with the enclosing SAPK section via the `Bytes` refcount — the borrow
+/// the pipeline needs, without a lifetime parameter), and for builder-made
+/// files it is a packed concatenation of the interned strings. Either way
+/// [`Dex::string`] is a bounds-checked slice, never an allocation.
+#[derive(Clone)]
 pub struct Dex {
-    strings: Vec<String>,
+    /// Backing bytes every [`StrSpan`] indexes into.
+    pool: Bytes,
+    strings: Vec<StrSpan>,
     types: Vec<u32>,
     methods: Vec<MethodRef>,
     classes: Vec<ClassDef>,
@@ -273,7 +301,12 @@ impl Dex {
     /// String-pool lookup. Panics only if `idx` escaped validation, which
     /// `decode` guarantees cannot happen for parsed files.
     pub fn string(&self, idx: u32) -> &str {
-        &self.strings[idx as usize]
+        let s = self.strings[idx as usize];
+        let bytes = &self.pool[s.off as usize..s.off as usize + s.len as usize];
+        // SAFETY: every span is recorded exactly once, after a successful
+        // `str::from_utf8` over these bytes (decode) or from an existing
+        // `String` (builder), and `pool` is immutable from then on.
+        unsafe { std::str::from_utf8_unchecked(bytes) }
     }
 
     /// Number of entries in the string pool.
@@ -348,12 +381,6 @@ impl Dex {
         }
     }
 
-    /// [`Dex::superclasses`] collected into a `Vec` — kept for callers that
-    /// want an owned chain (tests, one-off tooling).
-    pub fn superclass_chain(&self, ty: TypeId) -> Vec<TypeId> {
-        self.superclasses(ty).collect()
-    }
-
     /// Total number of instructions across every defined method — a useful
     /// size metric for benches.
     pub fn instruction_count(&self) -> usize {
@@ -368,8 +395,8 @@ impl Dex {
     pub fn encode(&self) -> Bytes {
         let mut body = BytesMut::new();
         put_uvarint(&mut body, self.strings.len() as u64);
-        for s in &self.strings {
-            put_string(&mut body, s);
+        for i in 0..self.strings.len() as u32 {
+            put_string(&mut body, self.string(i));
         }
         put_uvarint(&mut body, self.types.len() as u64);
         for &s in &self.types {
@@ -411,9 +438,30 @@ impl Dex {
         out.freeze()
     }
 
-    /// Parse and validate an SDEX blob.
+    /// Parse and validate an SDEX blob from a borrowed slice.
+    ///
+    /// Copies the blob once up front (the span table needs backing bytes
+    /// that outlive this call); callers that already hold the blob as
+    /// [`Bytes`] — e.g. an SAPK section — should use [`Dex::decode_bytes`],
+    /// which shares the buffer instead of copying it.
     pub fn decode(raw: &[u8]) -> Result<Dex, ApkError> {
-        let mut buf = raw;
+        Dex::decode_bytes(Bytes::copy_from_slice(raw))
+    }
+
+    /// Parse and validate an SDEX blob, zero-copy.
+    ///
+    /// One linear pass does all validation the old owning decoder did —
+    /// UTF-8 over every pool entry, index bounds, instruction opcodes,
+    /// checksum, structure — but records `(offset, len)` spans instead of
+    /// materializing strings. The returned [`Dex`] keeps `raw` alive via
+    /// the `Bytes` refcount; no byte of string data is copied.
+    pub fn decode_bytes(raw: Bytes) -> Result<Dex, ApkError> {
+        if raw.len() > u32::MAX as usize {
+            // Spans are u32; real SDEX blobs are megabytes, not gigabytes.
+            return Err(ApkError::Invalid("sdex blob exceeds 4 GiB"));
+        }
+        let full: &[u8] = &raw;
+        let mut buf: &[u8] = full;
         if buf.remaining() < 4 {
             return Err(ApkError::Truncated { context: "magic" });
         }
@@ -441,7 +489,8 @@ impl Dex {
         let string_count = get_uvarint(&mut buf)? as usize;
         let mut strings = Vec::with_capacity(string_count.min(1 << 20));
         for _ in 0..string_count {
-            strings.push(get_string(&mut buf)?);
+            let (off, len) = get_string_span(full, &mut buf)?;
+            strings.push(StrSpan { off, len });
         }
 
         let type_count = get_uvarint(&mut buf)? as usize;
@@ -529,6 +578,7 @@ impl Dex {
         }
 
         let dex = Dex {
+            pool: raw,
             strings,
             types,
             methods,
@@ -556,10 +606,40 @@ impl Dex {
     }
 }
 
+impl fmt::Debug for Dex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Resolve the pool for readable test diffs instead of dumping spans
+        // plus a byte soup.
+        let strings: Vec<&str> = (0..self.strings.len() as u32)
+            .map(|i| self.string(i))
+            .collect();
+        f.debug_struct("Dex")
+            .field("strings", &strings)
+            .field("types", &self.types)
+            .field("methods", &self.methods)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+/// Equality by content: two dexes are equal when their resolved string
+/// pools and tables match, regardless of whether the pool bytes live in a
+/// decoded blob or a builder-packed buffer.
+impl PartialEq for Dex {
+    fn eq(&self, other: &Self) -> bool {
+        self.strings.len() == other.strings.len()
+            && (0..self.strings.len() as u32).all(|i| self.string(i) == other.string(i))
+            && self.types == other.types
+            && self.methods == other.methods
+            && self.classes == other.classes
+    }
+}
+
+impl Eq for Dex {}
+
 /// Iterator over the defined ancestors of a type, produced by
 /// [`Dex::superclasses`]. Terminates because `Dex::decode` rejects
-/// superclass cycles (builder-made dexes are trusted the same way the
-/// old `superclass_chain` trusted them).
+/// superclass cycles (builder-made dexes are trusted the same way).
 #[derive(Debug, Clone)]
 pub struct Superclasses<'d> {
     dex: &'d Dex,
@@ -696,15 +776,217 @@ impl DexBuilder {
             .is_some_and(|t| self.class_index.contains_key(t))
     }
 
-    /// Finish, producing an immutable [`Dex`].
+    /// Finish, producing an immutable [`Dex`]. The interned strings are
+    /// packed into one contiguous pool so lookups go through the same span
+    /// path as decoded files.
     pub fn build(self) -> Dex {
+        let total: usize = self.strings.iter().map(String::len).sum();
+        let mut pool = BytesMut::with_capacity(total);
+        let mut spans = Vec::with_capacity(self.strings.len());
+        for s in &self.strings {
+            spans.push(StrSpan {
+                off: pool.len() as u32,
+                len: s.len() as u32,
+            });
+            pool.put_slice(s.as_bytes());
+        }
         Dex {
-            strings: self.strings,
+            pool: pool.freeze(),
+            strings: spans,
             types: self.types,
             methods: self.methods,
             classes: self.classes,
             class_index: self.class_index,
         }
+    }
+}
+
+/// The pre-zero-copy owning decoder, kept as an equivalence oracle.
+///
+/// [`Dex::decode_bytes`] validates in one pass and records spans;
+/// [`decode`](oracle::decode) here materializes an owned `String` per pool
+/// entry, exactly as the parser shipped before the zero-copy refactor. The
+/// property suite in `tests/decode_equivalence.rs` pins the two together:
+/// identical `Ok` structures and identical [`ApkError`] kinds over valid
+/// blobs and every `corrupt.rs` mutation.
+pub mod oracle {
+    use super::*;
+    use crate::wire::get_string;
+
+    /// Decoded SDEX with an owned string pool — the old representation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct OwnedDex {
+        /// Owned string pool, one allocation per entry.
+        pub strings: Vec<String>,
+        /// Type table (string-pool indices).
+        pub types: Vec<u32>,
+        /// Method table.
+        pub methods: Vec<MethodRef>,
+        /// Defined classes.
+        pub classes: Vec<ClassDef>,
+    }
+
+    /// Structural equality against the zero-copy representation: the pools
+    /// resolve to the same strings and the tables match.
+    impl PartialEq<OwnedDex> for Dex {
+        fn eq(&self, other: &OwnedDex) -> bool {
+            self.string_count() == other.strings.len()
+                && (0..other.strings.len() as u32)
+                    .all(|i| self.string(i) == other.strings[i as usize])
+                && self.types == other.types
+                && self.methods == other.methods
+                && self.classes == other.classes
+        }
+    }
+
+    impl PartialEq<Dex> for OwnedDex {
+        fn eq(&self, other: &Dex) -> bool {
+            other == self
+        }
+    }
+
+    /// Parse and validate an SDEX blob the old way: owned `String` per
+    /// pool entry, identical validation order and error kinds.
+    pub fn decode(raw: &[u8]) -> Result<OwnedDex, ApkError> {
+        if raw.len() > u32::MAX as usize {
+            // Mirrors the span-width guard in `Dex::decode_bytes` so the
+            // two decoders stay equivalent on every input.
+            return Err(ApkError::Invalid("sdex blob exceeds 4 GiB"));
+        }
+        let mut buf = raw;
+        if buf.remaining() < 4 {
+            return Err(ApkError::Truncated { context: "magic" });
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if magic != SDEX_MAGIC {
+            return Err(ApkError::BadMagic {
+                expected: "SDEX",
+                found: magic,
+            });
+        }
+        if buf.remaining() < 6 {
+            return Err(ApkError::Truncated { context: "header" });
+        }
+        let version = buf.get_u16_le();
+        if version != SDEX_VERSION {
+            return Err(ApkError::UnsupportedVersion(version));
+        }
+        let stored = buf.get_u32_le();
+        let computed = adler32(buf);
+        if stored != computed {
+            return Err(ApkError::ChecksumMismatch { stored, computed });
+        }
+
+        let string_count = get_uvarint(&mut buf)? as usize;
+        let mut strings = Vec::with_capacity(string_count.min(1 << 20));
+        for _ in 0..string_count {
+            strings.push(get_string(&mut buf)?);
+        }
+
+        let type_count = get_uvarint(&mut buf)? as usize;
+        let mut types = Vec::with_capacity(type_count.min(1 << 20));
+        for _ in 0..type_count {
+            let s = get_uvarint(&mut buf)? as u32;
+            check_index("string", s, strings.len())?;
+            types.push(s);
+        }
+
+        let method_count = get_uvarint(&mut buf)? as usize;
+        let mut methods = Vec::with_capacity(method_count.min(1 << 20));
+        for _ in 0..method_count {
+            let class = TypeId(get_uvarint(&mut buf)? as u32);
+            let name = get_uvarint(&mut buf)? as u32;
+            let descriptor = get_uvarint(&mut buf)? as u32;
+            check_index("type", class.0, types.len())?;
+            check_index("string", name, strings.len())?;
+            check_index("string", descriptor, strings.len())?;
+            methods.push(MethodRef {
+                class,
+                name,
+                descriptor,
+            });
+        }
+
+        let class_count = get_uvarint(&mut buf)? as usize;
+        let mut classes: Vec<ClassDef> = Vec::with_capacity(class_count.min(1 << 20));
+        let mut class_index = HashMap::with_capacity(class_count.min(1 << 20));
+        for _ in 0..class_count {
+            let ty = TypeId(get_uvarint(&mut buf)? as u32);
+            check_index("type", ty.0, types.len())?;
+            if !buf.has_remaining() {
+                return Err(ApkError::Truncated {
+                    context: "superclass flag",
+                });
+            }
+            let superclass = match buf.get_u8() {
+                0 => None,
+                _ => {
+                    let s = TypeId(get_uvarint(&mut buf)? as u32);
+                    check_index("type", s.0, types.len())?;
+                    Some(s)
+                }
+            };
+            let flags = ClassFlags::from_bits(get_uvarint(&mut buf)?);
+            let def_count = get_uvarint(&mut buf)? as usize;
+            let mut defs = Vec::with_capacity(def_count.min(1 << 16));
+            for _ in 0..def_count {
+                let method = MethodId(get_uvarint(&mut buf)? as u32);
+                check_index("method", method.0, methods.len())?;
+                if !buf.has_remaining() {
+                    return Err(ApkError::Truncated {
+                        context: "method flags",
+                    });
+                }
+                let fl = buf.get_u8();
+                let code_len = get_uvarint(&mut buf)? as usize;
+                let mut code = Vec::with_capacity(code_len.min(1 << 16));
+                for _ in 0..code_len {
+                    let ins = Instruction::decode(&mut buf)?;
+                    validate_instruction(&ins, strings.len(), types.len(), methods.len())?;
+                    code.push(ins);
+                }
+                defs.push(MethodDef {
+                    method,
+                    public: fl & 1 != 0,
+                    static_: fl & 2 != 0,
+                    code,
+                });
+            }
+            if class_index.insert(ty, classes.len()).is_some() {
+                return Err(ApkError::Invalid("duplicate class definition"));
+            }
+            classes.push(ClassDef {
+                ty,
+                superclass,
+                flags,
+                methods: defs,
+            });
+        }
+
+        if buf.has_remaining() {
+            return Err(ApkError::Invalid("trailing bytes after class table"));
+        }
+
+        // Cycle check, same walk as `Dex::validate_hierarchy`.
+        for c in &classes {
+            let mut seen = 0usize;
+            let mut cur = c.superclass;
+            while let Some(s) = cur {
+                seen += 1;
+                if seen > classes.len() {
+                    return Err(ApkError::Invalid("superclass cycle"));
+                }
+                cur = class_index.get(&s).and_then(|&i| classes[i].superclass);
+            }
+        }
+
+        Ok(OwnedDex {
+            strings,
+            types,
+            methods,
+            classes,
+        })
     }
 }
 
@@ -773,6 +1055,31 @@ mod tests {
         let bytes = dex.encode();
         let back = Dex::decode(&bytes).unwrap();
         assert_eq!(dex, back);
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy() {
+        let blob = sample_dex().encode();
+        let back = Dex::decode_bytes(blob.clone()).unwrap();
+        // The resolved strings point into the blob itself, not a copy.
+        let range = blob.as_ptr() as usize..blob.as_ptr() as usize + blob.len();
+        for i in 0..back.string_count() as u32 {
+            let s = back.string(i);
+            assert!(
+                s.is_empty() || range.contains(&(s.as_ptr() as usize)),
+                "string {i} was copied out of the blob"
+            );
+        }
+        assert_eq!(back, sample_dex());
+    }
+
+    #[test]
+    fn oracle_matches_zero_copy_on_sample() {
+        let bytes = sample_dex().encode();
+        let zc = Dex::decode(&bytes).unwrap();
+        let owned = oracle::decode(&bytes).unwrap();
+        assert_eq!(zc, owned);
+        assert_eq!(owned, zc);
     }
 
     #[test]
@@ -894,7 +1201,7 @@ mod tests {
     }
 
     #[test]
-    fn superclass_chain_walks_defined_classes() {
+    fn superclasses_walks_defined_classes() {
         let mut b = DexBuilder::new();
         let m = b.intern_method("com/x/C", "f", "()V");
         b.define_class(
@@ -921,8 +1228,7 @@ mod tests {
         let dex = b.build();
         let c = dex.type_by_name("com/x/C").unwrap();
         let chain: Vec<_> = dex
-            .superclass_chain(c)
-            .into_iter()
+            .superclasses(c)
             .map(|t| dex.type_name(t).to_owned())
             .collect();
         assert_eq!(chain, ["com/x/B", "com/x/A", "android/webkit/WebView"]);

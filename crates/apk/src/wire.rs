@@ -67,6 +67,25 @@ pub fn get_string<B: Buf>(buf: &mut B) -> Result<String, ApkError> {
     String::from_utf8(raw).map_err(|_| ApkError::BadUtf8)
 }
 
+/// Validate a varint-length-prefixed UTF-8 string *in place* and return its
+/// `(offset, len)` location within `full`, advancing `buf` past it.
+///
+/// Zero-copy analog of [`get_string`]: the caller keeps the backing buffer
+/// alive and slices the string back out on demand, so decoding a pool of N
+/// strings performs zero per-entry allocations. `buf` must be a suffix of
+/// `full` (the decoder's cursor into the same blob); offsets are relative to
+/// the start of `full`. Error behaviour is identical to [`get_string`].
+pub fn get_string_span(full: &[u8], buf: &mut &[u8]) -> Result<(u32, u32), ApkError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.len() < len {
+        return Err(ApkError::Truncated { context: "string" });
+    }
+    std::str::from_utf8(&buf[..len]).map_err(|_| ApkError::BadUtf8)?;
+    let off = full.len() - buf.len();
+    *buf = &buf[len..];
+    Ok((off as u32, len as u32))
+}
+
 /// Read exactly `n` bytes into a fresh vector.
 pub fn get_bytes<B: Buf>(
     buf: &mut B,
@@ -164,6 +183,32 @@ mod tests {
     }
 
     #[test]
+    fn string_span_matches_get_string() {
+        let samples = ["", "a", "android/webkit/WebView", "日本語テキスト"];
+        let mut full = Vec::new();
+        put_uvarint(&mut full, 99); // junk the cursor has already consumed
+        let mark = full.len();
+        for s in samples {
+            put_string(&mut full, s);
+        }
+        let mut buf = &full[mark..];
+        for s in samples {
+            let (off, len) = get_string_span(&full, &mut buf).unwrap();
+            assert_eq!(&full[off as usize..(off + len) as usize], s.as_bytes());
+        }
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn string_span_invalid_utf8_rejected_without_advancing_past_it() {
+        let mut full = Vec::new();
+        put_uvarint(&mut full, 2);
+        full.extend_from_slice(&[0xff, 0xfe]);
+        let mut buf = &full[..];
+        assert_eq!(get_string_span(&full, &mut buf), Err(ApkError::BadUtf8));
+    }
+
+    #[test]
     fn adler32_known_vectors() {
         // Reference values from zlib.
         assert_eq!(adler32(b""), 1);
@@ -195,6 +240,20 @@ mod tests {
             put_string(&mut buf, &s);
             let mut slice = &buf[..];
             prop_assert_eq!(get_string(&mut slice).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_string_span_equivalent_to_owned(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut owned_cur = &raw[..];
+            let mut span_cur = &raw[..];
+            match (get_string(&mut owned_cur), get_string_span(&raw, &mut span_cur)) {
+                (Ok(s), Ok((off, len))) => {
+                    prop_assert_eq!(s.as_bytes(), &raw[off as usize..off as usize + len as usize]);
+                    prop_assert_eq!(owned_cur.len(), span_cur.len());
+                }
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1.kind(), e2.kind()),
+                (o, s) => prop_assert!(false, "owned/span decoders diverged: {o:?} vs {s:?}"),
+            }
         }
 
         #[test]

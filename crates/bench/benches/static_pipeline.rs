@@ -5,6 +5,8 @@
 //! aggregation ablation (DESIGN.md §6, EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wla_core::wla_apk::sdex::oracle;
+use wla_core::wla_apk::{Dex, Sapk, SectionTag};
 use wla_core::wla_corpus::{CorpusConfig, Generator};
 use wla_core::wla_sdk_index::SdkIndex;
 use wla_core::wla_static::{
@@ -96,6 +98,35 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    // Decode ablation: the zero-copy span-pool decoder versus the owning
+    // per-entry-String oracle, over every dex blob of the same corpus.
+    // The blobs are `Bytes` sections of their containers, so the zero-copy
+    // path measures its real shape: refcount bump in, spans out.
+    let dex_blobs: Vec<_> = inputs
+        .iter()
+        .flat_map(|input| {
+            let apk = Sapk::decode(&input.bytes).expect("generated app decodes");
+            apk.sections()
+                .iter()
+                .filter(|s| s.tag == SectionTag::Dex)
+                .map(|s| s.data.clone())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    group.bench_function("decode_zero_copy", |b| {
+        b.iter(|| {
+            for blob in &dex_blobs {
+                black_box(Dex::decode_bytes(black_box(blob.clone())).unwrap());
+            }
+        })
+    });
+    group.bench_function("decode_owned_oracle", |b| {
+        b.iter(|| {
+            for blob in &dex_blobs {
+                black_box(oracle::decode(black_box(blob)).unwrap());
+            }
+        })
+    });
     // Interned-IR ablation: the shipping u32-keyed aggregation versus the
     // string-path oracle (resolve + string-compare + trie re-label per
     // site) over the identical pipeline output.

@@ -50,6 +50,7 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         broken: s.broken as u64,
         panicked: s.panicked as u64,
         wall_ms: ms(s.wall_ns),
+        serial_tail_ms: ms(s.serial_tail_ns),
         apps_per_second: s.apps_per_second(),
         utilization: s.utilization(),
         workers: s.workers.len(),
@@ -64,6 +65,7 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         interned_bytes: s.interner.global_bytes as u64,
         intern_hit_rate: s.interner.local_hit_rate(),
         label_hit_rate: s.interner.label_hit_rate(),
+        presize_hit_rate: s.interner.presize_hit_rate(),
         callgraph_edges: s.callgraph.edges,
         vtable_hit_rate: s.callgraph.vtable_hit_rate(),
         bitset_reuses: s.callgraph.bitset_reuses,
@@ -855,6 +857,10 @@ mod tests {
         assert_eq!(report.analyzed + report.broken, report.total);
         assert_eq!(report.stages_ms.len(), 4);
         assert!(report.apps_per_second > 0.0);
+        // The serial-tail and interner pre-size observability flows through.
+        assert!(report.serial_tail_ms > 0.0);
+        assert!(report.presize_hit_rate > 0.0 && report.presize_hit_rate <= 1.0);
+        assert!(report.render().contains("serial tail"));
         // Call-graph observability flows through: edges were built, the
         // traversal speed is derived from the callgraph stage timer, and
         // the hit rate is a valid fraction.

@@ -16,7 +16,9 @@
 //!   generics;
 //! * [`subclasses`] — resolves `extends` names against imports and computes
 //!   the transitive `extends WebView` closure, the paper's "custom WebView
-//!   implementations".
+//!   implementations". Ships two routes: the lifted-source one above (the
+//!   paper-faithful oracle) and a dex-direct closure over superclass links
+//!   that the pipeline's hot path uses, equivalence-pinned to the oracle.
 //!
 //! Round-trip property: for every class the lifter emits, the parser must
 //! recover exactly the class name, package, and superclass the SDEX declares
@@ -28,4 +30,7 @@ pub mod subclasses;
 
 pub use lifter::{lift_class, lift_dex, SourceFile};
 pub use parser::{parse_source, ParseError, ParsedClass};
-pub use subclasses::{webview_subclasses, webview_subclasses_interned};
+pub use subclasses::{
+    webview_subclasses, webview_subclasses_dex, webview_subclasses_dex_interned,
+    webview_subclasses_interned,
+};

@@ -14,8 +14,9 @@
 //! * [`SymbolTable`] — an immutable snapshot of the global table for
 //!   display-time resolution at the report boundary;
 //! * [`SymbolRemap`] — the local→global rewrite cache used during the
-//!   merge, filled lazily in input order so global symbol ids are
-//!   deterministic regardless of worker count or scheduling;
+//!   merge, filled in input order (lazily, or batch-resolved via
+//!   [`Interner::intern_ordered`]) so global symbol ids are deterministic
+//!   regardless of worker count or scheduling;
 //! * [`FxBuildHasher`] / [`U32BuildHasher`] — the multiplicative hashers
 //!   the hot maps use (strings hashed once at intern time, `u32` keys
 //!   everywhere after).
@@ -267,10 +268,37 @@ fn shard_of(s: &str) -> usize {
     (h.finish() as u32 & SHARD_MASK) as usize
 }
 
+/// Batch size below which [`Interner::intern_ordered`] stays serial even
+/// on wide hosts — the scatter/gather overhead only pays off for big
+/// merges.
+const ORDERED_PARALLEL_MIN: usize = 4096;
+
 impl Interner {
     /// Empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A table pre-sized for roughly `total` distinct strings.
+    ///
+    /// The pipeline join knows an upper bound up front (the summed sizes
+    /// of the worker lexicons), so the shard maps can reserve once instead
+    /// of rehashing as the merge inserts. The fx-hash shard split is not
+    /// perfectly even, so each shard reserves a quarter more than the even
+    /// share.
+    pub fn with_capacity(total: usize) -> Self {
+        let per_shard = total.div_ceil(SHARDS) + total.div_ceil(SHARDS * 4);
+        Interner {
+            shards: std::array::from_fn(|_| {
+                RwLock::new(Shard {
+                    map: FxHashMap::with_capacity_and_hasher(per_shard, FxBuildHasher::default()),
+                    strings: Vec::with_capacity(per_shard),
+                    bytes: 0,
+                })
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Intern `s` into the global table.
@@ -318,6 +346,85 @@ impl Interner {
         guard.strings.push(Arc::clone(&s));
         guard.map.insert(s, idx);
         Symbol((idx << SHARD_BITS) | shard as u32)
+    }
+
+    /// Intern a batch of strings, assigning exactly the ids a serial
+    /// `intern_arc` loop over `items` would — a global id depends only on
+    /// the order of first occurrences within the item's shard, which is
+    /// the serial order restricted to that shard. Each shard's write lock
+    /// is taken once for the whole batch instead of once per miss, and on
+    /// hosts with spare parallelism large batches fill their shards
+    /// concurrently (id assignment stays deterministic because no shard's
+    /// ids depend on another shard's progress).
+    pub fn intern_ordered(&self, items: &[Arc<str>]) -> Vec<Symbol> {
+        let wide = items.len() >= ORDERED_PARALLEL_MIN
+            && std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+        self.intern_ordered_impl(items, wide)
+    }
+
+    fn intern_ordered_impl(&self, items: &[Arc<str>], parallel: bool) -> Vec<Symbol> {
+        // Group item positions by target shard, preserving batch order
+        // within each group.
+        let mut by_shard: Vec<Vec<u32>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for (i, s) in items.iter().enumerate() {
+            by_shard[shard_of(s)].push(i as u32);
+        }
+        let fill_shard = |shard: usize, positions: &[u32]| -> Vec<Symbol> {
+            let mut guard = self.shards[shard].write();
+            let (mut hits, mut misses) = (0u64, 0u64);
+            let symbols = positions
+                .iter()
+                .map(|&p| {
+                    let s = &items[p as usize];
+                    let idx = match guard.map.get(&**s) {
+                        Some(&idx) => {
+                            hits += 1;
+                            idx
+                        }
+                        None => {
+                            misses += 1;
+                            let idx = guard.strings.len() as u32;
+                            guard.bytes += s.len();
+                            guard.strings.push(Arc::clone(s));
+                            guard.map.insert(Arc::clone(s), idx);
+                            idx
+                        }
+                    };
+                    Symbol((idx << SHARD_BITS) | shard as u32)
+                })
+                .collect();
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+            symbols
+        };
+        let per_shard: Vec<Vec<Symbol>> = if parallel {
+            std::thread::scope(|scope| {
+                let fill_shard = &fill_shard;
+                let handles: Vec<_> = by_shard
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, positions)| scope.spawn(move || fill_shard(shard, positions)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard fill does not panic"))
+                    .collect()
+            })
+        } else {
+            by_shard
+                .iter()
+                .enumerate()
+                .map(|(shard, positions)| fill_shard(shard, positions))
+                .collect()
+        };
+        // Scatter per-shard results back to batch order.
+        let mut out = vec![Symbol(0); items.len()];
+        for (positions, symbols) in by_shard.iter().zip(&per_shard) {
+            for (&p, &sym) in positions.iter().zip(symbols) {
+                out[p as usize] = sym;
+            }
+        }
+        out
     }
 
     /// Non-inserting lookup.
@@ -403,12 +510,18 @@ impl SymbolTable {
 // SymbolRemap
 // ---------------------------------------------------------------------------
 
-/// Lazily-filled local→global symbol rewrite cache for one worker lexicon.
+/// Local→global symbol rewrite cache for one worker lexicon.
 ///
-/// The pipeline join walks results in *input order* and maps each local
-/// symbol on first encounter, so the global id assignment depends only on
-/// the corpus, never on worker count or scheduling — the property the
-/// `parallel_matches_serial` determinism tests pin down.
+/// Global id assignment must depend only on the corpus, never on worker
+/// count or scheduling — the property the `parallel_matches_serial`
+/// determinism tests pin down. Two usage styles uphold it:
+///
+/// * lazy ([`map`](Self::map)): walk results in *input order* and intern
+///   each local symbol globally on first encounter;
+/// * batched ([`set`](Self::set) + [`get`](Self::get)): record first
+///   occurrences in input order, intern them as one
+///   [`Interner::intern_ordered`] batch, write the resolved pairs back,
+///   then rewrite. The pipeline join uses this style.
 #[derive(Debug, Default)]
 pub struct SymbolRemap {
     cache: Vec<Option<Symbol>>,
@@ -432,6 +545,16 @@ impl SymbolRemap {
         let s = fill();
         self.cache[i] = Some(s);
         s
+    }
+
+    /// The cached translation of `local`, if one has been recorded.
+    pub fn get(&self, local: Symbol) -> Option<Symbol> {
+        self.cache[local.0 as usize]
+    }
+
+    /// Record `local` → `global` directly (batched resolution style).
+    pub fn set(&mut self, local: Symbol, global: Symbol) {
+        self.cache[local.0 as usize] = Some(global);
     }
 }
 
@@ -526,6 +649,54 @@ mod tests {
         assert_ne!(ga, gb);
         assert_eq!(fills, 2);
         assert_eq!(&*global.resolve_arc(ga), "alpha");
+    }
+
+    /// Batch fixture with duplicates, shard collisions, and strings that
+    /// partly pre-exist in the table.
+    fn ordered_fixture() -> Vec<Arc<str>> {
+        (0..300)
+            .map(|i| Arc::from(format!("com.example.seg{}", i % 97).as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn intern_ordered_matches_serial_intern_arc() {
+        // Both internal paths must assign exactly the ids a serial
+        // `intern_arc` loop assigns, including over a pre-populated table.
+        for parallel in [false, true] {
+            let serial = Interner::new();
+            let batched = Interner::new();
+            serial.intern("pre.existing");
+            batched.intern("pre.existing");
+            let items = ordered_fixture();
+            let expect: Vec<Symbol> = items
+                .iter()
+                .map(|s| serial.intern_arc(Arc::clone(s)))
+                .collect();
+            let got = batched.intern_ordered_impl(&items, parallel);
+            assert_eq!(got, expect, "parallel={parallel}");
+            assert_eq!(batched.len(), serial.len());
+            assert_eq!(batched.hit_count(), serial.hit_count());
+            assert_eq!(batched.miss_count(), serial.miss_count());
+            for &sym in &got {
+                assert_eq!(batched.resolve_arc(sym), serial.resolve_arc(sym));
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_assigns_same_ids_as_new() {
+        let plain = Interner::new();
+        let presized = Interner::with_capacity(1000);
+        let items = ordered_fixture();
+        for s in &items {
+            assert_eq!(
+                presized.intern_arc(Arc::clone(s)),
+                plain.intern_arc(Arc::clone(s))
+            );
+        }
+        assert_eq!(presized.len(), plain.len());
+        assert_eq!(presized.bytes(), plain.bytes());
     }
 
     proptest! {

@@ -21,6 +21,9 @@ pub struct PipelineStatsReport {
     pub panicked: u64,
     /// End-to-end wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Milliseconds spent in the serial join tail (stats fold, input-order
+    /// merge, local→global symbol remap) after the worker pool finished.
+    pub serial_tail_ms: f64,
     /// Corpus throughput.
     pub apps_per_second: f64,
     /// Worker-pool utilization in `0.0..=1.0`.
@@ -43,6 +46,9 @@ pub struct PipelineStatsReport {
     pub intern_hit_rate: f64,
     /// Worker-local package-label cache hit rate in `0.0..=1.0`.
     pub label_hit_rate: f64,
+    /// Fraction of the pre-sized global-table capacity actually used at
+    /// join time in `0.0..=1.0` (0 when the join did not pre-size).
+    pub presize_hit_rate: f64,
     /// CSR call-graph edges built across the run (after dedup).
     pub callgraph_edges: u64,
     /// Vtable-cache hit rate for virtual resolution in `0.0..=1.0`.
@@ -64,6 +70,12 @@ impl PipelineStatsReport {
         t.row_owned(vec!["Apps broken".into(), thousands(self.broken)]);
         t.row_owned(vec!["  of which panicked".into(), thousands(self.panicked)]);
         t.row_owned(vec!["Wall time".into(), format!("{:.1} ms", self.wall_ms)]);
+        if self.serial_tail_ms > 0.0 {
+            t.row_owned(vec![
+                "  of which serial tail".into(),
+                format!("{:.1} ms", self.serial_tail_ms),
+            ]);
+        }
         t.row_owned(vec![
             "Throughput".into(),
             format!("{:.0} apps/s", self.apps_per_second),
@@ -90,6 +102,12 @@ impl PipelineStatsReport {
                 "Label cache hit rate".into(),
                 percent(self.label_hit_rate),
             ]);
+            if self.presize_hit_rate > 0.0 {
+                t.row_owned(vec![
+                    "Interner pre-size hit rate".into(),
+                    percent(self.presize_hit_rate),
+                ]);
+            }
         }
         if self.callgraph_edges > 0 {
             t.row_owned(vec![
@@ -178,6 +196,7 @@ mod tests {
             broken: 2,
             panicked: 1,
             wall_ms: 321.5,
+            serial_tail_ms: 4.2,
             apps_per_second: 4566.0,
             utilization: 0.93,
             workers: 8,
@@ -193,6 +212,7 @@ mod tests {
             interned_bytes: 524_288,
             intern_hit_rate: 0.42,
             label_hit_rate: 0.87,
+            presize_hit_rate: 0.61,
             callgraph_edges: 123_456,
             vtable_hit_rate: 0.75,
             bitset_reuses: 1_460,
@@ -214,6 +234,9 @@ mod tests {
         assert!(r.contains("analysis-panic"));
         assert!(r.contains("20,480 (512 KiB)"));
         assert!(r.contains("87.0%")); // label cache hit rate
+        assert!(r.contains("serial tail"));
+        assert!(r.contains("4.2 ms"));
+        assert!(r.contains("61.0%")); // interner pre-size hit rate
         assert!(r.contains("123,456")); // CSR edges
         assert!(r.contains("75.0%")); // vtable hit rate
         assert!(r.contains("1,460")); // bitset reuses
@@ -225,6 +248,8 @@ mod tests {
         let r = PipelineStatsReport::default().render();
         assert!(!r.contains("Interned symbols"));
         assert!(!r.contains("Call-graph edges"));
+        assert!(!r.contains("serial tail"));
+        assert!(!r.contains("pre-size"));
     }
 
     #[test]

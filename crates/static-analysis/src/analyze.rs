@@ -15,7 +15,7 @@ use wla_callgraph::{
     entry_points, record_web_calls_with, CallGraph, CallGraphCounters, ReachScratch, WebCallRecord,
 };
 use wla_corpus::playstore::AppMeta;
-use wla_decompile::{lift_dex, webview_subclasses_interned};
+use wla_decompile::webview_subclasses_dex_interned;
 use wla_intern::{LocalInterner, PkgId, Symbol};
 use wla_manifest::{wireformat, Manifest};
 use wla_sdk_index::{LabelCache, LabelId, SdkIndex};
@@ -31,7 +31,9 @@ use wla_sdk_index::{LabelCache, LabelId, SdkIndex};
 pub struct StageTimings {
     /// Container + dex decoding.
     pub decode_ns: u64,
-    /// Source lifting and `extends WebView` closure.
+    /// `extends WebView` closure over the dex class tables (the stage the
+    /// paper spends on JADX decompilation; the lifted-source oracle lives
+    /// in `wla-decompile`).
     pub decompile_ns: u64,
     /// Call-graph construction, entry points, traversal, recording.
     pub callgraph_ns: u64,
@@ -272,13 +274,12 @@ pub fn analyze_app_timed_with(
         Err(e) => return (Err(e), timings),
     };
 
-    // (3) decompile every dex and find custom WebView classes across all.
+    // (3) custom WebView classes across all dexes. The closure runs
+    // directly on the pooled dex superclass links; the paper-faithful
+    // lift-to-Java + re-parse route (`webview_subclasses_interned`) is the
+    // oracle it is equivalence-pinned against — see `wla-decompile`.
     let started = Instant::now();
-    let mut sources = Vec::new();
-    for dex in &dexes {
-        sources.extend(lift_dex(dex));
-    }
-    let subclasses = webview_subclasses_interned(&sources, &mut ctx.lexicon);
+    let subclasses = webview_subclasses_dex_interned(&dexes, &mut ctx.lexicon);
     timings.decompile_ns = started.elapsed().as_nanos() as u64;
 
     // (4) call graph; (5) traversal + recording — per dex. Recording
@@ -361,23 +362,21 @@ pub fn analyze_app_timed_with(
     (Ok(analysis), timings)
 }
 
-/// Decode the container, manifest, and every dex section.
+/// Decode the container, manifest, and every dex section. Dex decoding is
+/// zero-copy: each section's `Bytes` handle is shared with the dex's span
+/// table, so no string data is copied out of the container buffer.
 fn decode_stage(bytes: &[u8]) -> Result<(Manifest, Vec<Dex>), ApkError> {
     let apk = Sapk::decode(bytes)?;
     let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
-    let dex_blobs: Vec<&bytes::Bytes> = apk
+    let dexes: Vec<Dex> = apk
         .sections()
         .iter()
         .filter(|s| s.tag == wla_apk::SectionTag::Dex)
-        .map(|s| &s.data)
-        .collect();
-    if dex_blobs.is_empty() {
+        .map(|s| Dex::decode_bytes(s.data.clone()))
+        .collect::<Result<_, _>>()?;
+    if dexes.is_empty() {
         return Err(ApkError::MissingSection("dex"));
     }
-    let dexes: Vec<Dex> = dex_blobs
-        .into_iter()
-        .map(|blob| Dex::decode(blob))
-        .collect::<Result<_, _>>()?;
     Ok((manifest, dexes))
 }
 

@@ -21,12 +21,18 @@
 //!
 //! Interned-IR lifecycle: each worker interns into a private
 //! [`LocalInterner`] (no synchronization while analyzing); at join time
-//! the merge walks results in *input order* and translates every symbol
-//! into the shared global [`Interner`] through a lazy per-worker
-//! [`SymbolRemap`]. Because the walk order is the input order, global
-//! symbol ids are a pure function of the corpus — independent of worker
-//! count, batch size, and scheduling — which keeps parallel and serial
-//! runs bit-identical.
+//! the serial tail (timed as [`PipelineStats::serial_tail_ns`]) merges
+//! worker buffers into input order and translates every symbol into the
+//! shared global [`Interner`] in three phases: a symbols-only pass in
+//! *input order* records each worker's first occurrences, the distinct
+//! strings are interned as one ordered batch into a table pre-sized from
+//! the summed lexicon sizes ([`Interner::intern_ordered`] — ids match a
+//! serial loop exactly, and wide hosts fill shards concurrently), and the
+//! resolved per-worker [`SymbolRemap`] tables rewrite the analyses.
+//! Because first-occurrence order is the input order, global symbol ids
+//! are a pure function of the corpus — independent of worker count, batch
+//! size, and scheduling — which keeps parallel and serial runs
+//! bit-identical.
 
 use crate::analyze::{analyze_app_timed_with, AnalysisCtx, AppAnalysis, StageTimings};
 use std::collections::BTreeMap;
@@ -124,6 +130,9 @@ pub struct InternerCounters {
     pub label_hits: u64,
     /// Package labels that walked the catalog trie.
     pub label_misses: u64,
+    /// Capacity the global table was pre-sized for at join time (the
+    /// summed sizes of the worker lexicons).
+    pub presized_symbols: usize,
 }
 
 impl InternerCounters {
@@ -134,6 +143,16 @@ impl InternerCounters {
             return 0.0;
         }
         self.local_hits as f64 / total as f64
+    }
+
+    /// Fraction of the pre-sized global capacity actually used
+    /// (`global_symbols / presized_symbols`): how closely the summed
+    /// local-lexicon upper bound predicted the merged table.
+    pub fn presize_hit_rate(&self) -> f64 {
+        if self.presized_symbols == 0 {
+            return 0.0;
+        }
+        self.global_symbols as f64 / self.presized_symbols as f64
     }
 
     /// Fraction of package-label lookups served from the memo.
@@ -165,6 +184,9 @@ pub struct PipelineStats {
     pub stage: StageTimings,
     /// End-to-end wall-clock time of the run.
     pub wall_ns: u64,
+    /// Time spent in the serial join tail after the worker pool finished:
+    /// stats fold, input-order merge, and the local→global symbol remap.
+    pub serial_tail_ns: u64,
     /// Batch size the scheduler actually used.
     pub batch: usize,
     /// One entry per worker thread, in spawn order.
@@ -371,11 +393,17 @@ where
             .collect()
     });
 
+    // Everything from here to return runs on one thread after the pool
+    // joins — the serial tail `stats.serial_tail_ns` exposes.
+    let tail_started = Instant::now();
+
     // Merge per-worker buffers back into input order and fold the stats.
-    // Slots remember which worker produced each result so the remap below
-    // can consult the right lexicon.
-    let mut slots: Vec<Option<(usize, Result<AppAnalysis, ApkError>)>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
+    // Each worker's buffer is already ascending in input index (batches
+    // are claimed from a monotone counter and appended in claim order),
+    // so one flat extend + sort is a k-way merge of sorted runs with no
+    // intermediate `Vec<Option<_>>`. Entries remember which worker
+    // produced them so the remap below can consult the right lexicon.
+    let mut merged: Vec<(usize, u32, Result<AppAnalysis, ApkError>)> = Vec::with_capacity(n);
     let mut stats = PipelineStats {
         total: n,
         batch,
@@ -383,10 +411,7 @@ where
     };
     let mut lexicons: Vec<LocalInterner> = Vec::with_capacity(yields.len());
     for (w, y) in yields.into_iter().enumerate() {
-        for (i, result) in y.results {
-            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-            slots[i] = Some((w, result));
-        }
+        merged.extend(y.results.into_iter().map(|(i, r)| (i, w as u32, r)));
         stats.stage.accumulate(&y.stage);
         stats.panicked += y.panicked;
         for (kind, count) in y.failures {
@@ -402,20 +427,54 @@ where
         stats.callgraph.merge(&y.callgraph);
         lexicons.push(y.lexicon);
     }
+    merged.sort_unstable_by_key(|&(i, _, _)| i);
+    assert_eq!(merged.len(), n, "batch claiming covers every index");
+    debug_assert!(
+        merged.iter().enumerate().all(|(pos, &(i, _, _))| pos == i),
+        "batch claiming covers every index exactly once"
+    );
 
-    // Translate worker-local symbols into the global table, walking
-    // results in input order so global ids are schedule-independent.
-    let interner = Interner::new();
+    // Translate worker-local symbols into the global table in three
+    // phases, preserving the schedule-independent id assignment a lazy
+    // input-order walk would produce:
+    //  (A) a symbols-only pass in input order records each worker's first
+    //      occurrences and their global rank;
+    //  (B) the distinct strings are interned in rank order as one batch —
+    //      `intern_ordered` assigns exactly the ids a serial loop would,
+    //      into a table pre-sized from the summed lexicon sizes;
+    //  (C) the resolved remap tables rewrite every analysis.
+    let interner = Interner::with_capacity(stats.interner.local_symbols);
+    stats.interner.presized_symbols = stats.interner.local_symbols;
+    let mut ranks: Vec<Vec<u32>> = lexicons.iter().map(|l| vec![u32::MAX; l.len()]).collect();
+    let mut order: Vec<(u32, wla_intern::Symbol)> = Vec::new();
+    for (_, w, result) in merged.iter_mut() {
+        if let Ok(analysis) = result.as_mut() {
+            let rank = &mut ranks[*w as usize];
+            analysis.remap_symbols(&mut |sym| {
+                if rank[sym.0 as usize] == u32::MAX {
+                    rank[sym.0 as usize] = order.len() as u32;
+                    order.push((*w, sym));
+                }
+                sym
+            });
+        }
+    }
+    let arcs: Vec<std::sync::Arc<str>> = order
+        .iter()
+        .map(|&(w, sym)| lexicons[w as usize].resolve_arc(sym))
+        .collect();
+    let globals = interner.intern_ordered(&arcs);
     let mut remaps: Vec<SymbolRemap> = lexicons.iter().map(|l| SymbolRemap::new(l.len())).collect();
-    let results: Vec<Result<AppAnalysis, ApkError>> = slots
+    for (rank, &(w, sym)) in order.iter().enumerate() {
+        remaps[w as usize].set(sym, globals[rank]);
+    }
+    let results: Vec<Result<AppAnalysis, ApkError>> = merged
         .into_iter()
-        .map(|s| {
-            let (w, mut result) = s.expect("batch claiming covers every index exactly once");
+        .map(|(_, w, mut result)| {
             if let Ok(analysis) = &mut result {
-                let lexicon = &lexicons[w];
-                let remap = &mut remaps[w];
+                let remap = &remaps[w as usize];
                 analysis.remap_symbols(&mut |sym| {
-                    remap.map(sym, || interner.intern_arc(lexicon.resolve_arc(sym)))
+                    remap.get(sym).expect("phase A visited every symbol")
                 });
             }
             result
@@ -425,6 +484,7 @@ where
     stats.interner.global_bytes = interner.bytes();
     stats.broken = results.iter().filter(|r| r.is_err()).count();
     stats.analyzed = n - stats.broken;
+    stats.serial_tail_ns = tail_started.elapsed().as_nanos() as u64;
     stats.wall_ns = started.elapsed().as_nanos() as u64;
     PipelineOutput {
         results,
@@ -574,6 +634,13 @@ mod tests {
         // Package labels are memoized per worker, so repeats hit the cache.
         assert!(c.label_hits > 0);
         assert!(c.label_hit_rate() > 0.0);
+        // The join pre-sizes the global table from the summed lexicons, so
+        // the hit rate is global/local and can never exceed 1.
+        assert_eq!(c.presized_symbols, c.local_symbols);
+        assert!(c.presize_hit_rate() > 0.0 && c.presize_hit_rate() <= 1.0);
+        // The serial tail was timed.
+        assert!(out.stats.serial_tail_ns > 0);
+        assert!(out.stats.serial_tail_ns <= out.stats.wall_ns);
         // Snapshot covers exactly the global table.
         assert_eq!(out.symbols().len(), c.global_symbols);
     }
@@ -691,6 +758,9 @@ mod tests {
                 s.interner.local_misses,
                 s.interner.local_symbols as u64
             );
+            prop_assert_eq!(s.interner.presized_symbols, s.interner.local_symbols);
+            prop_assert!(s.interner.presize_hit_rate() <= 1.0);
+            prop_assert!(s.serial_tail_ns <= s.wall_ns);
             // Call-graph counters: one graph (and one traversal) per dex,
             // so graphs ≥ analyzed apps and every traversal either reused
             // or grew the worker's bitset.
