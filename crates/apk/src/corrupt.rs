@@ -6,6 +6,9 @@
 //! level*, so the pipeline's error handling — not a boolean flag — produces
 //! that row of the table.
 
+use crate::container::{Sapk, SectionTag};
+use crate::sdex::{self, Dex, Instruction, Reg};
+
 /// The ways a container can be damaged in the corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CorruptionKind {
@@ -30,10 +33,25 @@ pub enum CorruptionKind {
     /// 10-byte `magic + version + adler32` header. Unlike the other kinds
     /// this does not always break *container* decoding: SAPK treats
     /// section payloads as opaque bytes, so the error may only surface
-    /// when the inner SDEX blob is decoded.
+    /// when the inner SDEX blob is decoded — or not at all, if the stamp
+    /// lands in an opaque resource blob.
     ClobberRechecksum {
         /// Body byte position as a fraction of the body, out of 256.
         pos_num: u8,
+    },
+    /// Re-encode the container with one instruction's register operand
+    /// pushed past its method's declared register count (checksums restamped
+    /// by re-encoding), so the damage sails through the adler gate, the
+    /// string/type/method index checks, and lands exactly on the register
+    /// bounds validator. Like [`ClobberRechecksum`](Self::ClobberRechecksum)
+    /// this leaves *container* decoding intact on SAPK input — the error
+    /// surfaces when the inner SDEX blob is decoded. Falls back to
+    /// [`BitFlip`](Self::BitFlip) (which the checksum gate always catches)
+    /// when the input has no decodable register operand to damage, so the
+    /// kind is guaranteed to break *some* layer.
+    ClobberRegister {
+        /// Which register slot to hit, modulo the number of slots.
+        site_num: u8,
     },
 }
 
@@ -84,7 +102,92 @@ pub fn corrupt(bytes: &[u8], kind: CorruptionKind) -> Vec<u8> {
             }
             out
         }
+        CorruptionKind::ClobberRegister { site_num } => match clobber_register(bytes, site_num) {
+            Some(out) => out,
+            // No decodable register operand anywhere (corrupt input, empty
+            // code, …): degrade to a bit flip, which the checksum gate is
+            // guaranteed to catch.
+            None => corrupt(bytes, CorruptionKind::BitFlip { pos_num: site_num }),
+        },
     }
+}
+
+/// Decode `bytes` (bare SDEX, or SAPK with dex sections), overwrite the
+/// `site_num`-th register operand (mod the slot count) with an out-of-range
+/// register, and re-encode. Returns `None` when there is nothing to damage.
+fn clobber_register(bytes: &[u8], site_num: u8) -> Option<Vec<u8>> {
+    if bytes.get(..4) == Some(&sdex::SDEX_MAGIC[..]) {
+        let mut dex = Dex::decode(bytes).ok()?;
+        clobber_register_in_dex(&mut dex, site_num)?;
+        return Some(dex.encode().to_vec());
+    }
+    let apk = Sapk::decode(bytes).ok()?;
+    let mut rebuilt = Sapk::new();
+    let mut done = false;
+    for s in apk.sections() {
+        if !done && s.tag == SectionTag::Dex {
+            if let Ok(mut dex) = Dex::decode_bytes(s.data.clone()) {
+                if clobber_register_in_dex(&mut dex, site_num).is_some() {
+                    rebuilt.push(SectionTag::Dex, dex.encode());
+                    done = true;
+                    continue;
+                }
+            }
+        }
+        rebuilt.push(s.tag, s.data.clone());
+    }
+    done.then(|| rebuilt.encode().to_vec())
+}
+
+/// Number of register operands an instruction carries.
+fn register_slot_count(ins: &Instruction) -> usize {
+    match ins {
+        Instruction::Invoke { args, .. } => args.len(),
+        Instruction::ConstString { .. } => 1,
+        Instruction::Move { .. } => 2,
+        _ => 0,
+    }
+}
+
+/// Mutable views of an instruction's register operands, in a fixed order.
+fn register_slots(ins: &mut Instruction) -> Vec<&mut Reg> {
+    match ins {
+        Instruction::Invoke { args, .. } => args.iter_mut().collect(),
+        Instruction::ConstString { dst, .. } => vec![dst],
+        Instruction::Move { dst, src } => vec![dst, src],
+        _ => vec![],
+    }
+}
+
+fn clobber_register_in_dex(dex: &mut Dex, site_num: u8) -> Option<()> {
+    let total: usize = dex
+        .classes()
+        .iter()
+        .flat_map(|c| &c.methods)
+        .flat_map(|m| &m.code)
+        .map(register_slot_count)
+        .sum();
+    if total == 0 {
+        return None;
+    }
+    let target = site_num as usize % total;
+    let mut i = 0usize;
+    for c in dex.classes_mut() {
+        for m in &mut c.methods {
+            // Strictly past the declared count, clamped into `Reg`'s width.
+            let bad = (m.registers as u64 + 1 + site_num as u64).min(u16::MAX as u64) as u16;
+            for ins in &mut m.code {
+                for r in register_slots(ins) {
+                    if i == target {
+                        *r = Reg(bad);
+                        return Some(());
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -155,6 +258,91 @@ mod tests {
             )
         });
         assert!(hits_pool);
+    }
+
+    fn dex_with_registers() -> crate::Dex {
+        let mut b = crate::DexBuilder::new();
+        let load = b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
+        let url = b.intern_string("https://cdn.example/x");
+        let m = b.intern_method("com/example/Main", "go", "()V");
+        b.define_class(
+            "com/example/Main",
+            Some("android/app/Activity"),
+            crate::ClassFlags::default(),
+            vec![crate::MethodDef::new(
+                m,
+                true,
+                false,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
+                    Instruction::Move {
+                        dst: Reg(1),
+                        src: Reg(0),
+                    },
+                    Instruction::Invoke {
+                        kind: crate::InvokeKind::Virtual,
+                        method: load,
+                        args: vec![Reg(1)],
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            )],
+        )
+        .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn clobber_register_reaches_the_register_validator() {
+        let blob = dex_with_registers().encode().to_vec();
+        // Every slot choice produces a blob the adler gate accepts and the
+        // register bounds check rejects.
+        for site_num in [0u8, 1, 2, 3, 4, 77, 255] {
+            let bad = corrupt(&blob, CorruptionKind::ClobberRegister { site_num });
+            let err = crate::Dex::decode(&bad).expect_err("clobbered register decoded");
+            assert_eq!(err.kind(), "index-out-of-range", "site_num={site_num}");
+            assert!(
+                format!("{err:?}").contains("register"),
+                "site_num={site_num}"
+            );
+        }
+    }
+
+    #[test]
+    fn clobber_register_is_transparent_to_the_container() {
+        // On SAPK input the outer container stays valid; the damage only
+        // surfaces when the inner SDEX section is decoded.
+        let mut apk = Sapk::new();
+        apk.push(SectionTag::Manifest, vec![7u8; 32]);
+        apk.push(SectionTag::Dex, dex_with_registers().encode());
+        let bad = corrupt(
+            &apk.encode(),
+            CorruptionKind::ClobberRegister { site_num: 3 },
+        );
+        let back = Sapk::decode(&bad).expect("container decode must survive");
+        let err = crate::Dex::decode(back.dex_bytes().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), "index-out-of-range");
+    }
+
+    #[test]
+    fn clobber_register_deterministic_and_falls_back() {
+        let blob = dex_with_registers().encode().to_vec();
+        let kind = CorruptionKind::ClobberRegister { site_num: 9 };
+        assert_eq!(corrupt(&blob, kind), corrupt(&blob, kind));
+        // No register slots anywhere: degrade to a checksum-caught bit flip.
+        let mut b = crate::DexBuilder::new();
+        b.define_class("com/x/Empty", None, crate::ClassFlags::default(), vec![])
+            .unwrap();
+        let empty = b.build().encode().to_vec();
+        let fallback = corrupt(&empty, kind);
+        assert_eq!(
+            fallback,
+            corrupt(&empty, CorruptionKind::BitFlip { pos_num: 9 })
+        );
+        assert!(crate::Dex::decode(&fallback).is_err());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! .class public com/example/app/MainActivity
 //!   .super android/app/Activity
 //!   .method public onCreate()V
-//!     const-string "https://ads.example.net/creative"
-//!     invoke-virtual android/webkit/WebView->loadUrl(Ljava/lang/String;)V
+//!     const-string v0, "https://ads.example.net/creative"
+//!     invoke-virtual {v0} android/webkit/WebView->loadUrl(Ljava/lang/String;)V
 //!     return-void
 //!   .end method
 //! .end class
@@ -74,7 +74,7 @@ fn disassemble_method(dex: &Dex, method: &MethodDef) -> String {
 /// Render one instruction.
 pub fn render_instruction(dex: &Dex, ins: &Instruction) -> String {
     match ins {
-        Instruction::Invoke { kind, method } => {
+        Instruction::Invoke { kind, method, args } => {
             let r = dex.method_ref(*method);
             let mnemonic = match kind {
                 InvokeKind::Virtual => "invoke-virtual",
@@ -83,16 +83,22 @@ pub fn render_instruction(dex: &Dex, ins: &Instruction) -> String {
                 InvokeKind::Interface => "invoke-interface",
                 InvokeKind::Super => "invoke-super",
             };
+            let regs = args
+                .iter()
+                .map(|a| format!("v{}", a.0))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
-                "{mnemonic} {}->{}{}",
+                "{mnemonic} {{{regs}}} {}->{}{}",
                 dex.type_name(r.class),
                 dex.string(r.name),
                 dex.string(r.descriptor)
             )
         }
-        Instruction::ConstString { string } => {
-            format!("const-string {:?}", dex.string(*string))
+        Instruction::ConstString { dst, string } => {
+            format!("const-string v{}, {:?}", dst.0, dex.string(*string))
         }
+        Instruction::Move { dst, src } => format!("move v{}, v{}", dst.0, src.0),
         Instruction::NewInstance { ty } => format!("new-instance {}", dex.type_name(*ty)),
         Instruction::IfTest { offset } => format!("if-test {offset:+}"),
         Instruction::Goto { offset } => format!("goto {offset:+}"),
@@ -104,7 +110,7 @@ pub fn render_instruction(dex: &Dex, ins: &Instruction) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sdex::{ClassFlags, DexBuilder};
+    use crate::sdex::{ClassFlags, DexBuilder, Reg};
 
     fn sample() -> Dex {
         let mut b = DexBuilder::new();
@@ -118,22 +124,30 @@ mod tests {
                 public: true,
                 ..Default::default()
             },
-            vec![MethodDef {
-                method: m,
-                public: true,
-                static_: false,
-                code: vec![
-                    Instruction::ConstString { string: url },
+            vec![MethodDef::new(
+                m,
+                true,
+                false,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
+                    Instruction::Move {
+                        dst: Reg(1),
+                        src: Reg(0),
+                    },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: load,
+                        args: vec![Reg(1)],
                     },
                     Instruction::IfTest { offset: 2 },
                     Instruction::Goto { offset: -3 },
                     Instruction::Nop,
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         b.build()
@@ -145,10 +159,10 @@ mod tests {
         assert!(text.contains(".class public com/x/Main"));
         assert!(text.contains(".super android/app/Activity"));
         assert!(text.contains(".method public onCreate()V"));
-        assert!(
-            text.contains("invoke-virtual android/webkit/WebView->loadUrl(Ljava/lang/String;)V")
-        );
-        assert!(text.contains("const-string \"https://x.example/\\\"page\\\"\""));
+        assert!(text
+            .contains("invoke-virtual {v1} android/webkit/WebView->loadUrl(Ljava/lang/String;)V"));
+        assert!(text.contains("const-string v0, \"https://x.example/\\\"page\\\"\""));
+        assert!(text.contains("move v1, v0"));
         assert!(text.contains("if-test +2"));
         assert!(text.contains("goto -3"));
         assert!(text.contains("return-void"));

@@ -26,7 +26,7 @@
 //! error instead of panicking — this is exercised heavily by property tests.
 //!
 //! ```
-//! use wla_apk::{ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef};
+//! use wla_apk::{ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, Reg};
 //!
 //! let mut b = DexBuilder::new();
 //! let load_url = b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
@@ -36,16 +36,16 @@
 //!     "com/demo/Main",
 //!     Some("android/app/Activity"),
 //!     ClassFlags { public: true, ..Default::default() },
-//!     vec![MethodDef {
-//!         method: on_create,
-//!         public: true,
-//!         static_: false,
-//!         code: vec![
-//!             Instruction::ConstString { string: url },
-//!             Instruction::Invoke { kind: InvokeKind::Virtual, method: load_url },
+//!     vec![MethodDef::new(
+//!         on_create,
+//!         true,
+//!         false,
+//!         vec![
+//!             Instruction::ConstString { dst: Reg(0), string: url },
+//!             Instruction::Invoke { kind: InvokeKind::Virtual, method: load_url, args: vec![Reg(0)] },
 //!             Instruction::ReturnVoid,
 //!         ],
-//!     }],
+//!     )],
 //! ).unwrap();
 //! let dex = b.build();
 //!
@@ -68,5 +68,5 @@ pub use container::{Sapk, SapkSection, SectionTag};
 pub use error::ApkError;
 pub use sdex::{
     ClassDef, ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, MethodId, MethodRef,
-    TypeId,
+    Reg, TypeId,
 };

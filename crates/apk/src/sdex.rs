@@ -35,8 +35,14 @@ use std::fmt;
 
 /// Magic bytes at the start of every SDEX blob.
 pub const SDEX_MAGIC: [u8; 4] = *b"SDEX";
-/// Current SDEX format version.
-pub const SDEX_VERSION: u16 = 1;
+/// Current SDEX format version: version 2 lowers every data-bearing
+/// instruction onto virtual registers (`const-string vA`, `move vA vB`,
+/// explicit invoke argument lists) and records a per-method register count.
+pub const SDEX_VERSION: u16 = 2;
+/// Oldest version the decoders still accept — the original straight-line
+/// layout without register operands. Version-1 bodies decode into the
+/// register IR with every operand lowered onto `v0`.
+pub const SDEX_MIN_VERSION: u16 = 1;
 
 /// Index into the type table of a [`Dex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,6 +51,11 @@ pub struct TypeId(pub u32);
 /// Index into the method table of a [`Dex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MethodId(pub u32);
+
+/// Index of a virtual register inside one method body. Valid registers are
+/// `0..MethodDef::registers`; the decoder bounds-checks every operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
 
 /// A `(class, name, descriptor)` method reference — the SDEX analog of a
 /// DEX `method_id_item`. Refers to internal or framework methods alike.
@@ -122,21 +133,36 @@ impl InvokeKind {
 }
 
 /// One SDEX instruction. The set is intentionally small: exactly what the
-/// call-graph builder (invokes), decompiler (all of it), and string-argument
-/// recovery (`const-string` preceding an invoke) need.
+/// call-graph builder (invokes), decompiler (all of it), and the
+/// constant-propagation pass that recovers string arguments need. Since
+/// wire version 2 the data-bearing instructions carry register operands, so
+/// URL recovery is def-use tracking rather than an adjacency accident.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instruction {
-    /// Call the referenced method.
+    /// Call the referenced method, passing the listed argument registers.
     Invoke {
         /// Dispatch kind.
         kind: InvokeKind,
         /// Callee reference.
         method: MethodId,
+        /// Argument registers; for web-call methods the URL (or data)
+        /// argument is `args[0]`.
+        args: Vec<Reg>,
     },
-    /// Load a string-pool constant (e.g. a URL later passed to `loadUrl`).
+    /// Load a string-pool constant (e.g. a URL later passed to `loadUrl`)
+    /// into a register.
     ConstString {
+        /// Destination register.
+        dst: Reg,
         /// String-pool index.
         string: u32,
+    },
+    /// Copy one register into another.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
     },
     /// Allocate an instance of a type (e.g. `new CustomTabsIntent.Builder`).
     NewInstance {
@@ -166,6 +192,12 @@ const OP_IF: u8 = 0x04;
 const OP_GOTO: u8 = 0x05;
 const OP_RETURN_VOID: u8 = 0x06;
 const OP_NOP: u8 = 0x07;
+const OP_MOVE: u8 = 0x08;
+
+/// Hard ceiling on invoke argument counts, mirroring DEX's one-byte
+/// argument count. Keeps a forged count from driving a huge allocation
+/// before the per-register bounds checks run.
+const MAX_INVOKE_ARGS: u64 = 255;
 
 fn zigzag_encode(v: i32) -> u64 {
     ((v << 1) ^ (v >> 31)) as u32 as u64
@@ -177,16 +209,36 @@ fn zigzag_decode(v: u64) -> i32 {
 }
 
 impl Instruction {
+    /// Highest register operand mentioned, if the instruction has any.
+    pub fn max_reg(&self) -> Option<u16> {
+        match self {
+            Instruction::Invoke { args, .. } => args.iter().map(|r| r.0).max(),
+            Instruction::ConstString { dst, .. } => Some(dst.0),
+            Instruction::Move { dst, src } => Some(dst.0.max(src.0)),
+            _ => None,
+        }
+    }
+
     fn encode<B: BufMut>(&self, buf: &mut B) {
         match self {
-            Instruction::Invoke { kind, method } => {
+            Instruction::Invoke { kind, method, args } => {
                 buf.put_u8(OP_INVOKE);
                 buf.put_u8(kind.to_byte());
                 put_uvarint(buf, method.0 as u64);
+                put_uvarint(buf, args.len() as u64);
+                for a in args {
+                    put_uvarint(buf, a.0 as u64);
+                }
             }
-            Instruction::ConstString { string } => {
+            Instruction::ConstString { dst, string } => {
                 buf.put_u8(OP_CONST_STRING);
+                put_uvarint(buf, dst.0 as u64);
                 put_uvarint(buf, *string as u64);
+            }
+            Instruction::Move { dst, src } => {
+                buf.put_u8(OP_MOVE);
+                put_uvarint(buf, dst.0 as u64);
+                put_uvarint(buf, src.0 as u64);
             }
             Instruction::NewInstance { ty } => {
                 buf.put_u8(OP_NEW_INSTANCE);
@@ -205,7 +257,11 @@ impl Instruction {
         }
     }
 
-    fn decode<B: Buf>(buf: &mut B) -> Result<Self, ApkError> {
+    /// Decode one instruction at wire `version`. Version 1 is the
+    /// pre-register layout: no operand registers on the wire, so every
+    /// decoded operand is lowered onto `v0` (the compatibility register)
+    /// and `move` is not a valid opcode.
+    fn decode<B: Buf>(buf: &mut B, version: u16) -> Result<Self, ApkError> {
         if !buf.has_remaining() {
             return Err(ApkError::Truncated {
                 context: "instruction opcode",
@@ -221,10 +277,35 @@ impl Instruction {
                 }
                 let kind = InvokeKind::from_byte(buf.get_u8())?;
                 let method = MethodId(get_uvarint(buf)? as u32);
-                Instruction::Invoke { kind, method }
+                let args = if version >= 2 {
+                    let argc = get_uvarint(buf)?;
+                    if argc > MAX_INVOKE_ARGS {
+                        return Err(ApkError::Invalid("invoke argument count exceeds 255"));
+                    }
+                    let mut args = Vec::with_capacity(argc as usize);
+                    for _ in 0..argc {
+                        args.push(Reg(get_uvarint(buf)? as u16));
+                    }
+                    args
+                } else {
+                    vec![Reg(0)]
+                };
+                Instruction::Invoke { kind, method, args }
             }
-            OP_CONST_STRING => Instruction::ConstString {
-                string: get_uvarint(buf)? as u32,
+            OP_CONST_STRING => {
+                let dst = if version >= 2 {
+                    Reg(get_uvarint(buf)? as u16)
+                } else {
+                    Reg(0)
+                };
+                Instruction::ConstString {
+                    dst,
+                    string: get_uvarint(buf)? as u32,
+                }
+            }
+            OP_MOVE if version >= 2 => Instruction::Move {
+                dst: Reg(get_uvarint(buf)? as u16),
+                src: Reg(get_uvarint(buf)? as u16),
             },
             OP_NEW_INSTANCE => Instruction::NewInstance {
                 ty: TypeId(get_uvarint(buf)? as u32),
@@ -251,8 +332,31 @@ pub struct MethodDef {
     pub public: bool,
     /// Declared `static`.
     pub static_: bool,
-    /// Straight-line encoded body.
+    /// Number of virtual registers the body may touch; every register
+    /// operand in `code` must be below this.
+    pub registers: u32,
+    /// Encoded body.
     pub code: Vec<Instruction>,
+}
+
+impl MethodDef {
+    /// Build a def whose register count is computed from the code itself
+    /// (highest mentioned register + 1).
+    pub fn new(method: MethodId, public: bool, static_: bool, code: Vec<Instruction>) -> Self {
+        let registers = code
+            .iter()
+            .filter_map(Instruction::max_reg)
+            .map(|r| r as u32 + 1)
+            .max()
+            .unwrap_or(0);
+        MethodDef {
+            method,
+            public,
+            static_,
+            registers,
+            code,
+        }
+    }
 }
 
 /// A class defined in this SDEX file.
@@ -355,6 +459,12 @@ impl Dex {
         &self.classes
     }
 
+    /// Mutable access to the class definitions — the corruption module
+    /// re-encodes damaged method bodies through this.
+    pub(crate) fn classes_mut(&mut self) -> &mut [ClassDef] {
+        &mut self.classes
+    }
+
     /// Look up a defined class by type id.
     pub fn class(&self, ty: TypeId) -> Option<&ClassDef> {
         self.class_index.get(&ty).map(|&i| &self.classes[i])
@@ -423,6 +533,7 @@ impl Dex {
             for m in &c.methods {
                 put_uvarint(&mut body, m.method.0 as u64);
                 body.put_u8(m.public as u8 | (m.static_ as u8) << 1);
+                put_uvarint(&mut body, m.registers as u64);
                 put_uvarint(&mut body, m.code.len() as u64);
                 for ins in &m.code {
                     ins.encode(&mut body);
@@ -477,7 +588,7 @@ impl Dex {
             return Err(ApkError::Truncated { context: "header" });
         }
         let version = buf.get_u16_le();
-        if version != SDEX_VERSION {
+        if !(SDEX_MIN_VERSION..=SDEX_VERSION).contains(&version) {
             return Err(ApkError::UnsupportedVersion(version));
         }
         let stored = buf.get_u32_le();
@@ -548,17 +659,30 @@ impl Dex {
                     });
                 }
                 let fl = buf.get_u8();
+                let registers = if version >= 2 {
+                    get_uvarint(&mut buf)? as u32
+                } else {
+                    // Version-1 operands all lower onto v0.
+                    1
+                };
                 let code_len = get_uvarint(&mut buf)? as usize;
                 let mut code = Vec::with_capacity(code_len.min(1 << 16));
                 for _ in 0..code_len {
-                    let ins = Instruction::decode(&mut buf)?;
-                    validate_instruction(&ins, strings.len(), types.len(), methods.len())?;
+                    let ins = Instruction::decode(&mut buf, version)?;
+                    validate_instruction(
+                        &ins,
+                        strings.len(),
+                        types.len(),
+                        methods.len(),
+                        registers,
+                    )?;
                     code.push(ins);
                 }
                 defs.push(MethodDef {
                     method,
                     public: fl & 1 != 0,
                     static_: fl & 2 != 0,
+                    registers,
                     code,
                 });
             }
@@ -673,10 +797,22 @@ fn validate_instruction(
     strings: usize,
     types: usize,
     methods: usize,
+    registers: u32,
 ) -> Result<(), ApkError> {
+    let check_reg = |r: Reg| check_index("register", r.0 as u32, registers as usize);
     match ins {
-        Instruction::Invoke { method, .. } => check_index("method", method.0, methods),
-        Instruction::ConstString { string } => check_index("string", *string, strings),
+        Instruction::Invoke { method, args, .. } => {
+            check_index("method", method.0, methods)?;
+            args.iter().try_for_each(|&a| check_reg(a))
+        }
+        Instruction::ConstString { dst, string } => {
+            check_index("string", *string, strings)?;
+            check_reg(*dst)
+        }
+        Instruction::Move { dst, src } => {
+            check_reg(*dst)?;
+            check_reg(*src)
+        }
         Instruction::NewInstance { ty } => check_index("type", ty.0, types),
         _ => Ok(()),
     }
@@ -869,7 +1005,7 @@ pub mod oracle {
             return Err(ApkError::Truncated { context: "header" });
         }
         let version = buf.get_u16_le();
-        if version != SDEX_VERSION {
+        if !(SDEX_MIN_VERSION..=SDEX_VERSION).contains(&version) {
             return Err(ApkError::UnsupportedVersion(version));
         }
         let stored = buf.get_u32_le();
@@ -939,17 +1075,30 @@ pub mod oracle {
                     });
                 }
                 let fl = buf.get_u8();
+                let registers = if version >= 2 {
+                    get_uvarint(&mut buf)? as u32
+                } else {
+                    // Version-1 operands all lower onto v0.
+                    1
+                };
                 let code_len = get_uvarint(&mut buf)? as usize;
                 let mut code = Vec::with_capacity(code_len.min(1 << 16));
                 for _ in 0..code_len {
-                    let ins = Instruction::decode(&mut buf)?;
-                    validate_instruction(&ins, strings.len(), types.len(), methods.len())?;
+                    let ins = Instruction::decode(&mut buf, version)?;
+                    validate_instruction(
+                        &ins,
+                        strings.len(),
+                        types.len(),
+                        methods.len(),
+                        registers,
+                    )?;
                     code.push(ins);
                 }
                 defs.push(MethodDef {
                     method,
                     public: fl & 1 != 0,
                     static_: fl & 2 != 0,
+                    registers,
                     code,
                 });
             }
@@ -1009,19 +1158,23 @@ mod tests {
                 public: true,
                 ..Default::default()
             },
-            vec![MethodDef {
-                method: helper,
-                public: true,
-                static_: false,
-                code: vec![
-                    Instruction::ConstString { string: url },
+            vec![MethodDef::new(
+                helper,
+                true,
+                false,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: load_url,
+                        args: vec![Reg(0)],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         let on_create = b.intern_method("com/example/app/MainActivity", "onCreate", "(B)V");
@@ -1032,18 +1185,19 @@ mod tests {
                 public: true,
                 ..Default::default()
             },
-            vec![MethodDef {
-                method: on_create,
-                public: true,
-                static_: false,
-                code: vec![
+            vec![MethodDef::new(
+                on_create,
+                true,
+                false,
+                vec![
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: helper,
+                        args: vec![],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         b.build()
@@ -1217,12 +1371,12 @@ mod tests {
             "com/x/C",
             Some("com/x/B"),
             ClassFlags::default(),
-            vec![MethodDef {
-                method: m,
-                public: true,
-                static_: false,
-                code: vec![Instruction::ReturnVoid],
-            }],
+            vec![MethodDef::new(
+                m,
+                true,
+                false,
+                vec![Instruction::ReturnVoid],
+            )],
         )
         .unwrap();
         let dex = b.build();
@@ -1261,5 +1415,204 @@ mod tests {
         let back = Dex::decode(&dex.encode()).unwrap();
         assert_eq!(back.classes().len(), 0);
         assert_eq!(back.string_count(), 0);
+    }
+
+    #[test]
+    fn register_shuffled_code_roundtrips() {
+        let mut b = DexBuilder::new();
+        let load_url =
+            b.intern_method("android/webkit/WebView", "loadUrl", "(Ljava/lang/String;)V");
+        let url = b.intern_string("https://cdn.example/page");
+        let decoy = b.intern_string("decoy");
+        let m = b.intern_method("com/x/A", "go", "()V");
+        b.define_class(
+            "com/x/A",
+            None,
+            ClassFlags::default(),
+            vec![MethodDef::new(
+                m,
+                true,
+                false,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
+                    Instruction::ConstString {
+                        dst: Reg(1),
+                        string: decoy,
+                    },
+                    Instruction::Move {
+                        dst: Reg(2),
+                        src: Reg(0),
+                    },
+                    Instruction::Invoke {
+                        kind: InvokeKind::Virtual,
+                        method: load_url,
+                        args: vec![Reg(2)],
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            )],
+        )
+        .unwrap();
+        let dex = b.build();
+        assert_eq!(dex.classes()[0].methods[0].registers, 3);
+        let back = Dex::decode(&dex.encode()).unwrap();
+        assert_eq!(dex, back);
+        let owned = oracle::decode(&dex.encode()).unwrap();
+        assert_eq!(back, owned);
+    }
+
+    #[test]
+    fn out_of_range_register_rejected() {
+        // Hand-build a def whose register count is too small for its code;
+        // the encoder trusts it, the decoder must not.
+        let mut b = DexBuilder::new();
+        let url = b.intern_string("https://x.example");
+        let m = b.intern_method("com/x/A", "f", "()V");
+        b.define_class(
+            "com/x/A",
+            None,
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: m,
+                public: true,
+                static_: false,
+                registers: 1,
+                code: vec![
+                    Instruction::ConstString {
+                        dst: Reg(4),
+                        string: url,
+                    },
+                    Instruction::ReturnVoid,
+                ],
+            }],
+        )
+        .unwrap();
+        let bytes = b.build().encode();
+        for result in [
+            Dex::decode(&bytes).err().map(|e| format!("{e:?}")),
+            oracle::decode(&bytes).err().map(|e| format!("{e:?}")),
+        ] {
+            let err = result.expect("decoder accepted an out-of-range register");
+            assert!(err.contains("register"), "unexpected error: {err}");
+        }
+    }
+
+    /// Hand-assemble a version-1 body (no register operands on the wire).
+    /// `count` is the instruction count; `code` the pre-encoded bytes.
+    fn v1_blob(count: u64, code: &[u8]) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        // strings: "com/x/A", "f", "()V", "https://v1.example"
+        put_uvarint(&mut body, 4);
+        for s in ["com/x/A", "f", "()V", "https://v1.example"] {
+            put_string(&mut body, s);
+        }
+        // types: [string 0]
+        put_uvarint(&mut body, 1);
+        put_uvarint(&mut body, 0);
+        // methods: [(type 0, name 1, desc 2)]
+        put_uvarint(&mut body, 1);
+        for idx in [0u64, 1, 2] {
+            put_uvarint(&mut body, idx);
+        }
+        // one class: type 0, no superclass, public, one method
+        put_uvarint(&mut body, 1);
+        put_uvarint(&mut body, 0);
+        body.put_u8(0);
+        put_uvarint(
+            &mut body,
+            ClassFlags {
+                public: true,
+                ..Default::default()
+            }
+            .to_bits(),
+        );
+        put_uvarint(&mut body, 1);
+        put_uvarint(&mut body, 0); // method id
+        body.put_u8(1); // public
+                        // no `registers` varint in version 1
+        put_uvarint(&mut body, count);
+        body.put_slice(code);
+        let mut out = Vec::new();
+        out.extend_from_slice(&SDEX_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&adler32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    #[test]
+    fn version1_blob_decodes_onto_v0() {
+        // const-string #3; invoke-virtual kind=0 method=0; return-void —
+        // the old adjacency layout, one byte-coded instruction each.
+        let blob = v1_blob(3, &[OP_CONST_STRING, 3, OP_INVOKE, 0, 0, OP_RETURN_VOID]);
+        let dex = Dex::decode(&blob).unwrap();
+        let m = &dex.classes()[0].methods[0];
+        assert_eq!(m.registers, 1);
+        assert_eq!(
+            m.code,
+            vec![
+                Instruction::ConstString {
+                    dst: Reg(0),
+                    string: 3,
+                },
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    method: MethodId(0),
+                    args: vec![Reg(0)],
+                },
+                Instruction::ReturnVoid,
+            ]
+        );
+        // The oracle decoder takes the identical compatibility path.
+        let owned = oracle::decode(&blob).unwrap();
+        assert_eq!(dex, owned);
+        // Re-encoding upgrades to the current version.
+        let upgraded = Dex::decode(&dex.encode()).unwrap();
+        assert_eq!(dex, upgraded);
+    }
+
+    #[test]
+    fn move_opcode_invalid_in_version1() {
+        let blob = v1_blob(2, &[OP_MOVE, 0, 0, OP_RETURN_VOID]);
+        assert!(matches!(
+            Dex::decode(&blob),
+            Err(ApkError::BadOpcode(OP_MOVE))
+        ));
+        assert!(matches!(
+            oracle::decode(&blob),
+            Err(ApkError::BadOpcode(OP_MOVE))
+        ));
+    }
+
+    #[test]
+    fn oversized_invoke_arg_count_rejected() {
+        let mut b = DexBuilder::new();
+        let m = b.intern_method("com/x/A", "f", "()V");
+        let callee = b.intern_method("com/x/A", "g", "()V");
+        b.define_class(
+            "com/x/A",
+            None,
+            ClassFlags::default(),
+            vec![MethodDef {
+                method: m,
+                public: true,
+                static_: false,
+                registers: 300,
+                code: vec![Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    method: callee,
+                    args: (0..300).map(Reg).collect(),
+                }],
+            }],
+        )
+        .unwrap();
+        let bytes = b.build().encode();
+        assert!(matches!(
+            Dex::decode(&bytes),
+            Err(ApkError::Invalid("invoke argument count exceeds 255"))
+        ));
     }
 }

@@ -72,12 +72,12 @@ mod tests {
             per_class
                 .entry(class.to_owned())
                 .or_default()
-                .push(MethodDef {
-                    method: m,
+                .push(MethodDef::new(
+                    m,
                     public,
-                    static_: false,
-                    code: vec![Instruction::ReturnVoid],
-                });
+                    false,
+                    vec![Instruction::ReturnVoid],
+                ));
             supers.insert(class.to_owned(), sup.map(str::to_owned));
         }
         for (class, methods) in per_class {

@@ -12,7 +12,53 @@
 //! preserved verbatim in [`crate::oracle`] as the correctness reference.
 
 use std::collections::HashMap;
-use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodId, TypeId};
+use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodDef, MethodId, TypeId};
+
+/// What is known about the string argument of a call site after provenance
+/// analysis. Produced by an annotator ([`crate::provenance_oracle`] or the
+/// dataflow pass in `wla-static`), never by graph construction itself —
+/// freshly built graphs carry [`Provenance::Unknown`] everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// No single string constant is known to reach the argument.
+    Unknown,
+    /// Exactly this string-pool constant reaches the argument on every
+    /// path to the site.
+    Const(u32),
+    /// Different constants merge at a join point in front of the site.
+    Conflict,
+}
+
+impl Provenance {
+    /// The constant's string-pool index, when resolved.
+    pub fn constant(self) -> Option<u32> {
+        match self {
+            Provenance::Const(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Collapse to the pool-independent shape for summaries.
+    pub fn origin(self) -> UrlOrigin {
+        match self {
+            Provenance::Unknown => UrlOrigin::Unknown,
+            Provenance::Const(_) => UrlOrigin::Resolved,
+            Provenance::Conflict => UrlOrigin::Conflict,
+        }
+    }
+}
+
+/// [`Provenance`] without the dex-local string-pool index: what summaries
+/// and aggregation carry once the constant itself has been interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UrlOrigin {
+    /// A single constant URL/data string was recovered.
+    Resolved,
+    /// Nothing recoverable statically.
+    Unknown,
+    /// Multiple candidate constants merge before the call.
+    Conflict,
+}
 
 /// One `invoke-*` site in the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +72,9 @@ pub struct CallSite {
     pub callee_ref: MethodId,
     /// Dispatch kind.
     pub kind: InvokeKind,
-    /// String-pool index of the `const-string` immediately preceding the
-    /// call, if any (the URL/JS argument heuristic the study uses).
-    pub preceding_string: Option<u32>,
+    /// Resolved string-argument provenance (§3.1.4's URL extraction).
+    /// [`Provenance::Unknown`] until an annotator runs over the sites.
+    pub provenance: Provenance,
 }
 
 /// Sentinel in the `MethodId → dense` table for method-table entries with
@@ -123,37 +169,26 @@ impl<'d> CallGraph<'d> {
         for class in dex.classes() {
             for m in &class.methods {
                 let caller = dense[m.method.0 as usize];
-                let mut pending_string: Option<u32> = None;
                 for ins in &m.code {
-                    match ins {
-                        Instruction::ConstString { string } => {
-                            pending_string = Some(*string);
+                    if let Instruction::Invoke { kind, method, .. } = ins {
+                        sites.push(CallSite {
+                            caller: m.method,
+                            caller_class: class.ty,
+                            callee_ref: *method,
+                            kind: *kind,
+                            provenance: Provenance::Unknown,
+                        });
+                        if let Some(target) = resolve(
+                            dex,
+                            &by_signature,
+                            &dense,
+                            &mut vtables,
+                            &mut stats,
+                            *method,
+                            *kind,
+                        ) {
+                            pairs.push((caller, target));
                         }
-                        Instruction::Invoke { kind, method } => {
-                            sites.push(CallSite {
-                                caller: m.method,
-                                caller_class: class.ty,
-                                callee_ref: *method,
-                                kind: *kind,
-                                preceding_string: pending_string.take(),
-                            });
-                            if let Some(target) = resolve(
-                                dex,
-                                &by_signature,
-                                &dense,
-                                &mut vtables,
-                                &mut stats,
-                                *method,
-                                *kind,
-                            ) {
-                                pairs.push((caller, target));
-                            }
-                        }
-                        // §3.1's heuristic attaches a const-string only when
-                        // it *immediately* precedes the invoke: any other
-                        // intervening instruction (goto, if, new-instance,
-                        // …) invalidates the pending string.
-                        _ => pending_string = None,
                     }
                 }
             }
@@ -182,6 +217,12 @@ impl<'d> CallGraph<'d> {
     /// Every call site in program order.
     pub fn sites(&self) -> &[CallSite] {
         &self.sites
+    }
+
+    /// Mutable site access for provenance annotators — sites stay in
+    /// program order; only the `provenance` field is meant to change.
+    pub fn sites_mut(&mut self) -> &mut [CallSite] {
+        &mut self.sites
     }
 
     /// Number of graph nodes (methods defined in this dex).
@@ -289,6 +330,43 @@ fn csr_from_pairs(n: usize, pairs: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>, u64) {
     (offsets, targets, duplicates)
 }
 
+/// Assign provenance to every call site of a graph built over `dex`.
+///
+/// `per_method` returns one [`Provenance`] per invoke, in code order, for
+/// each defined method. Sites are walked in the same class/method/
+/// instruction order [`CallGraph::build`] (and the hash oracle) pushed
+/// them, so the two streams zip positionally; both builders over the same
+/// dex therefore receive bit-identical annotations from the same resolver.
+pub fn annotate_provenance(
+    dex: &Dex,
+    sites: &mut [CallSite],
+    mut per_method: impl FnMut(&MethodDef) -> Vec<Provenance>,
+) {
+    let mut cursor = 0usize;
+    for class in dex.classes() {
+        for m in &class.methods {
+            let invokes = m
+                .code
+                .iter()
+                .filter(|i| matches!(i, Instruction::Invoke { .. }))
+                .count();
+            let resolved = per_method(m);
+            debug_assert_eq!(
+                resolved.len(),
+                invokes,
+                "resolver must yield one provenance per invoke"
+            );
+            for p in resolved.into_iter().take(invokes) {
+                if let Some(site) = sites.get_mut(cursor) {
+                    site.provenance = p;
+                }
+                cursor += 1;
+            }
+        }
+    }
+    debug_assert_eq!(cursor, sites.len(), "site stream out of sync with dex");
+}
+
 /// One flattened vtable entry: `(name, descriptor) → dense method index`,
 /// with the nearest definition in the hierarchy winning.
 type VtEntry = (u32, u32, u32);
@@ -384,15 +462,11 @@ fn resolve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wla_apk::sdex::{ClassFlags, DexBuilder, MethodDef};
+    use crate::provenance_oracle;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, MethodDef, Reg};
 
     fn def(b: &mut DexBuilder, class: &str, name: &str, code: Vec<Instruction>) -> MethodDef {
-        MethodDef {
-            method: b.intern_method(class, name, "()V"),
-            public: true,
-            static_: false,
-            code,
-        }
+        MethodDef::new(b.intern_method(class, name, "()V"), true, false, code)
     }
 
     #[test]
@@ -407,6 +481,7 @@ mod tests {
                 Instruction::Invoke {
                     kind: InvokeKind::Static,
                     method: callee,
+                    args: vec![],
                 },
                 Instruction::ReturnVoid,
             ],
@@ -445,6 +520,7 @@ mod tests {
                 Instruction::Invoke {
                     kind: InvokeKind::Virtual,
                     method: c_handle,
+                    args: vec![],
                 },
                 Instruction::ReturnVoid,
             ],
@@ -485,6 +561,7 @@ mod tests {
                 Instruction::Invoke {
                     kind: InvokeKind::Virtual,
                     method: c_handle,
+                    args: vec![],
                 },
                 Instruction::ReturnVoid,
             ],
@@ -525,6 +602,7 @@ mod tests {
         let call = |m| Instruction::Invoke {
             kind: InvokeKind::Static,
             method: m,
+            args: vec![],
         };
         let a = def(
             &mut b,
@@ -563,10 +641,14 @@ mod tests {
             "com/x/Main",
             "go",
             vec![
-                Instruction::ConstString { string: url },
+                Instruction::ConstString {
+                    dst: Reg(0),
+                    string: url,
+                },
                 Instruction::Invoke {
                     kind: InvokeKind::Virtual,
                     method: load,
+                    args: vec![Reg(0)],
                 },
                 Instruction::ReturnVoid,
             ],
@@ -574,19 +656,26 @@ mod tests {
         b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
             .unwrap();
         let dex = b.build();
-        let g = CallGraph::build(&dex);
+        let mut g = CallGraph::build(&dex);
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.sites().len(), 1);
+        assert_eq!(
+            g.sites()[0].provenance,
+            Provenance::Unknown,
+            "sites start unannotated"
+        );
+        provenance_oracle::annotate(&dex, g.sites_mut());
         let site = g.sites()[0];
         assert_eq!(dex.method_name(site.callee_ref), "loadUrl");
         assert_eq!(
-            dex.string(site.preceding_string.unwrap()),
+            dex.string(site.provenance.constant().unwrap()),
             "https://x.example"
         );
+        assert_eq!(site.provenance.origin(), UrlOrigin::Resolved);
     }
 
     #[test]
-    fn preceding_string_does_not_leak_across_calls() {
+    fn pending_string_does_not_leak_across_calls() {
         let mut b = DexBuilder::new();
         let f = b.intern_method("com/x/Ext", "f", "()V");
         let gm = b.intern_method("com/x/Ext", "g", "()V");
@@ -596,14 +685,19 @@ mod tests {
             "com/x/Main",
             "go",
             vec![
-                Instruction::ConstString { string: s },
+                Instruction::ConstString {
+                    dst: Reg(0),
+                    string: s,
+                },
                 Instruction::Invoke {
                     kind: InvokeKind::Static,
                     method: f,
+                    args: vec![Reg(0)],
                 },
                 Instruction::Invoke {
                     kind: InvokeKind::Static,
                     method: gm,
+                    args: vec![Reg(0)],
                 },
                 Instruction::ReturnVoid,
             ],
@@ -611,60 +705,76 @@ mod tests {
         b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
             .unwrap();
         let dex = b.build();
-        let g = CallGraph::build(&dex);
+        let mut g = CallGraph::build(&dex);
+        provenance_oracle::annotate(&dex, g.sites_mut());
         assert_eq!(g.sites().len(), 2);
-        assert!(g.sites()[0].preceding_string.is_some());
-        assert!(g.sites()[1].preceding_string.is_none());
+        assert_eq!(g.sites()[0].provenance, Provenance::Const(s));
+        assert_eq!(g.sites()[1].provenance, Provenance::Unknown);
     }
 
     #[test]
     fn intervening_instructions_clear_the_pending_string() {
-        // const-string, <something>, invoke — the string is no longer the
-        // argument of the invoke and must not be attached. One invoke per
-        // intervening-instruction kind, plus a control site with the
-        // const-string directly adjacent.
+        // const-string, <something>, invoke — the heuristic must give up
+        // when the intervening instruction could disturb the value, but
+        // see through semantic no-ops. One invoke per intervening kind,
+        // plus a control site with the const-string directly adjacent.
         let mut b = DexBuilder::new();
         let ty = b.intern_type("com/x/Obj");
         let f = b.intern_method("com/x/Ext", "f", "()V");
         let s = b.intern_string("stale-by-the-time-f-runs");
-        let interleaved = [
+        let clobbers = [
             Instruction::NewInstance { ty },
             Instruction::Goto { offset: 1 },
             Instruction::IfTest { offset: 1 },
-            Instruction::Nop,
+            Instruction::Move {
+                dst: Reg(1),
+                src: Reg(0),
+            },
         ];
+        let n_clobbers = clobbers.len();
         let mut code = Vec::new();
-        for ins in interleaved {
-            code.push(Instruction::ConstString { string: s });
+        for ins in clobbers {
+            code.push(Instruction::ConstString {
+                dst: Reg(0),
+                string: s,
+            });
             code.push(ins);
             code.push(Instruction::Invoke {
                 kind: InvokeKind::Static,
                 method: f,
+                args: vec![Reg(0)],
             });
         }
-        // Adjacent const-string still attaches.
-        code.push(Instruction::ConstString { string: s });
+        // Nop padding is transparent: the string still attaches.
+        code.push(Instruction::ConstString {
+            dst: Reg(0),
+            string: s,
+        });
+        code.push(Instruction::Nop);
         code.push(Instruction::Invoke {
             kind: InvokeKind::Static,
             method: f,
+            args: vec![Reg(0)],
         });
         code.push(Instruction::ReturnVoid);
         let caller = def(&mut b, "com/x/Main", "go", code);
         b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
             .unwrap();
         let dex = b.build();
-        let g = CallGraph::build(&dex);
-        assert_eq!(g.sites().len(), 5);
-        for (i, site) in g.sites().iter().take(4).enumerate() {
-            assert!(
-                site.preceding_string.is_none(),
-                "site {i}: interleaved instruction must clear the string"
+        let mut g = CallGraph::build(&dex);
+        provenance_oracle::annotate(&dex, g.sites_mut());
+        assert_eq!(g.sites().len(), n_clobbers + 1);
+        for (i, site) in g.sites().iter().take(n_clobbers).enumerate() {
+            assert_eq!(
+                site.provenance,
+                Provenance::Unknown,
+                "site {i}: intervening instruction must clear the string"
             );
         }
         assert_eq!(
-            g.sites()[4].preceding_string,
-            Some(s),
-            "adjacent const-string must still attach"
+            g.sites()[n_clobbers].provenance,
+            Provenance::Const(s),
+            "nop-separated const-string must still attach"
         );
     }
 }

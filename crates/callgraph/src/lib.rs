@@ -10,7 +10,7 @@
 //!   per defined method, edges from `invoke-*` sites, virtual dispatch
 //!   resolved through a lazily built per-class flattened vtable
 //!   (CHA-style), with every call site retained (caller, callee reference,
-//!   invoke kind, preceding string constant);
+//!   invoke kind, URL-argument [`graph::Provenance`]);
 //! * [`entrypoints`] — discovers traversal roots from the manifest:
 //!   lifecycle methods of declared components (including components whose
 //!   class *transitively* extends a declared component class) plus GUI/event
@@ -22,16 +22,19 @@
 //!   ([`wla_intern::Symbol`]) plus record-time package labels, so later
 //!   pipeline stages never touch strings;
 //! * [`oracle`] — the pre-CSR hash-based path, kept as `reach_oracle` for
-//!   equivalence tests and the ablation bench.
+//!   equivalence tests and the ablation bench;
+//! * [`provenance_oracle`] — the linear pending-string heuristic for URL
+//!   provenance, kept as the baseline the dataflow pass is pinned against.
 
 pub mod entrypoints;
 pub mod graph;
 pub mod oracle;
+pub mod provenance_oracle;
 pub mod reach;
 pub mod scc;
 
 pub use entrypoints::entry_points;
-pub use graph::{BuildStats, CallGraph, CallSite};
+pub use graph::{annotate_provenance, BuildStats, CallGraph, CallSite, Provenance, UrlOrigin};
 pub use oracle::{reachable_methods_oracle, record_web_calls_oracle, HashCallGraph};
 pub use reach::{
     record_web_calls, record_web_calls_with, CallGraphCounters, CtSite, ReachScratch,

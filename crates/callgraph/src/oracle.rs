@@ -6,7 +6,7 @@
 //! against it on randomized dexes; the `callgraph` bench uses it as the
 //! ablation baseline.
 
-use crate::graph::CallSite;
+use crate::graph::{CallSite, Provenance};
 use crate::reach::{record_sites, WebCallRecord};
 use std::collections::{HashMap, HashSet};
 use wla_apk::sdex::{Dex, Instruction, InvokeKind, MethodId, TypeId};
@@ -43,25 +43,18 @@ impl<'d> HashCallGraph<'d> {
         let mut sites: Vec<CallSite> = Vec::with_capacity(dex.instruction_count());
         for class in dex.classes() {
             for m in &class.methods {
-                let mut pending_string: Option<u32> = None;
                 for ins in &m.code {
-                    match ins {
-                        Instruction::ConstString { string } => {
-                            pending_string = Some(*string);
+                    if let Instruction::Invoke { kind, method, .. } = ins {
+                        sites.push(CallSite {
+                            caller: m.method,
+                            caller_class: class.ty,
+                            callee_ref: *method,
+                            kind: *kind,
+                            provenance: Provenance::Unknown,
+                        });
+                        if let Some(target) = resolve(dex, &by_signature, *method, *kind) {
+                            edges.entry(m.method).or_default().push(target);
                         }
-                        Instruction::Invoke { kind, method } => {
-                            sites.push(CallSite {
-                                caller: m.method,
-                                caller_class: class.ty,
-                                callee_ref: *method,
-                                kind: *kind,
-                                preceding_string: pending_string.take(),
-                            });
-                            if let Some(target) = resolve(dex, &by_signature, *method, *kind) {
-                                edges.entry(m.method).or_default().push(target);
-                            }
-                        }
-                        _ => pending_string = None,
                     }
                 }
             }
@@ -83,6 +76,11 @@ impl<'d> HashCallGraph<'d> {
     /// Every call site in program order.
     pub fn sites(&self) -> &[CallSite] {
         &self.sites
+    }
+
+    /// Mutable view of the sites, for provenance annotation.
+    pub fn sites_mut(&mut self) -> &mut [CallSite] {
+        &mut self.sites
     }
 
     /// Resolved internal callees of `m` (duplicates included).
@@ -175,28 +173,25 @@ mod tests {
     fn oracle_and_csr_agree_on_a_small_graph() {
         let mut b = DexBuilder::new();
         let callee = b.intern_method("com/x/B", "run", "()V");
-        let a = MethodDef {
-            method: b.intern_method("com/x/A", "go", "()V"),
-            public: true,
-            static_: true,
-            code: vec![
+        let a = MethodDef::new(
+            b.intern_method("com/x/A", "go", "()V"),
+            true,
+            true,
+            vec![
                 Instruction::Invoke {
                     kind: InvokeKind::Static,
                     method: callee,
+                    args: vec![],
                 },
                 Instruction::Invoke {
                     kind: InvokeKind::Static,
                     method: callee,
+                    args: vec![],
                 },
                 Instruction::ReturnVoid,
             ],
-        };
-        let b_run = MethodDef {
-            method: callee,
-            public: true,
-            static_: false,
-            code: vec![Instruction::ReturnVoid],
-        };
+        );
+        let b_run = MethodDef::new(callee, true, false, vec![Instruction::ReturnVoid]);
         b.define_class("com/x/A", None, ClassFlags::default(), vec![a])
             .unwrap();
         b.define_class("com/x/B", None, ClassFlags::default(), vec![b_run])

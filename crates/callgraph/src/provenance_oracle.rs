@@ -1,0 +1,131 @@
+//! Linear pending-string provenance oracle.
+//!
+//! This is the paper's original adjacency heuristic, extracted from the
+//! call-graph builders into a standalone resolver: a `const-string`
+//! "arms" a pending URL, the next invoke consumes it, and anything that
+//! could disturb the value in between disarms it. It is deliberately
+//! register-blind — it models the *textual* adjacency real decompiler
+//! output exhibits, not the dataflow — which makes it the baseline the
+//! constant-propagation pass must dominate.
+//!
+//! One deliberate refinement over the historical in-builder loop: `nop`
+//! is transparent. The corpus generator pads method bodies with `Nop`
+//! noise, and a padding instruction carries no semantics, so it must not
+//! clear the pending string. (The old behaviour treated *every*
+//! non-invoke instruction as clobbering, which silently dropped
+//! provenance on padded methods; see the regression test below.)
+
+use crate::graph::{annotate_provenance, CallSite, Provenance};
+use wla_apk::sdex::{Dex, Instruction};
+
+/// Resolve the provenance of each invoke in `code`, in program order.
+///
+/// Returns one [`Provenance`] per `Instruction::Invoke`, using the
+/// linear pending-string heuristic: the most recent `const-string` wins
+/// if only `Nop`s separate it from the invoke; an invoke consumes the
+/// pending string; `move`, `new-instance`, and branches clear it.
+pub fn pending_strings(code: &[Instruction]) -> Vec<Provenance> {
+    let mut out = Vec::new();
+    let mut pending: Option<u32> = None;
+    for ins in code {
+        match ins {
+            Instruction::ConstString { string, .. } => pending = Some(*string),
+            Instruction::Invoke { .. } => {
+                out.push(match pending.take() {
+                    Some(s) => Provenance::Const(s),
+                    None => Provenance::Unknown,
+                });
+            }
+            // Padding carries no semantics: the pending string survives.
+            Instruction::Nop => {}
+            // Anything else may disturb the value between the constant
+            // and the call — the heuristic gives up.
+            _ => pending = None,
+        }
+    }
+    out
+}
+
+/// Annotate every call site of a graph built over `dex` with the
+/// pending-string heuristic's verdict.
+pub fn annotate(dex: &Dex, sites: &mut [CallSite]) {
+    annotate_provenance(dex, sites, |m| pending_strings(&m.code));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_apk::sdex::{InvokeKind, MethodId, Reg};
+
+    fn call(method: u32) -> Instruction {
+        Instruction::Invoke {
+            kind: InvokeKind::Virtual,
+            method: MethodId(method),
+            args: vec![Reg(0)],
+        }
+    }
+
+    fn const_str(s: u32) -> Instruction {
+        Instruction::ConstString {
+            dst: Reg(0),
+            string: s,
+        }
+    }
+
+    #[test]
+    fn adjacent_const_resolves() {
+        let got = pending_strings(&[const_str(7), call(0), Instruction::ReturnVoid]);
+        assert_eq!(got, vec![Provenance::Const(7)]);
+    }
+
+    #[test]
+    fn nop_padding_is_transparent() {
+        // Regression: generator Nop padding between the const-string and
+        // the invoke used to clear the pending string, so padded methods
+        // lost provenance the un-padded ones kept.
+        let got = pending_strings(&[
+            const_str(3),
+            Instruction::Nop,
+            Instruction::Nop,
+            call(0),
+            Instruction::ReturnVoid,
+        ]);
+        assert_eq!(got, vec![Provenance::Const(3)]);
+    }
+
+    #[test]
+    fn invoke_consumes_the_pending_string() {
+        let got = pending_strings(&[const_str(1), call(0), call(1)]);
+        assert_eq!(got, vec![Provenance::Const(1), Provenance::Unknown]);
+    }
+
+    #[test]
+    fn later_const_shadows_earlier() {
+        let got = pending_strings(&[const_str(1), const_str(2), call(0)]);
+        assert_eq!(got, vec![Provenance::Const(2)]);
+    }
+
+    #[test]
+    fn moves_branches_and_allocations_clear_pending() {
+        for clobber in [
+            Instruction::Move {
+                dst: Reg(1),
+                src: Reg(0),
+            },
+            Instruction::NewInstance {
+                ty: wla_apk::sdex::TypeId(0),
+            },
+            Instruction::IfTest { offset: 1 },
+            Instruction::Goto { offset: 1 },
+        ] {
+            let got = pending_strings(&[const_str(5), clobber.clone(), call(0)]);
+            assert_eq!(got, vec![Provenance::Unknown], "clobber = {clobber:?}");
+        }
+    }
+
+    #[test]
+    fn no_const_means_unknown() {
+        let got = pending_strings(&[Instruction::Nop, call(0)]);
+        assert_eq!(got, vec![Provenance::Unknown]);
+    }
+}

@@ -14,7 +14,7 @@
 //! Downstream stages (summaries, aggregation) operate purely on the
 //! resulting `u32` handles.
 
-use crate::graph::{BuildStats, CallGraph, CallSite};
+use crate::graph::{BuildStats, CallGraph, CallSite, UrlOrigin};
 use std::collections::{HashMap, HashSet};
 use wla_apk::names::{
     framework, package_of_into, CT_LAUNCH_METHOD, WEBVIEW_CONTENT_METHODS, WEBVIEW_LOAD_METHODS,
@@ -43,8 +43,11 @@ pub struct WebViewSite {
     pub caller_package: Option<PkgId>,
     /// Catalog label of the caller package, resolved at record time.
     pub label: LabelId,
-    /// String constant preceding the call (URL / JS / bridge name).
+    /// Resolved string argument of the call (URL / JS / bridge name),
+    /// when provenance analysis pinned it to a single constant.
     pub argument: Option<Symbol>,
+    /// How the URL argument resolved (constant / unknown / conflicting).
+    pub origin: UrlOrigin,
     /// Whether the call is reachable from an entry point.
     pub reachable: bool,
 }
@@ -63,6 +66,11 @@ pub struct CtSite {
     pub caller_package: Option<PkgId>,
     /// Catalog label of the caller package, resolved at record time.
     pub label: LabelId,
+    /// Resolved URL argument for `launchUrl` sites, when provenance
+    /// analysis pinned it to a single constant.
+    pub argument: Option<Symbol>,
+    /// How the URL argument resolved (constant / unknown / conflicting).
+    pub origin: UrlOrigin,
     /// Whether the call is reachable from an entry point.
     pub reachable: bool,
 }
@@ -349,6 +357,11 @@ pub(crate) fn record_sites(
             None => (None, LabelId::Unlabeled),
         };
         let reachable = is_reachable(site.caller);
+        let argument = site
+            .provenance
+            .constant()
+            .map(|s| lexicon.intern(dex.string(s)));
+        let origin = site.provenance.origin();
 
         if let Some(idx) = method_idx {
             record.webview.push(WebViewSite {
@@ -359,7 +372,8 @@ pub(crate) fn record_sites(
                 receiver_class: lexicon.intern(receiver),
                 caller_package,
                 label,
-                argument: site.preceding_string.map(|s| lexicon.intern(dex.string(s))),
+                argument,
+                origin,
                 reachable,
             });
         }
@@ -371,6 +385,8 @@ pub(crate) fn record_sites(
                 caller_class,
                 caller_package,
                 label,
+                argument,
+                origin,
                 reachable,
             });
         }
@@ -394,7 +410,8 @@ impl WebCallRecord {
 mod tests {
     use super::*;
     use crate::entrypoints::entry_points;
-    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef};
+    use crate::provenance_oracle;
+    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef, Reg};
     use wla_manifest::{Component, ComponentKind, Manifest};
 
     /// Activity whose onCreate reaches loadUrl through one hop; plus a dead
@@ -426,64 +443,75 @@ mod tests {
             "com/x/Helper",
             None,
             ClassFlags::default(),
-            vec![MethodDef {
-                method: helper,
-                public: true,
-                static_: true,
-                code: vec![
-                    Instruction::ConstString { string: url },
+            vec![MethodDef::new(
+                helper,
+                true,
+                true,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: load,
+                        args: vec![Reg(0)],
                     },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: sub_load,
+                        args: vec![Reg(0)],
                     },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: launch,
+                        args: vec![Reg(0)],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         b.define_class(
             "com/x/Main",
             Some("android/app/Activity"),
             ClassFlags::default(),
-            vec![MethodDef {
-                method: on_create,
-                public: true,
-                static_: false,
-                code: vec![
+            vec![MethodDef::new(
+                on_create,
+                true,
+                false,
+                vec![
                     Instruction::Invoke {
                         kind: InvokeKind::Static,
                         method: helper,
+                        args: vec![],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         b.define_class(
             "com/x/Dead",
             None,
             ClassFlags::default(),
-            vec![MethodDef {
-                method: dead_m,
-                public: false,
-                static_: true,
-                code: vec![
-                    Instruction::ConstString { string: dead_url },
+            vec![MethodDef::new(
+                dead_m,
+                false,
+                true,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: dead_url,
+                    },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: load,
+                        args: vec![Reg(0)],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
 
@@ -500,7 +528,8 @@ mod tests {
         subclass_names: &[&str],
         lexicon: &mut LocalInterner,
     ) -> WebCallRecord {
-        let g = CallGraph::build(dex);
+        let mut g = CallGraph::build(dex);
+        provenance_oracle::annotate(dex, g.sites_mut());
         let roots = entry_points(&g, manifest);
         let subs: HashSet<Symbol> = subclass_names.iter().map(|n| lexicon.intern(n)).collect();
         let catalog = SdkIndex::new(vec![]);
@@ -597,30 +626,32 @@ mod tests {
             None,
             ClassFlags::default(),
             vec![
-                MethodDef {
-                    method: f,
-                    public: true,
-                    static_: true,
-                    code: vec![
+                MethodDef::new(
+                    f,
+                    true,
+                    true,
+                    vec![
                         Instruction::Invoke {
                             kind: InvokeKind::Static,
                             method: gm,
+                            args: vec![],
                         },
                         Instruction::ReturnVoid,
                     ],
-                },
-                MethodDef {
-                    method: gm,
-                    public: true,
-                    static_: true,
-                    code: vec![
+                ),
+                MethodDef::new(
+                    gm,
+                    true,
+                    true,
+                    vec![
                         Instruction::Invoke {
                             kind: InvokeKind::Static,
                             method: f,
+                            args: vec![],
                         },
                         Instruction::ReturnVoid,
                     ],
-                },
+                ),
             ],
         )
         .unwrap();

@@ -139,38 +139,34 @@ mod tests {
         let call = |m| Instruction::Invoke {
             kind: InvokeKind::Static,
             method: m,
+            args: vec![],
         };
         let defs = vec![
-            MethodDef {
-                method: ids[0],
-                public: true,
-                static_: true,
-                code: vec![call(ids[1]), Instruction::ReturnVoid],
-            },
-            MethodDef {
-                method: ids[1],
-                public: true,
-                static_: true,
-                code: vec![call(ids[2]), Instruction::ReturnVoid],
-            },
-            MethodDef {
-                method: ids[2],
-                public: true,
-                static_: true,
-                code: vec![call(ids[1]), Instruction::ReturnVoid],
-            },
-            MethodDef {
-                method: ids[3],
-                public: true,
-                static_: true,
-                code: vec![call(ids[3]), Instruction::ReturnVoid],
-            },
-            MethodDef {
-                method: ids[4],
-                public: true,
-                static_: true,
-                code: vec![Instruction::ReturnVoid],
-            },
+            MethodDef::new(
+                ids[0],
+                true,
+                true,
+                vec![call(ids[1]), Instruction::ReturnVoid],
+            ),
+            MethodDef::new(
+                ids[1],
+                true,
+                true,
+                vec![call(ids[2]), Instruction::ReturnVoid],
+            ),
+            MethodDef::new(
+                ids[2],
+                true,
+                true,
+                vec![call(ids[1]), Instruction::ReturnVoid],
+            ),
+            MethodDef::new(
+                ids[3],
+                true,
+                true,
+                vec![call(ids[3]), Instruction::ReturnVoid],
+            ),
+            MethodDef::new(ids[4], true, true, vec![Instruction::ReturnVoid]),
         ];
         b.define_class("com/x/T", None, ClassFlags::default(), defs)
             .unwrap();
@@ -229,24 +225,20 @@ mod tests {
             None,
             ClassFlags::default(),
             vec![
-                MethodDef {
-                    method: f,
-                    public: true,
-                    static_: true,
-                    code: vec![
+                MethodDef::new(
+                    f,
+                    true,
+                    true,
+                    vec![
                         Instruction::Invoke {
                             kind: InvokeKind::Static,
                             method: g,
+                            args: vec![],
                         },
                         Instruction::ReturnVoid,
                     ],
-                },
-                MethodDef {
-                    method: g,
-                    public: true,
-                    static_: true,
-                    code: vec![Instruction::ReturnVoid],
-                },
+                ),
+                MethodDef::new(g, true, true, vec![Instruction::ReturnVoid]),
             ],
         )
         .unwrap();

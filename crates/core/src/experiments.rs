@@ -12,6 +12,7 @@ use wla_crawler::loadtime::{figure7_series, LoadContext, LoadMode};
 use wla_crawler::EndpointKind;
 use wla_report::{
     bar_chart, heatmap, percent, thousands, Comparison, PipelineStatsReport, Series, Table,
+    UrlOriginReport,
 };
 use wla_sdk_index::SdkCategory;
 
@@ -74,6 +75,14 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         } else {
             0.0
         },
+        dataflow_methods: s.dataflow.methods,
+        dataflow_linear_rate: if s.dataflow.methods > 0 {
+            s.dataflow.linear_methods as f64 / s.dataflow.methods as f64
+        } else {
+            0.0
+        },
+        dataflow_sites: s.dataflow.sites(),
+        dataflow_resolved_rate: s.dataflow.resolved_rate(),
     }
 }
 
@@ -417,7 +426,21 @@ pub fn table7(study: &Study, run: &StaticRun) -> Experiment {
         id: "table7",
         table: t,
         comparison: c,
-        figures: vec![],
+        figures: vec![url_origin_report(run).table().render()],
+    }
+}
+
+/// Flatten a static run's URL-origin census for the renderer. The site
+/// counts are raw (not rescaled): they describe what the constant
+/// propagation measured on the corpus actually analyzed.
+pub fn url_origin_report(run: &StaticRun) -> UrlOriginReport {
+    let c = &run.results.url_origin_census;
+    UrlOriginReport {
+        resolved_sites: c.resolved_sites as u64,
+        unknown_sites: c.unknown_sites as u64,
+        conflict_sites: c.conflict_sites as u64,
+        apps_fully_resolved: c.apps_fully_resolved as u64,
+        apps_with_unresolved: c.apps_with_unresolved as u64,
     }
 }
 
@@ -872,6 +895,14 @@ mod tests {
         assert!(rendered.contains("Pipeline run summary"));
         assert!(rendered.contains("decode"));
         assert!(rendered.contains("Call-graph edges (CSR)"));
+        // Dataflow observability flows through: the pass ran over every
+        // invoke (generic calls stay unresolved, so the rate is a proper
+        // fraction — the URL-only 100% lives in the census), and renders.
+        assert!(report.dataflow_methods > 0);
+        assert!((0.0..=1.0).contains(&report.dataflow_linear_rate));
+        assert!(report.dataflow_sites > 0);
+        assert!(report.dataflow_resolved_rate > 0.0 && report.dataflow_resolved_rate < 1.0);
+        assert!(rendered.contains("Invokes resolved to consts"));
     }
 
     #[test]
@@ -888,6 +919,14 @@ mod tests {
         // header row count: 1 webview + 7 methods + ct + both.
         assert_eq!(exp.table.rows.len(), 10);
         assert!(!exp.comparison.rows.is_empty());
+        // The URL-origin census rides along as a figure block, and the
+        // generated corpus resolves fully.
+        assert_eq!(exp.figures.len(), 1);
+        assert!(exp.figures[0].contains("URL-origin census"));
+        let census = url_origin_report(&run);
+        assert!(census.resolved_sites > 0);
+        assert_eq!(census.unknown_sites + census.conflict_sites, 0);
+        assert_eq!(census.apps_with_unresolved, 0);
     }
 
     #[test]

@@ -107,11 +107,14 @@ impl<'a> Generator<'a> {
             let clean = apk.encode().to_vec();
             let corrupted = rng.gen::<f64>() < self.config.corrupt_fraction;
             let bytes = if corrupted {
-                let kind = match rng.gen_range(0..3u8) {
+                let kind = match rng.gen_range(0..4u8) {
                     0 => CorruptionKind::Truncate {
                         keep_num: rng.gen_range(8..200),
                     },
                     1 => CorruptionKind::BitFlip { pos_num: rng.gen() },
+                    2 => CorruptionKind::ClobberRegister {
+                        site_num: rng.gen(),
+                    },
                     _ => CorruptionKind::ClobberMagic,
                 };
                 corrupt(&clean, kind)
@@ -174,7 +177,14 @@ mod tests {
         let corrupted = apps.iter().filter(|a| a.corrupted).count();
         assert!(corrupted > 40 && corrupted < 110, "corrupted {corrupted}");
         for a in &apps {
-            let ok = Sapk::decode(&a.bytes).is_ok();
+            // Register clobbering is transparent to the container and only
+            // fails at the dex layer, so "broken" means any layer fails.
+            let ok = Sapk::decode(&a.bytes).is_ok_and(|apk| {
+                apk.sections()
+                    .iter()
+                    .filter(|s| s.tag == wla_apk::SectionTag::Dex)
+                    .all(|s| wla_apk::Dex::decode(&s.data).is_ok())
+            });
             assert_eq!(ok, !a.corrupted, "decode ok={ok} corrupted={}", a.corrupted);
         }
     }

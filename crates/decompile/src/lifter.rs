@@ -6,7 +6,7 @@
 //! markers, `@Override`), so the parser in this crate cannot cheat by
 //! assuming sterile input.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use wla_apk::names::{simple_name, to_source_name};
 use wla_apk::sdex::{ClassDef, Dex, Instruction, InvokeKind};
 
@@ -124,20 +124,30 @@ pub fn lift_class(dex: &Dex, class: &ClassDef) -> String {
         let stat = if m.static_ { "static " } else { "" };
         out.push_str("    @Override // lifecycle\n");
         out.push_str(&format!("    {vis}{stat}void {name}() {{\n"));
-        let mut pending_literal: Option<String> = None;
+        // Literals tracked per register, the way decompilers inline
+        // values: a const-string defines, a move copies, and an invoke
+        // reads its first argument register.
+        let mut reg_literals: BTreeMap<u16, String> = BTreeMap::new();
         for ins in &m.code {
             match ins {
-                Instruction::ConstString { string } => {
-                    pending_literal = Some(dex.string(*string).to_owned());
+                Instruction::ConstString { dst, string } => {
+                    reg_literals.insert(dst.0, dex.string(*string).to_owned());
                 }
-                Instruction::Invoke { kind, method } => {
+                Instruction::Move { dst, src } => {
+                    match reg_literals.get(&src.0).cloned() {
+                        Some(v) => reg_literals.insert(dst.0, v),
+                        None => reg_literals.remove(&dst.0),
+                    };
+                }
+                Instruction::Invoke { kind, method, args } => {
                     let ref_ = dex.method_ref(*method);
                     let callee_class = dex.type_name(ref_.class);
                     let callee = dex.string(ref_.name);
                     let recv = simple_name(callee_class).replace('$', ".");
-                    let arg = pending_literal
-                        .take()
-                        .map(|s| format!("\"{}\"", escape_java(&s)))
+                    let arg = args
+                        .first()
+                        .and_then(|r| reg_literals.get(&r.0))
+                        .map(|s| format!("\"{}\"", escape_java(s)))
                         .unwrap_or_default();
                     match kind {
                         InvokeKind::Static => {
@@ -195,7 +205,7 @@ fn lower_first(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef};
+    use wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef, Reg};
 
     fn webview_app_dex() -> Dex {
         let mut b = DexBuilder::new();
@@ -209,19 +219,27 @@ mod tests {
                 public: true,
                 ..Default::default()
             },
-            vec![MethodDef {
-                method: on_create,
-                public: true,
-                static_: false,
-                code: vec![
-                    Instruction::ConstString { string: url },
+            vec![MethodDef::new(
+                on_create,
+                true,
+                false,
+                vec![
+                    Instruction::ConstString {
+                        dst: Reg(0),
+                        string: url,
+                    },
+                    Instruction::Move {
+                        dst: Reg(1),
+                        src: Reg(0),
+                    },
                     Instruction::Invoke {
                         kind: InvokeKind::Virtual,
                         method: load,
+                        args: vec![Reg(1)],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         b.define_class(
@@ -279,18 +297,19 @@ mod tests {
             "com/x/Main",
             Some("java/lang/Object"),
             ClassFlags::default(),
-            vec![MethodDef {
-                method: m,
-                public: true,
-                static_: false,
-                code: vec![
+            vec![MethodDef::new(
+                m,
+                true,
+                false,
+                vec![
                     Instruction::Invoke {
                         kind: InvokeKind::Static,
                         method: helper,
+                        args: vec![],
                     },
                     Instruction::ReturnVoid,
                 ],
-            }],
+            )],
         )
         .unwrap();
         let dex = b.build();

@@ -8,11 +8,13 @@
 pub mod compare;
 pub mod figure;
 pub mod json;
+pub mod provenance;
 pub mod stats;
 pub mod table;
 
 pub use compare::{Comparison, ComparisonRow, Verdict};
 pub use figure::{bar_chart, heatmap, Series};
+pub use provenance::UrlOriginReport;
 pub use stats::PipelineStatsReport;
 pub use table::Table;
 

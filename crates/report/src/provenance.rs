@@ -1,0 +1,105 @@
+//! URL-origin census rendering (§3.1.4 provenance).
+//!
+//! Like [`PipelineStatsReport`](crate::stats::PipelineStatsReport), the
+//! census arrives as plain data so this crate stays dependency-free; the
+//! `wla-core` experiment builders flatten `wla-static`'s
+//! `UrlOriginCensus` into it.
+
+use crate::table::Table;
+use crate::{percent, thousands};
+
+/// Flattened resolved-vs-unknown URL-origin census, ready to render.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UrlOriginReport {
+    /// URL-bearing sites whose argument resolved to one constant.
+    pub resolved_sites: u64,
+    /// Sites whose argument never resolved.
+    pub unknown_sites: u64,
+    /// Sites where distinct constants merge at a join.
+    pub conflict_sites: u64,
+    /// Apps whose URL-bearing sites all resolved.
+    pub apps_fully_resolved: u64,
+    /// Apps with at least one unresolved site.
+    pub apps_with_unresolved: u64,
+}
+
+impl UrlOriginReport {
+    /// Total URL-bearing sites classified.
+    pub fn total_sites(&self) -> u64 {
+        self.resolved_sites + self.unknown_sites + self.conflict_sites
+    }
+
+    /// Render the census table.
+    pub fn table(&self) -> Table {
+        let total = self.total_sites();
+        let share = |n: u64| {
+            if total == 0 {
+                percent(0.0)
+            } else {
+                percent(n as f64 / total as f64)
+            }
+        };
+        let mut t = Table::new(
+            "URL-origin census (constant propagation at URL-bearing sites)",
+            &["Origin", "Sites", "Share"],
+        );
+        t.row_owned(vec![
+            "Resolved constant".into(),
+            thousands(self.resolved_sites),
+            share(self.resolved_sites),
+        ]);
+        t.row_owned(vec![
+            "Unknown".into(),
+            thousands(self.unknown_sites),
+            share(self.unknown_sites),
+        ]);
+        t.row_owned(vec![
+            "Conflicting paths".into(),
+            thousands(self.conflict_sites),
+            share(self.conflict_sites),
+        ]);
+        t.row_owned(vec![
+            "Apps fully resolved".into(),
+            thousands(self.apps_fully_resolved),
+            String::new(),
+        ]);
+        t.row_owned(vec![
+            "Apps with unresolved sites".into(),
+            thousands(self.apps_with_unresolved),
+            String::new(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_table_renders_counts_and_shares() {
+        let r = UrlOriginReport {
+            resolved_sites: 1_900,
+            unknown_sites: 80,
+            conflict_sites: 20,
+            apps_fully_resolved: 1_200,
+            apps_with_unresolved: 68,
+        };
+        assert_eq!(r.total_sites(), 2_000);
+        let out = r.table().render();
+        assert!(out.contains("URL-origin census"));
+        assert!(out.contains("1,900"));
+        assert!(out.contains("95.0%"));
+        assert!(out.contains("4.0%")); // unknown share
+        assert!(out.contains("1.0%")); // conflict share
+        assert!(out.contains("1,200"));
+        assert!(out.contains("68"));
+    }
+
+    #[test]
+    fn empty_census_renders_zero_shares() {
+        let out = UrlOriginReport::default().table().render();
+        assert!(out.contains("0.0%"));
+        assert!(!out.contains("NaN"));
+    }
+}

@@ -59,6 +59,18 @@ pub struct PipelineStatsReport {
     /// Traversal speed: CSR edges scanned per second of callgraph-stage
     /// time (0 when stage timing was disabled).
     pub edges_per_second: f64,
+    /// Methods run through the constant-propagation pass (0 when the
+    /// pass was ablated).
+    pub dataflow_methods: u64,
+    /// Fraction of those methods that took the branch-free linear fast
+    /// path in `0.0..=1.0`.
+    pub dataflow_linear_rate: f64,
+    /// Invoke sites the pass classified (every invoke, not only the
+    /// URL-bearing ones the census filters to).
+    pub dataflow_sites: u64,
+    /// Fraction of classified sites resolved to a single constant in
+    /// `0.0..=1.0`.
+    pub dataflow_resolved_rate: f64,
 }
 
 impl PipelineStatsReport {
@@ -128,6 +140,24 @@ impl PipelineStatsReport {
                     format!("{:.1} Medges/s", self.edges_per_second / 1e6),
                 ]);
             }
+        }
+        if self.dataflow_methods > 0 {
+            t.row_owned(vec![
+                "Dataflow methods (linear)".into(),
+                format!(
+                    "{} ({})",
+                    thousands(self.dataflow_methods),
+                    percent(self.dataflow_linear_rate)
+                ),
+            ]);
+            t.row_owned(vec![
+                "Invokes resolved to consts".into(),
+                format!(
+                    "{} of {}",
+                    percent(self.dataflow_resolved_rate),
+                    thousands(self.dataflow_sites)
+                ),
+            ]);
         }
         t
     }
@@ -217,6 +247,10 @@ mod tests {
             vtable_hit_rate: 0.75,
             bitset_reuses: 1_460,
             edges_per_second: 2_500_000.0,
+            dataflow_methods: 9_876,
+            dataflow_linear_rate: 0.94,
+            dataflow_sites: 3_210,
+            dataflow_resolved_rate: 1.0,
         }
     }
 
@@ -241,6 +275,8 @@ mod tests {
         assert!(r.contains("75.0%")); // vtable hit rate
         assert!(r.contains("1,460")); // bitset reuses
         assert!(r.contains("2.5 Medges/s"));
+        assert!(r.contains("9,876 (94.0%)")); // dataflow methods, linear share
+        assert!(r.contains("100.0% of 3,210")); // URL-site resolution
     }
 
     #[test]
@@ -250,6 +286,7 @@ mod tests {
         assert!(!r.contains("Call-graph edges"));
         assert!(!r.contains("serial tail"));
         assert!(!r.contains("pre-size"));
+        assert!(!r.contains("Dataflow methods"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::analyze::AppAnalysis;
 use crate::pipeline::PipelineOutput;
 use std::collections::{BTreeMap, HashSet};
+use wla_callgraph::UrlOrigin;
 use wla_corpus::playstore::PlayCategory;
 use wla_corpus::METHODS;
 use wla_intern::U32BuildHasher;
@@ -80,6 +81,35 @@ pub struct CategoryBreakdown {
     pub by_sdk_category: Vec<(SdkCategory, usize)>,
 }
 
+/// §3.1.4 URL-origin census: of the third-party URL-bearing call sites
+/// (WebView *load* methods and CT `launchUrl`), how many did constant
+/// propagation resolve to a single URL constant, and how many apps are
+/// fully accounted for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UrlOriginCensus {
+    /// Sites whose URL argument resolved to one string constant.
+    pub resolved_sites: usize,
+    /// Sites whose URL argument never resolved to a constant.
+    pub unknown_sites: usize,
+    /// Sites where distinct constants merge on different paths.
+    pub conflict_sites: usize,
+    /// Apps with ≥ 1 URL-bearing site, all of them resolved.
+    pub apps_fully_resolved: usize,
+    /// Apps with ≥ 1 unresolved (unknown or conflicting) site.
+    pub apps_with_unresolved: usize,
+}
+
+impl UrlOriginCensus {
+    /// Fraction of URL-bearing sites resolved to a constant.
+    pub fn resolved_rate(&self) -> f64 {
+        let total = self.resolved_sites + self.unknown_sites + self.conflict_sites;
+        if total == 0 {
+            return 0.0;
+        }
+        self.resolved_sites as f64 / total as f64
+    }
+}
+
 /// Everything the static study measures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StudyResults {
@@ -126,6 +156,9 @@ pub struct StudyResults {
     /// counted — what a whole-graph scan without entry-point traversal
     /// would report.
     pub webview_apps_without_reachability: usize,
+    /// §3.1.4 resolved-vs-unknown URL-origin census over third-party
+    /// URL-bearing sites.
+    pub url_origin_census: UrlOriginCensus,
 }
 
 /// Aggregate pipeline output. `top_sdk_threshold` is the minimum number of
@@ -176,6 +209,7 @@ pub fn aggregate(
 
     let mut wv_no_deeplink_excl = 0usize;
     let mut wv_no_reach = 0usize;
+    let mut census = UrlOriginCensus::default();
     for a in &analyses {
         custom_webview_classes += a.custom_webview_classes.len();
         unreachable += a.unreachable_webview_sites;
@@ -208,10 +242,30 @@ pub fn aggregate(
         let mut methods_sdk = [false; 7];
         // Per SDK category, methods called from that category's packages.
         let mut methods_by_cat = [[false; 7]; NCAT];
+        // URL-origin census over this app's URL-bearing sites.
+        let mut app_url_sites = 0usize;
+        let mut app_unresolved = 0usize;
+        let mut tally_origin = |census: &mut UrlOriginCensus, origin: UrlOrigin| {
+            app_url_sites += 1;
+            match origin {
+                UrlOrigin::Resolved => census.resolved_sites += 1,
+                UrlOrigin::Unknown => {
+                    census.unknown_sites += 1;
+                    app_unresolved += 1;
+                }
+                UrlOrigin::Conflict => {
+                    census.conflict_sites += 1;
+                    app_unresolved += 1;
+                }
+            }
+        };
 
         for site in a.third_party_webview() {
             let mi = site.method_idx as usize;
             methods[mi] = true;
+            if site.is_load_method {
+                tally_origin(&mut census, site.origin);
+            }
             match site.label {
                 LabelId::Sdk(idx) => {
                     methods_sdk[mi] = true;
@@ -230,8 +284,16 @@ pub fn aggregate(
             if !site.is_launch {
                 continue;
             }
+            tally_origin(&mut census, site.origin);
             if let LabelId::Sdk(idx) = site.label {
                 app_ct_sdks.insert(idx);
+            }
+        }
+        if app_url_sites > 0 {
+            if app_unresolved == 0 {
+                census.apps_fully_resolved += 1;
+            } else {
+                census.apps_with_unresolved += 1;
             }
         }
 
@@ -434,6 +496,7 @@ pub fn aggregate(
         unreachable_sites_discarded: unreachable,
         webview_apps_without_deeplink_exclusion: wv_no_deeplink_excl,
         webview_apps_without_reachability: wv_no_reach,
+        url_origin_census: census,
     }
 }
 
@@ -536,6 +599,21 @@ mod tests {
         assert!(results.category_webview.len() <= 10);
         assert!(results.category_ct.len() <= 10);
         assert!(!results.category_webview.is_empty());
+    }
+
+    #[test]
+    fn url_census_fully_resolves_generated_corpus() {
+        // The lowering register-shuffles every URL call, but the argument
+        // register always carries exactly one constant on every path, so
+        // the dataflow pass must resolve 100% of URL-bearing sites.
+        let (results, _) = study(200, 13);
+        let c = results.url_origin_census;
+        assert!(c.resolved_sites > 0);
+        assert_eq!(c.unknown_sites, 0);
+        assert_eq!(c.conflict_sites, 0);
+        assert!(c.apps_fully_resolved > 0);
+        assert_eq!(c.apps_with_unresolved, 0);
+        assert_eq!(c.resolved_rate(), 1.0);
     }
 
     #[test]

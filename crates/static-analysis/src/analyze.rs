@@ -7,12 +7,14 @@
 //! time. The only strings an [`AppAnalysis`] owns are the manifest package
 //! and the Play metadata.
 
+use crate::dataflow::{self, DataflowCounters};
 use std::collections::HashSet;
 use std::time::Instant;
 use wla_apk::names::WEBVIEW_CONTENT_METHODS;
 use wla_apk::{ApkError, Dex, Sapk};
 use wla_callgraph::{
-    entry_points, record_web_calls_with, CallGraph, CallGraphCounters, ReachScratch, WebCallRecord,
+    entry_points, provenance_oracle, record_web_calls_with, CallGraph, CallGraphCounters,
+    ReachScratch, UrlOrigin, WebCallRecord,
 };
 use wla_corpus::playstore::AppMeta;
 use wla_decompile::webview_subclasses_dex_interned;
@@ -76,6 +78,15 @@ pub struct AnalysisCtx<'c> {
     /// accumulated across this worker's apps; traversal counters stay on
     /// `reach` until [`AnalysisCtx::callgraph_counters`] folds them in.
     pub graph_counters: CallGraphCounters,
+    /// Resolve URL-argument provenance with the register dataflow pass
+    /// (default). When `false`, the legacy single-pending-string oracle
+    /// ([`wla_callgraph::provenance_oracle`]) annotates sites instead —
+    /// the ablation the `url_provenance` bench measures.
+    pub use_dataflow: bool,
+    /// Constant-propagation counters (blocks, fixpoint iterations,
+    /// resolved/unknown/conflict sites) accumulated across this worker's
+    /// apps.
+    pub dataflow: DataflowCounters,
 }
 
 impl<'c> AnalysisCtx<'c> {
@@ -87,6 +98,8 @@ impl<'c> AnalysisCtx<'c> {
             labels: LabelCache::new(),
             reach: ReachScratch::new(),
             graph_counters: CallGraphCounters::default(),
+            use_dataflow: true,
+            dataflow: DataflowCounters::default(),
         }
     }
 
@@ -122,6 +135,11 @@ pub struct WebViewSiteSummary {
     /// Whether this is one of the three *content-populating* load methods
     /// whose caller package the paper labels (§3.1.4).
     pub is_load_method: bool,
+    /// URL argument of the call, when constant propagation resolved it to
+    /// a single string constant.
+    pub argument: Option<Symbol>,
+    /// How the URL argument resolved (constant / unknown / conflicting).
+    pub origin: UrlOrigin,
 }
 
 /// One reachable Custom-Tabs interaction.
@@ -139,6 +157,10 @@ pub struct CtSiteSummary {
     pub label: LabelId,
     /// Deep-link exclusion flag (parallel to WebView sites).
     pub in_deep_link_activity: bool,
+    /// URL argument for `launchUrl` sites, when provenance resolved it.
+    pub argument: Option<Symbol>,
+    /// How the URL argument resolved (constant / unknown / conflicting).
+    pub origin: UrlOrigin,
 }
 
 /// The full static-analysis result for one app.
@@ -211,12 +233,18 @@ impl AppAnalysis {
             if let Some(p) = &mut s.caller_package {
                 *p = PkgId(f(p.symbol()));
             }
+            if let Some(a) = &mut s.argument {
+                *a = f(*a);
+            }
         }
         for s in &mut self.ct_sites {
             s.method = f(s.method);
             s.caller_class = f(s.caller_class);
             if let Some(p) = &mut s.caller_package {
                 *p = PkgId(f(p.symbol()));
+            }
+            if let Some(a) = &mut s.argument {
+                *a = f(*a);
             }
         }
         for c in &mut self.custom_webview_classes {
@@ -288,9 +316,17 @@ pub fn analyze_app_timed_with(
     let records: Vec<WebCallRecord> = dexes
         .iter()
         .map(|dex| {
-            let graph = CallGraph::build(dex);
+            let mut graph = CallGraph::build(dex);
             ctx.graph_counters
                 .absorb_build(&graph.build_stats(), graph.edge_count());
+            // URL-argument provenance rides on the site stream before
+            // recording: the dataflow pass by default, the legacy
+            // pending-string oracle under ablation.
+            if ctx.use_dataflow {
+                dataflow::annotate(dex, graph.sites_mut(), &mut ctx.dataflow);
+            } else {
+                provenance_oracle::annotate(dex, graph.sites_mut());
+            }
             let roots = entry_points(&graph, &manifest);
             record_web_calls_with(
                 &graph,
@@ -329,6 +365,8 @@ pub fn analyze_app_timed_with(
                 label: s.label,
                 in_deep_link_activity: deep_link_classes.contains(&s.caller_class),
                 is_load_method: s.is_load_method,
+                argument: s.argument,
+                origin: s.origin,
             }
         }));
         ct_sites.extend(
@@ -343,6 +381,8 @@ pub fn analyze_app_timed_with(
                     caller_package: s.caller_package,
                     label: s.label,
                     in_deep_link_activity: deep_link_classes.contains(&s.caller_class),
+                    argument: s.argument,
+                    origin: s.origin,
                 }),
         );
     }
@@ -441,6 +481,58 @@ mod tests {
             let measured = analysis.methods_used();
             assert_eq!(measured, truth, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn url_arguments_resolve_despite_register_shuffling() {
+        // The lowering interleaves decoy constants, moves, nops, and
+        // branch diamonds around every URL call; the dataflow pass must
+        // still pin each one to its single constant.
+        let mut sites_seen = 0usize;
+        for seed in 0..20 {
+            let (catalog, spec) = sample_spec(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = lower(&spec, &catalog, &mut rng).encode();
+            let mut ctx = AnalysisCtx::new(&catalog);
+            let analysis = analyze_app_timed_with(meta(), &bytes, &mut ctx).0.unwrap();
+            for s in analysis.webview_sites.iter().filter(|s| s.is_load_method) {
+                assert_eq!(s.origin, UrlOrigin::Resolved, "seed {seed}");
+                let arg = ctx.lexicon.resolve(s.argument.expect("resolved argument"));
+                assert!(!arg.is_empty(), "seed {seed}");
+                sites_seen += 1;
+            }
+            for s in analysis.ct_sites.iter().filter(|s| s.is_launch) {
+                assert_eq!(s.origin, UrlOrigin::Resolved, "seed {seed}");
+                assert!(s.argument.is_some());
+                sites_seen += 1;
+            }
+            assert!(ctx.dataflow.methods > 0);
+            assert!(ctx.dataflow.iterations >= ctx.dataflow.blocks);
+        }
+        assert!(sites_seen > 0, "corpus sample must contain URL sites");
+    }
+
+    #[test]
+    fn ablated_pending_string_oracle_resolves_nothing_shuffled() {
+        // Under ablation (the legacy single-pending-string heuristic) the
+        // register shuffle defeats every site: the move chain between the
+        // const-string and the invoke always clears the pending string.
+        let mut sites_seen = 0usize;
+        for seed in 0..20 {
+            let (catalog, spec) = sample_spec(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bytes = lower(&spec, &catalog, &mut rng).encode();
+            let mut ctx = AnalysisCtx::new(&catalog);
+            ctx.use_dataflow = false;
+            let analysis = analyze_app_timed_with(meta(), &bytes, &mut ctx).0.unwrap();
+            for s in analysis.webview_sites.iter().filter(|s| s.is_load_method) {
+                assert_eq!(s.origin, UrlOrigin::Unknown, "seed {seed}");
+                assert!(s.argument.is_none());
+                sites_seen += 1;
+            }
+            assert_eq!(ctx.dataflow.methods, 0, "ablation must skip the pass");
+        }
+        assert!(sites_seen > 0);
     }
 
     #[test]

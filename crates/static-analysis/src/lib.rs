@@ -12,25 +12,30 @@
 //!    deep-link (first-party) activities;
 //! 5. §3.1.4 — extract the Java package at `loadUrl` / `loadData` /
 //!    `loadDataWithBaseURL` / `launchUrl` call sites and label it against
-//!    the SDK index;
-//! 6. aggregate into the paper's tables and figures.
+//!    the SDK index; resolve each site's URL argument register to a
+//!    constant (or not) by intra-procedural constant propagation
+//!    ([`dataflow`]);
+//! 6. aggregate into the paper's tables and figures, including the
+//!    resolved-vs-unknown URL-origin census.
 //!
 //! [`FilterSpec`]: wla_corpus::FilterSpec
 
 pub mod aggregate;
 pub mod analyze;
+pub mod dataflow;
 pub mod oracle;
 pub mod pipeline;
 pub mod privacy;
 
 pub use aggregate::{
     aggregate, CategoryBreakdown, HeatmapRow, MethodCensusRow, SdkTypeCount, SdkUsageRow,
-    StudyResults,
+    StudyResults, UrlOriginCensus,
 };
 pub use analyze::{
     analyze_app, analyze_app_timed, analyze_app_timed_with, AnalysisCtx, AppAnalysis,
     CtSiteSummary, StageTimings, WebViewSiteSummary,
 };
+pub use dataflow::{method_provenance, DataflowCounters};
 pub use oracle::aggregate_string_oracle;
 pub use pipeline::{
     run_pipeline, run_pipeline_with, CorpusInput, InternerCounters, PipelineConfig, PipelineOutput,

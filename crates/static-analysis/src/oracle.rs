@@ -16,10 +16,12 @@
 
 use crate::aggregate::{
     CategoryBreakdown, HeatmapRow, MethodCensusRow, SdkTypeCount, SdkUsageRow, StudyResults,
+    UrlOriginCensus,
 };
 use crate::analyze::AppAnalysis;
 use crate::pipeline::PipelineOutput;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use wla_callgraph::UrlOrigin;
 use wla_corpus::playstore::PlayCategory;
 use wla_corpus::METHODS;
 use wla_sdk_index::{Label, SdkCategory, SdkIndex};
@@ -65,6 +67,9 @@ pub fn aggregate_string_oracle(
 
     let mut wv_no_deeplink_excl = 0usize;
     let mut wv_no_reach = 0usize;
+    // The old way: collect each app's URL-bearing origins into a Vec and
+    // tally afterwards — no streaming counters.
+    let mut census = UrlOriginCensus::default();
     for a in &analyses {
         custom_webview_classes += a.custom_webview_classes.len();
         unreachable += a.unreachable_webview_sites;
@@ -131,6 +136,36 @@ pub fn aggregate_string_oracle(
             if let Label::Sdk(sdk) = label {
                 let idx = sdk_position[&(sdk as *const _)];
                 app_ct_sdks.insert(idx);
+            }
+        }
+
+        // URL-origin census, the materialize-then-count way: gather this
+        // app's URL-bearing origins (string-matching `launchUrl` like the
+        // loop above) and tally them in separate passes.
+        let origins: Vec<UrlOrigin> = a
+            .third_party_webview()
+            .filter(|s| s.is_load_method)
+            .map(|s| s.origin)
+            .chain(
+                a.third_party_ct()
+                    .filter(|s| symbols.resolve(s.method) == wla_apk::names::CT_LAUNCH_METHOD)
+                    .map(|s| s.origin),
+            )
+            .collect();
+        census.resolved_sites += origins
+            .iter()
+            .filter(|o| **o == UrlOrigin::Resolved)
+            .count();
+        census.unknown_sites += origins.iter().filter(|o| **o == UrlOrigin::Unknown).count();
+        census.conflict_sites += origins
+            .iter()
+            .filter(|o| **o == UrlOrigin::Conflict)
+            .count();
+        if !origins.is_empty() {
+            if origins.iter().all(|o| *o == UrlOrigin::Resolved) {
+                census.apps_fully_resolved += 1;
+            } else {
+                census.apps_with_unresolved += 1;
             }
         }
 
@@ -317,6 +352,7 @@ pub fn aggregate_string_oracle(
         unreachable_sites_discarded: unreachable,
         webview_apps_without_deeplink_exclusion: wv_no_deeplink_excl,
         webview_apps_without_reachability: wv_no_reach,
+        url_origin_census: census,
     }
 }
 

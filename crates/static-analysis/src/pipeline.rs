@@ -35,6 +35,7 @@
 //! bit-identical.
 
 use crate::analyze::{analyze_app_timed_with, AnalysisCtx, AppAnalysis, StageTimings};
+use crate::dataflow::DataflowCounters;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -66,6 +67,10 @@ pub struct PipelineConfig {
     /// Collect per-stage timers into [`PipelineStats::stage`]. Costs four
     /// monotonic-clock reads per app; disable for pure-throughput runs.
     pub stage_timings: bool,
+    /// Resolve URL provenance with the constant-propagation pass
+    /// (default). `false` ablates to the linear pending-string heuristic
+    /// — the bench knob behind EXPERIMENTS.md's provenance table.
+    pub use_dataflow: bool,
 }
 
 impl Default for PipelineConfig {
@@ -74,6 +79,7 @@ impl Default for PipelineConfig {
             workers: 0,
             batch: 0,
             stage_timings: true,
+            use_dataflow: true,
         }
     }
 }
@@ -198,6 +204,9 @@ pub struct PipelineStats {
     /// Call-graph counters for the run (CSR edges, vtable cache, bitset
     /// scratch reuse), merged across workers.
     pub callgraph: CallGraphCounters,
+    /// Constant-propagation counters (basic blocks, fixpoint iterations,
+    /// resolved/unknown/conflict invokes), merged across workers.
+    pub dataflow: DataflowCounters,
 }
 
 impl PipelineStats {
@@ -289,6 +298,8 @@ struct WorkerYield {
     label_misses: u64,
     /// Call-graph build + traversal counters for this worker's shard.
     callgraph: CallGraphCounters,
+    /// Constant-propagation counters for this worker's shard.
+    dataflow: DataflowCounters,
 }
 
 /// Analyze every corpus entry, in parallel, labeling against `catalog`.
@@ -332,6 +343,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut ctx = AnalysisCtx::new(catalog);
+                    ctx.use_dataflow = config.use_dataflow;
                     let mut y = WorkerYield {
                         results: Vec::new(),
                         stats: WorkerStats::default(),
@@ -342,6 +354,7 @@ where
                         label_hits: 0,
                         label_misses: 0,
                         callgraph: CallGraphCounters::default(),
+                        dataflow: DataflowCounters::default(),
                     };
                     loop {
                         let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -377,6 +390,7 @@ where
                         y.stats.busy_ns += claimed.elapsed().as_nanos() as u64;
                     }
                     y.callgraph = ctx.callgraph_counters();
+                    y.dataflow = ctx.dataflow;
                     y.lexicon = ctx.lexicon;
                     y.label_hits = ctx.labels.hits;
                     y.label_misses = ctx.labels.misses;
@@ -425,6 +439,7 @@ where
         stats.interner.label_hits += y.label_hits;
         stats.interner.label_misses += y.label_misses;
         stats.callgraph.merge(&y.callgraph);
+        stats.dataflow.merge(&y.dataflow);
         lexicons.push(y.lexicon);
     }
     merged.sort_unstable_by_key(|&(i, _, _)| i);
@@ -546,6 +561,10 @@ mod tests {
                 other => panic!("mismatch {other:?}"),
             }
         }
+        // Dataflow counters are per-app sums, so worker count and
+        // scheduling cannot change them (metamorphic provenance pin).
+        assert_eq!(par.stats.dataflow, ser.stats.dataflow);
+        assert!(par.stats.dataflow.resolved_sites > 0);
         // And the global tables agree symbol-for-symbol.
         assert_eq!(par.interner.len(), ser.interner.len());
         let (ps, ss) = (par.symbols(), ser.symbols());
@@ -734,7 +753,11 @@ mod tests {
             let out = run_pipeline(
                 &ins,
                 &catalog,
-                PipelineConfig { workers, batch, stage_timings: true },
+                PipelineConfig {
+                    workers,
+                    batch,
+                    ..PipelineConfig::default()
+                },
             );
             let s = &out.stats;
             prop_assert_eq!(s.total, out.results.len());
@@ -773,6 +796,13 @@ mod tests {
                 prop_assert!(s.callgraph.edges > 0);
                 prop_assert!(s.callgraph.edges_traversed > 0);
                 prop_assert!(s.callgraph.vtable_hit_rate() <= 1.0);
+                // Constant propagation ran over every analyzed dex: every
+                // method was classified, branchy ones built blocks, and
+                // each block was visited at least once.
+                prop_assert!(s.dataflow.methods > 0);
+                prop_assert!(s.dataflow.linear_methods <= s.dataflow.methods);
+                prop_assert!(s.dataflow.iterations >= s.dataflow.blocks);
+                prop_assert!(s.dataflow.resolved_rate() <= 1.0);
             }
             if s.total > 0 {
                 prop_assert!(s.wall_ns > 0);

@@ -77,6 +77,7 @@ proptest! {
             any::<u8>().prop_map(|pos_num| CorruptionKind::BitFlip { pos_num }),
             Just(CorruptionKind::ClobberMagic),
             any::<u8>().prop_map(|pos_num| CorruptionKind::ClobberRechecksum { pos_num }),
+            any::<u8>().prop_map(|site_num| CorruptionKind::ClobberRegister { site_num }),
         ],
     ) {
         for (i, blob) in dex_blobs(seed).iter().enumerate() {

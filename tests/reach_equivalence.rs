@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use whatcha_lookin_at::wla_apk::sdex::{
-    ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, MethodId,
+    ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, MethodId, Reg,
 };
 use whatcha_lookin_at::wla_callgraph::oracle::{
     reachable_methods_oracle, record_web_calls_oracle, HashCallGraph,
@@ -95,8 +95,14 @@ fn random_dex(rng: &mut StdRng) -> (Dex, Manifest) {
                     0 | 1 => code.push(Instruction::Invoke {
                         kind: KINDS[rng.gen_range(0..KINDS.len())],
                         method: ref_pool[rng.gen_range(0..ref_pool.len())],
+                        args: if rng.gen_bool(0.5) {
+                            vec![Reg(rng.gen_range(0..4u16))]
+                        } else {
+                            vec![]
+                        },
                     }),
                     2 => code.push(Instruction::ConstString {
+                        dst: Reg(rng.gen_range(0..4u16)),
                         string: strings[rng.gen_range(0..strings.len())],
                     }),
                     3 => code.push(Instruction::Nop),
@@ -104,12 +110,12 @@ fn random_dex(rng: &mut StdRng) -> (Dex, Manifest) {
                 }
             }
             code.push(Instruction::ReturnVoid);
-            methods.push(MethodDef {
-                method: b.intern_method(class, NAMES[name_idx], DESCRIPTORS[desc_idx]),
-                public: rng.gen_bool(0.8),
-                static_: rng.gen_bool(0.3),
+            methods.push(MethodDef::new(
+                b.intern_method(class, NAMES[name_idx], DESCRIPTORS[desc_idx]),
+                rng.gen_bool(0.8),
+                rng.gen_bool(0.3),
                 code,
-            });
+            ));
         }
         b.define_class(
             class,
@@ -247,15 +253,16 @@ proptest! {
             caller_code.push(Instruction::Invoke {
                 kind,
                 method: b.intern_method(receiver, "handle", "()V"),
+                args: vec![],
             });
         }
         caller_code.push(Instruction::ReturnVoid);
-        let caller = MethodDef {
-            method: b.intern_method("com/d/Main", "go", "()V"),
-            public: true,
-            static_: true,
-            code: caller_code,
-        };
+        let caller = MethodDef::new(
+            b.intern_method("com/d/Main", "go", "()V"),
+            true,
+            true,
+            caller_code,
+        );
         b.define_class("com/d/Main", None, ClassFlags::default(), vec![caller])
             .unwrap();
 
@@ -264,12 +271,12 @@ proptest! {
         for (i, class) in chain.iter().enumerate() {
             let defines = i == 0 || rng.gen_bool(1.0 / 3.0);
             let methods = if defines {
-                vec![MethodDef {
-                    method: b.intern_method(class, "handle", "()V"),
-                    public: true,
-                    static_: false,
-                    code: vec![Instruction::ReturnVoid],
-                }]
+                vec![MethodDef::new(
+                    b.intern_method(class, "handle", "()V"),
+                    true,
+                    false,
+                    vec![Instruction::ReturnVoid],
+                )]
             } else {
                 vec![]
             };

@@ -50,6 +50,7 @@ proptest! {
             (8u8..250).prop_map(|keep_num| CorruptionKind::Truncate { keep_num }),
             any::<u8>().prop_map(|pos_num| CorruptionKind::BitFlip { pos_num }),
             Just(CorruptionKind::ClobberMagic),
+            any::<u8>().prop_map(|site_num| CorruptionKind::ClobberRegister { site_num }),
         ],
     ) {
         let good = app_bytes(seed);
