@@ -6,7 +6,7 @@
 # the proptest suites catch mechanically — run this before every push.
 #
 # `ci.sh bench-snapshot` refreshes BENCH_static.json: it runs the
-# callgraph, static-pipeline, and url-provenance benches in quick mode (WLA_BENCH_QUICK=1,
+# callgraph, static-pipeline, url-provenance, and corpus-stream benches in quick mode (WLA_BENCH_QUICK=1,
 # ~seconds instead of minutes) and assembles the per-bench medians into a
 # committed JSON snapshot. Quick-mode numbers are noisier than a full
 # `cargo bench` run — use them for order-of-magnitude regression spotting,
@@ -30,7 +30,7 @@ run_quick_benches() {
     local pass
     for pass in 1 2; do
         WLA_BENCH_QUICK=1 WLA_BENCH_JSON="$tsv.raw" \
-            cargo bench -q -p wla-bench --bench callgraph --bench static_pipeline --bench url_provenance
+            cargo bench -q -p wla-bench --bench callgraph --bench static_pipeline --bench url_provenance --bench corpus_stream
     done
     awk -F'\t' '
         !($1 in best) || $2 + 0 < best[$1] + 0 { best[$1] = $2 }

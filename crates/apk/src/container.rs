@@ -142,8 +142,27 @@ impl Sapk {
         out.freeze()
     }
 
-    /// Parse and validate a SAPK container.
+    /// Parse and validate a SAPK container from a borrowed slice.
+    ///
+    /// Sections are copied into fresh shared storage. Callers that already
+    /// hold the container as [`Bytes`] — a shard window, an mmap view —
+    /// should use [`Sapk::decode_bytes`], which slices sections out of the
+    /// caller's buffer without copying.
     pub fn decode(raw: &[u8]) -> Result<Sapk, ApkError> {
+        Sapk::decode_with_payload(raw, None)
+    }
+
+    /// Zero-copy [`Sapk::decode`]: sections are sub-views of `raw`, so the
+    /// payload bytes are never copied. Validation is identical to
+    /// [`Sapk::decode`] — the two are equivalence-pinned by proptest.
+    pub fn decode_bytes(raw: Bytes) -> Result<Sapk, ApkError> {
+        Sapk::decode_with_payload(&raw, Some(&raw))
+    }
+
+    /// Shared decode body: parse `raw`, building sections either by
+    /// copying out of the cursor (`shared == None`) or by slicing the
+    /// shared buffer `raw` is a view of.
+    fn decode_with_payload(raw: &[u8], shared: Option<&Bytes>) -> Result<Sapk, ApkError> {
         let mut buf = raw;
         if buf.remaining() < 4 {
             return Err(ApkError::Truncated { context: "magic" });
@@ -187,7 +206,13 @@ impl Sapk {
             let len = buf.get_u32_le();
             dir.push((tag, off, len));
         }
-        let payload = Bytes::copy_from_slice(buf);
+        let payload = match shared {
+            // `buf` is a suffix of `raw`, which is a view of the shared
+            // buffer starting at the same address — the payload is the
+            // trailing `buf.len()` bytes of that view.
+            Some(bytes) => bytes.slice(bytes.len() - buf.len()..),
+            None => Bytes::copy_from_slice(buf),
+        };
         let total = payload.len() as u32;
         let mut sections = Vec::with_capacity(n);
         for (tag, off, len) in dir {
@@ -307,6 +332,42 @@ mod tests {
             Sapk::decode(&raw),
             Err(ApkError::SectionOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn decode_bytes_matches_decode_and_is_zero_copy() {
+        let apk = sample();
+        let blob = apk.encode();
+        let owned = Sapk::decode(&blob).unwrap();
+        let shared = Sapk::decode_bytes(blob.clone()).unwrap();
+        assert_eq!(owned, shared);
+        // Zero-copy: each decoded section aliases the original buffer.
+        let base = blob.as_ref().as_ptr() as usize;
+        let end = base + blob.len();
+        for s in shared.sections() {
+            if s.data.is_empty() {
+                continue;
+            }
+            let p = s.data.as_ref().as_ptr() as usize;
+            assert!(p >= base && p + s.data.len() <= end, "section copied");
+        }
+    }
+
+    #[test]
+    fn decode_bytes_rejects_what_decode_rejects() {
+        let blob = sample().encode().to_vec();
+        for cut in 0..blob.len() {
+            let a = Sapk::decode(&blob[..cut]).unwrap_err();
+            let b = Sapk::decode_bytes(Bytes::copy_from_slice(&blob[..cut])).unwrap_err();
+            assert_eq!(a, b, "divergence at prefix {cut}");
+        }
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x01;
+            let a = Sapk::decode(&bad).unwrap_err();
+            let b = Sapk::decode_bytes(Bytes::from(bad)).unwrap_err();
+            assert_eq!(a, b, "divergence at flipped byte {i}");
+        }
     }
 
     #[test]

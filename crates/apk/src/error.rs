@@ -57,6 +57,17 @@ pub enum ApkError {
         /// Total container size.
         total: u32,
     },
+    /// A string-pool span's offset or length does not fit the u32 wire
+    /// representation. Unreachable for standalone SDEX blobs (their sizes
+    /// are bounded by the container), but mmap-backed multi-gigabyte shard
+    /// buffers can position a section past 4 GiB — truncating would
+    /// silently alias another string, so the decoder refuses instead.
+    SpanOverflow {
+        /// Byte offset of the span within the backing buffer.
+        offset: u64,
+        /// Byte length of the span.
+        len: u64,
+    },
     /// A required section is missing from the container.
     MissingSection(&'static str),
     /// Structural rule violated (e.g., superclass cycle, duplicate class).
@@ -86,6 +97,7 @@ impl ApkError {
             ApkError::BadOpcode(_) => "bad-opcode",
             ApkError::BadSectionTag(_) => "bad-section-tag",
             ApkError::SectionOutOfBounds { .. } => "section-out-of-bounds",
+            ApkError::SpanOverflow { .. } => "span-overflow",
             ApkError::MissingSection(_) => "missing-section",
             ApkError::Invalid(_) => "invalid-structure",
             ApkError::AnalysisPanic { .. } => "analysis-panic",
@@ -115,6 +127,10 @@ impl fmt::Display for ApkError {
             ApkError::SectionOutOfBounds { offset, len, total } => write!(
                 f,
                 "section [{offset}, +{len}) falls outside container of {total} bytes"
+            ),
+            ApkError::SpanOverflow { offset, len } => write!(
+                f,
+                "string span [{offset}, +{len}) exceeds the u32 wire representation"
             ),
             ApkError::MissingSection(name) => write!(f, "required section {name} missing"),
             ApkError::Invalid(what) => write!(f, "invalid structure: {what}"),

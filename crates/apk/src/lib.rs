@@ -62,6 +62,7 @@ pub mod disasm;
 pub mod error;
 pub mod names;
 pub mod sdex;
+pub mod source;
 pub mod wire;
 
 pub use container::{Sapk, SapkSection, SectionTag};
@@ -70,3 +71,6 @@ pub use sdex::{
     ClassDef, ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, MethodId, MethodRef,
     Reg, TypeId,
 };
+pub use source::ContainerSource;
+#[cfg(unix)]
+pub use source::MmapRegion;

@@ -82,8 +82,26 @@ pub fn get_string_span(full: &[u8], buf: &mut &[u8]) -> Result<(u32, u32), ApkEr
     }
     std::str::from_utf8(&buf[..len]).map_err(|_| ApkError::BadUtf8)?;
     let off = full.len() - buf.len();
+    let span = span_u32(off, len)?;
     *buf = &buf[len..];
-    Ok((off as u32, len as u32))
+    Ok(span)
+}
+
+/// Narrow a `(offset, len)` span to the u32 wire representation, refusing
+/// values that would silently wrap.
+///
+/// `get_string_span` offsets are relative to the backing buffer; once that
+/// buffer is an mmap-backed multi-gigabyte shard instead of a standalone
+/// blob, `off as u32` would truncate and alias an unrelated string. The
+/// guard turns that corruption into [`ApkError::SpanOverflow`].
+pub fn span_u32(off: usize, len: usize) -> Result<(u32, u32), ApkError> {
+    match (u32::try_from(off), u32::try_from(len)) {
+        (Ok(o), Ok(l)) => Ok((o, l)),
+        _ => Err(ApkError::SpanOverflow {
+            offset: off as u64,
+            len: len as u64,
+        }),
+    }
 }
 
 /// Read exactly `n` bytes into a fresh vector.
@@ -206,6 +224,33 @@ mod tests {
         full.extend_from_slice(&[0xff, 0xfe]);
         let mut buf = &full[..];
         assert_eq!(get_string_span(&full, &mut buf), Err(ApkError::BadUtf8));
+    }
+
+    #[test]
+    fn span_u32_boundary() {
+        let max = u32::MAX as usize;
+        // Exactly representable: the u32::MAX corner itself.
+        assert_eq!(span_u32(max, max).unwrap(), (u32::MAX, u32::MAX));
+        assert_eq!(span_u32(0, 0).unwrap(), (0, 0));
+        // One past the boundary on either field must refuse, not wrap.
+        assert_eq!(
+            span_u32(max + 1, 7),
+            Err(ApkError::SpanOverflow {
+                offset: max as u64 + 1,
+                len: 7
+            })
+        );
+        assert_eq!(
+            span_u32(7, max + 1),
+            Err(ApkError::SpanOverflow {
+                offset: 7,
+                len: max as u64 + 1
+            })
+        );
+        // The old `as u32` behavior would have produced offset 0 here —
+        // aliasing the start of the pool. Make sure the kind is distinct
+        // and stable for the failure taxonomy.
+        assert_eq!(span_u32(max + 1, 0).unwrap_err().kind(), "span-overflow");
     }
 
     #[test]

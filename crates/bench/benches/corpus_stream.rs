@@ -1,0 +1,105 @@
+//! Sharded-corpus streaming cost (DESIGN.md §6.6): the mmap-backed
+//! shard-streaming path versus buffered reads versus the in-memory
+//! pipeline over the same apps, plus the resume-manifest fast path and
+//! the shard-write cost itself. All runs use the same 734-app corpus and
+//! 8 workers as `static_pipeline`'s corpus sweep, so the groups are
+//! directly comparable.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use wla_core::wla_corpus::{write_sharded_corpus, CorpusConfig, GeneratedApp, Generator};
+use wla_core::wla_sdk_index::SdkIndex;
+use wla_core::wla_static::{
+    run_pipeline, run_pipeline_streamed, CorpusInput, PipelineConfig, StreamConfig, MANIFEST_SUBDIR,
+};
+
+fn corpus(scale: u32) -> Vec<GeneratedApp> {
+    let catalog = SdkIndex::paper();
+    let cfg = CorpusConfig {
+        scale,
+        seed: 77,
+        corrupt_fraction: 0.0,
+        ..CorpusConfig::default()
+    };
+    Generator::new(&catalog, cfg).generate()
+}
+
+fn shard_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wla-bench-stream-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stream_config(mmap: bool, resume: bool) -> StreamConfig {
+    StreamConfig {
+        pipeline: PipelineConfig {
+            workers: 8,
+            ..PipelineConfig::default()
+        },
+        mmap,
+        resume,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let catalog = SdkIndex::paper();
+    // ~734 apps, matching static_pipeline's corpus sweep.
+    let apps = corpus(200);
+    let inputs: Vec<CorpusInput> = apps
+        .iter()
+        .map(|g| CorpusInput {
+            meta: g.spec.meta.clone(),
+            bytes: g.bytes.clone(),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("corpus_stream");
+    group.sample_size(10);
+
+    group.bench_function("shard_write_734", |b| {
+        let dir = shard_dir("write");
+        b.iter(|| write_sharded_corpus(black_box(&dir), black_box(&apps), 64).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    let dir = shard_dir("read");
+    write_sharded_corpus(&dir, &apps, 64).unwrap();
+
+    group.bench_function("stream_mmap_734", |b| {
+        b.iter(|| run_pipeline_streamed(black_box(&dir), &catalog, stream_config(true, false)))
+    });
+    group.bench_function("stream_buffered_734", |b| {
+        b.iter(|| run_pipeline_streamed(black_box(&dir), &catalog, stream_config(false, false)))
+    });
+    group.bench_function("in_memory_734", |b| {
+        b.iter(|| {
+            run_pipeline(
+                black_box(&inputs),
+                &catalog,
+                PipelineConfig {
+                    workers: 8,
+                    ..PipelineConfig::default()
+                },
+            )
+        })
+    });
+
+    // Resume fast path: warm the manifest once, then every iteration is
+    // served entirely from per-shard result caches.
+    run_pipeline_streamed(&dir, &catalog, stream_config(true, true)).unwrap();
+    group.bench_function("stream_resume_cached_734", |b| {
+        b.iter(|| {
+            let out = run_pipeline_streamed(black_box(&dir), &catalog, stream_config(true, true))
+                .unwrap();
+            assert_eq!(out.stats.stream.shards_read, 0);
+            out
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(dir.join(MANIFEST_SUBDIR));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

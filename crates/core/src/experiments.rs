@@ -83,6 +83,19 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         },
         dataflow_sites: s.dataflow.sites(),
         dataflow_resolved_rate: s.dataflow.resolved_rate(),
+        shards_read: s.stream.shards_read as u64,
+        shards_cached: s.stream.shards_cached as u64,
+        shard_failures: s.stream.shard_failures as u64,
+        shard_failure_kinds: s
+            .stream
+            .shard_failure_kinds
+            .iter()
+            .map(|(kind, count)| ((*kind).to_owned(), *count as u64))
+            .collect(),
+        entries_streamed: s.stream.entries_streamed as u64,
+        entries_cached: s.stream.entries_cached as u64,
+        bytes_mapped: s.stream.bytes_mapped,
+        peak_mapped_bytes: s.stream.peak_mapped_bytes,
     }
 }
 
@@ -903,6 +916,27 @@ mod tests {
         assert!(report.dataflow_sites > 0);
         assert!(report.dataflow_resolved_rate > 0.0 && report.dataflow_resolved_rate < 1.0);
         assert!(rendered.contains("Invokes resolved to consts"));
+        // In-memory runs carry an all-zero stream section and render no
+        // shard-streaming table.
+        assert_eq!(report.shards_read + report.shards_cached, 0);
+        assert!(!rendered.contains("Shard streaming"));
+    }
+
+    #[test]
+    fn streamed_stats_flow_through_the_report() {
+        let study = Study::new(4_000, 11);
+        let dir = std::env::temp_dir().join(format!("wla-exp-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = study
+            .run_static_streamed(&dir, wla_static::StreamConfig::default())
+            .unwrap();
+        let report = pipeline_stats_report(&run);
+        assert!(report.shards_read > 0);
+        assert_eq!(report.entries_streamed, report.total);
+        let rendered = report.render();
+        assert!(rendered.contains("Shard streaming"));
+        assert!(rendered.contains("Entries streamed"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -7,7 +7,8 @@ use wla_dynamic::crawl_study::{run_crawl_study, CrawlStudy};
 use wla_dynamic::iab_study::{run_iab_study, IabStudy};
 use wla_sdk_index::SdkIndex;
 use wla_static::{
-    aggregate, run_pipeline, CorpusInput, PipelineConfig, PipelineStats, StudyResults,
+    aggregate, run_pipeline, run_pipeline_streamed, CorpusInput, PipelineConfig, PipelineStats,
+    StreamConfig, StudyResults,
 };
 
 /// Top-level study configuration.
@@ -117,6 +118,38 @@ impl Study {
         }
     }
 
+    /// Run the §3.1 campaign through the sharded on-disk streaming path:
+    /// generate the corpus, persist it as shards under `dir`, and analyze
+    /// it with [`run_pipeline_streamed`] — results are bit-identical to
+    /// [`Study::run_static`] at any worker count.
+    ///
+    /// The generator is deterministic, so re-persisting writes the exact
+    /// same shard bytes (same checksums): a rerun over the same `dir`
+    /// serves completed shards from the resume manifest instead of
+    /// re-analyzing them.
+    pub fn run_static_streamed(
+        &self,
+        dir: &std::path::Path,
+        config: StreamConfig,
+    ) -> std::io::Result<StaticRun> {
+        let cfg = CorpusConfig {
+            scale: self.scale,
+            seed: self.seed,
+            ..CorpusConfig::default()
+        };
+        let corpus = Generator::new(&self.catalog, cfg).generate();
+        wla_corpus::write_sharded_corpus(dir, &corpus, 64)?;
+        let output = run_pipeline_streamed(dir, &self.catalog, config)?;
+        let top_sdk_threshold = 1;
+        let results = aggregate(&output, &self.catalog, top_sdk_threshold);
+        Ok(StaticRun {
+            corpus,
+            results,
+            stats: output.stats,
+            top_sdk_threshold,
+        })
+    }
+
     /// Run the Table 2 funnel: the metadata universe always runs at full
     /// scale (metadata is cheap); the analyzed row comes from the scaled
     /// byte-level corpus via `static_run`.
@@ -187,6 +220,33 @@ mod tests {
         assert_eq!(run.stats.analyzed, run.results.analyzed);
         assert_eq!(run.stats.broken, run.results.broken);
         assert!(run.stats.stage.total_ns() > 0);
+    }
+
+    #[test]
+    fn streamed_static_run_matches_in_memory_and_resumes() {
+        let study = Study::new(4_000, 7);
+        let baseline = study.run_static();
+        let dir = std::env::temp_dir().join(format!("wla-study-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let streamed = study
+            .run_static_streamed(&dir, StreamConfig::default())
+            .unwrap();
+        assert_eq!(streamed.results, baseline.results);
+        assert_eq!(streamed.stats.total, baseline.stats.total);
+        assert!(streamed.stats.stream.entries_streamed > 0);
+        assert_eq!(streamed.stats.stream.entries_cached, 0);
+
+        // Same dir, same seed: the deterministic generator re-persists
+        // identical shard bytes, so the second run is served from the
+        // resume manifest — and is still identical.
+        let resumed = study
+            .run_static_streamed(&dir, StreamConfig::default())
+            .unwrap();
+        assert_eq!(resumed.results, baseline.results);
+        assert_eq!(resumed.stats.stream.shards_read, 0);
+        assert_eq!(resumed.stats.stream.entries_cached, baseline.stats.total);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,32 +11,63 @@
 //! The reader consumes only the files — ground truth is *not* persisted —
 //! so a directory written here can drive the pipeline exactly like a real
 //! downloaded corpus, or feed external tooling.
+//!
+//! Two durability properties mirror how the paper's crawler had to behave
+//! against a real mirror:
+//!
+//! * **Writes are atomic.** Every file goes to a `.tmp` sibling first and
+//!   is renamed into place, so a crash mid-write leaves stale temp files
+//!   (which the reader ignores) rather than a truncated `metadata.csv` or
+//!   a half-written `.sapk` that would be silently miscounted as a broken
+//!   container.
+//! * **Reads are fault-isolated.** One malformed metadata row or one
+//!   missing `.sapk` no longer aborts the whole ingest: the entry is
+//!   skipped and counted under a taxonomy label in [`IngestStats`], the
+//!   same philosophy as the pipeline's per-app `AnalysisPanic` isolation.
+//!   Only a missing/unreadable `metadata.csv` itself is a hard error.
 
 use crate::generator::GeneratedApp;
 use crate::playstore::{AppMeta, PlayCategory};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::Path;
 
-/// Write `apps` to `dir` (created if missing).
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling, then rename
+/// it into place. A crash between the two steps leaves only the temp file,
+/// never a truncated target.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Write `apps` to `dir` (created if missing). Every file is written
+/// atomically via [`write_atomic`].
 pub fn write_corpus(dir: &Path, apps: &[GeneratedApp]) -> io::Result<()> {
     let apk_dir = dir.join("apks");
     fs::create_dir_all(&apk_dir)?;
-    let mut csv = fs::File::create(dir.join("metadata.csv"))?;
-    writeln!(csv, "package,downloads,category,last_update_day")?;
+    let mut csv = String::from("package,downloads,category,last_update_day\n");
     for app in apps {
         let m = &app.spec.meta;
-        writeln!(
-            csv,
-            "{},{},{},{}",
+        csv.push_str(&format!(
+            "{},{},{},{}\n",
             m.package,
             m.downloads,
             m.category.label(),
             m.last_update_day
-        )?;
-        fs::write(apk_dir.join(format!("{}.sapk", m.package)), &app.bytes)?;
+        ));
+        write_atomic(&apk_dir.join(format!("{}.sapk", m.package)), &app.bytes)?;
     }
-    Ok(())
+    // The CSV lands last, so a crash mid-corpus leaves no metadata claiming
+    // containers that were never written.
+    write_atomic(&dir.join("metadata.csv"), csv.as_bytes())
 }
 
 /// A corpus entry read back from disk: metadata plus raw bytes.
@@ -48,44 +79,114 @@ pub struct DiskApp {
     pub bytes: Vec<u8>,
 }
 
-fn category_from_label(label: &str) -> Option<PlayCategory> {
-    PlayCategory::ALL
-        .iter()
-        .copied()
-        .find(|c| c.label() == label)
+/// Counters from a fault-isolated corpus ingest.
+///
+/// `rows == read + skipped`; `skip_kinds` breaks the skips down by stable
+/// taxonomy label, mirroring `PipelineStats::failure_kinds`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Metadata rows seen (excluding the header and blank lines).
+    pub rows: usize,
+    /// Entries successfully read (metadata parsed and `.sapk` loaded).
+    pub read: usize,
+    /// Entries skipped because of a per-entry failure.
+    pub skipped: usize,
+    /// Skip taxonomy: label → count. Labels are stable strings:
+    /// `bad-field-count`, `bad-downloads`, `bad-category`,
+    /// `bad-update-day`, `missing-apk`, `unreadable-apk`.
+    pub skip_kinds: BTreeMap<&'static str, usize>,
 }
 
-/// Read a corpus directory written by [`write_corpus`].
-pub fn read_corpus(dir: &Path) -> io::Result<Vec<DiskApp>> {
+impl IngestStats {
+    fn skip(&mut self, kind: &'static str) {
+        self.skipped += 1;
+        *self.skip_kinds.entry(kind).or_insert(0) += 1;
+    }
+}
+
+/// Result of [`read_corpus_counted`]: the readable entries plus counters
+/// describing what was skipped and why.
+#[derive(Debug, Clone)]
+pub struct CorpusRead {
+    /// Entries that survived ingest, in metadata order.
+    pub apps: Vec<DiskApp>,
+    /// Per-entry failure accounting.
+    pub stats: IngestStats,
+}
+
+/// Read a corpus directory written by [`write_corpus`], skipping and
+/// counting malformed entries instead of aborting.
+///
+/// A missing or unreadable `metadata.csv` is still a hard error — there is
+/// no corpus without it — but every per-entry failure (short row, bad
+/// number, unknown category, missing or unreadable container file) only
+/// increments the matching [`IngestStats`] counter.
+pub fn read_corpus_counted(dir: &Path) -> io::Result<CorpusRead> {
     let csv = fs::read_to_string(dir.join("metadata.csv"))?;
     let apk_dir = dir.join("apks");
-    let mut out = Vec::new();
+    let mut apps = Vec::new();
+    let mut stats = IngestStats::default();
     for (lineno, line) in csv.lines().enumerate() {
         if lineno == 0 || line.trim().is_empty() {
             continue; // header
         }
+        stats.rows += 1;
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("metadata.csv line {}: expected 4 fields", lineno + 1),
-            ));
+            stats.skip("bad-field-count");
+            continue;
         }
-        let parse_err =
-            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}"));
+        let downloads: u64 = match fields[1].parse() {
+            Ok(d) => d,
+            Err(_) => {
+                stats.skip("bad-downloads");
+                continue;
+            }
+        };
+        let category = match PlayCategory::from_label(fields[2]) {
+            Some(c) => c,
+            None => {
+                stats.skip("bad-category");
+                continue;
+            }
+        };
+        let last_update_day: u32 = match fields[3].parse() {
+            Ok(d) => d,
+            Err(_) => {
+                stats.skip("bad-update-day");
+                continue;
+            }
+        };
         let meta = AppMeta {
             package: fields[0].to_owned(),
             on_play_store: true,
-            downloads: fields[1].parse().map_err(|_| parse_err("downloads"))?,
-            category: category_from_label(fields[2]).ok_or_else(|| parse_err("category"))?,
-            last_update_day: fields[3]
-                .parse()
-                .map_err(|_| parse_err("last_update_day"))?,
+            downloads,
+            category,
+            last_update_day,
         };
-        let bytes = fs::read(apk_dir.join(format!("{}.sapk", meta.package)))?;
-        out.push(DiskApp { meta, bytes });
+        let bytes = match fs::read(apk_dir.join(format!("{}.sapk", meta.package))) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                stats.skip("missing-apk");
+                continue;
+            }
+            Err(_) => {
+                stats.skip("unreadable-apk");
+                continue;
+            }
+        };
+        stats.read += 1;
+        apps.push(DiskApp { meta, bytes });
     }
-    Ok(out)
+    Ok(CorpusRead { apps, stats })
+}
+
+/// Read a corpus directory written by [`write_corpus`].
+///
+/// Thin wrapper over [`read_corpus_counted`] for callers that only want
+/// the readable entries; skipped entries are silently dropped, not errors.
+pub fn read_corpus(dir: &Path) -> io::Result<Vec<DiskApp>> {
+    Ok(read_corpus_counted(dir)?.apps)
 }
 
 #[cfg(test)]
@@ -112,9 +213,12 @@ mod tests {
         let dir = temp_dir("roundtrip");
         write_corpus(&dir, &apps).unwrap();
 
-        let back = read_corpus(&dir).unwrap();
-        assert_eq!(back.len(), apps.len());
-        for (orig, disk) in apps.iter().zip(&back) {
+        let back = read_corpus_counted(&dir).unwrap();
+        assert_eq!(back.apps.len(), apps.len());
+        assert_eq!(back.stats.rows, apps.len());
+        assert_eq!(back.stats.read, apps.len());
+        assert_eq!(back.stats.skipped, 0);
+        for (orig, disk) in apps.iter().zip(&back.apps) {
             assert_eq!(orig.spec.meta, disk.meta);
             assert_eq!(orig.bytes, disk.bytes);
         }
@@ -148,24 +252,117 @@ mod tests {
     }
 
     #[test]
-    fn malformed_csv_rejected() {
-        let dir = temp_dir("badcsv");
+    fn writes_leave_no_temp_files() {
+        let catalog = SdkIndex::paper();
+        let cfg = CorpusConfig {
+            scale: 8_000,
+            seed: 11,
+            ..CorpusConfig::default()
+        };
+        let apps = Generator::new(&catalog, cfg).generate();
+        let dir = temp_dir("notmp");
+        write_corpus(&dir, &apps).unwrap();
+        let mut names: Vec<String> = fs::read_dir(dir.join("apks"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.extend(
+            fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned()),
+        );
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "temp files survived the write: {names:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_rows_are_counted_not_fatal() {
+        let dir = temp_dir("badrows");
         fs::create_dir_all(dir.join("apks")).unwrap();
-        fs::write(dir.join("metadata.csv"), "header\nonly,three,fields\n").unwrap();
+        fs::write(dir.join("apks").join("com.good.app.sapk"), b"payload").unwrap();
+        fs::write(
+            dir.join("metadata.csv"),
+            "package,downloads,category,last_update_day\n\
+             only,three,fields\n\
+             com.bad.dl,not-a-number,Tools,500\n\
+             com.bad.cat,100000,NotACategory,500\n\
+             com.bad.day,100000,Tools,eventually\n\
+             com.good.app,100000,Tools,500\n",
+        )
+        .unwrap();
+        let read = read_corpus_counted(&dir).unwrap();
+        assert_eq!(read.apps.len(), 1);
+        assert_eq!(read.apps[0].meta.package, "com.good.app");
+        assert_eq!(read.stats.rows, 5);
+        assert_eq!(read.stats.read, 1);
+        assert_eq!(read.stats.skipped, 4);
+        assert_eq!(read.stats.skip_kinds["bad-field-count"], 1);
+        assert_eq!(read.stats.skip_kinds["bad-downloads"], 1);
+        assert_eq!(read.stats.skip_kinds["bad-category"], 1);
+        assert_eq!(read.stats.skip_kinds["bad-update-day"], 1);
+        assert_eq!(
+            read.stats.skip_kinds.values().sum::<usize>(),
+            read.stats.skipped
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_apk_is_counted_not_fatal() {
+        let dir = temp_dir("missing");
+        fs::create_dir_all(dir.join("apks")).unwrap();
+        fs::write(dir.join("apks").join("com.here.sapk"), b"bytes").unwrap();
+        fs::write(
+            dir.join("metadata.csv"),
+            "package,downloads,category,last_update_day\n\
+             com.gone,100000,Tools,500\n\
+             com.here,100000,Tools,500\n",
+        )
+        .unwrap();
+        let read = read_corpus_counted(&dir).unwrap();
+        assert_eq!(read.apps.len(), 1);
+        assert_eq!(read.apps[0].meta.package, "com.here");
+        assert_eq!(read.stats.skip_kinds["missing-apk"], 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_metadata_csv_is_still_fatal() {
+        let dir = temp_dir("nocsv");
+        fs::create_dir_all(dir.join("apks")).unwrap();
+        assert!(read_corpus_counted(&dir).is_err());
         assert!(read_corpus(&dir).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn missing_apk_file_rejected() {
-        let dir = temp_dir("missing");
+    fn interrupted_write_is_detected_not_miscounted() {
+        // Simulate a writer that crashed between the temp write and the
+        // rename: the `.tmp` leftover must be invisible to ingest (the
+        // entry counts as missing, not as a silently truncated container).
+        let dir = temp_dir("interrupted");
         fs::create_dir_all(dir.join("apks")).unwrap();
+        fs::write(dir.join("apks").join("com.ok.sapk"), b"full container").unwrap();
+        // Crashed mid-write: only a truncated temp file exists.
+        fs::write(dir.join("apks").join("com.crashed.sapk.tmp"), b"half a co").unwrap();
         fs::write(
             dir.join("metadata.csv"),
-            "package,downloads,category,last_update_day\ncom.x.y,100000,Tools,500\n",
+            "package,downloads,category,last_update_day\n\
+             com.ok,100000,Tools,500\n\
+             com.crashed,100000,Tools,500\n",
         )
         .unwrap();
-        assert!(read_corpus(&dir).is_err());
+        let read = read_corpus_counted(&dir).unwrap();
+        // The truncated temp bytes were NOT returned as com.crashed's
+        // container — that would miscount it as a broken APK downstream.
+        assert_eq!(read.apps.len(), 1);
+        assert_eq!(read.apps[0].meta.package, "com.ok");
+        assert_eq!(read.apps[0].bytes, b"full container");
+        assert_eq!(read.stats.skipped, 1);
+        assert_eq!(read.stats.skip_kinds["missing-apk"], 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

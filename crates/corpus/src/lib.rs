@@ -31,14 +31,21 @@ pub mod ecosystem;
 pub mod generator;
 pub mod lowering;
 pub mod playstore;
+pub mod shard;
 
-pub use corpus_io::{read_corpus, write_corpus, DiskApp};
+pub use corpus_io::{
+    read_corpus, read_corpus_counted, write_corpus, CorpusRead, DiskApp, IngestStats,
+};
 pub use ecosystem::{
     named_top_apps, top_thousand, AccessGate, AppSpec, DeepLinkSpec, Ecosystem, EcosystemParams,
     LinkBehavior, MethodSet, SdkUse, TopAppSpec, UgcSurface, METHODS,
 };
 pub use generator::{CorpusConfig, GeneratedApp, Generator};
 pub use playstore::{AppMeta, FilterSpec, MetadataUniverse, PlayCategory, UniverseConfig};
+pub use shard::{
+    list_shards, read_shard_stamp, write_shard, write_sharded_corpus, Shard, ShardEntry,
+    ShardError, ShardStamp,
+};
 
 /// Number of Play-Store apps in the AndroZoo snapshot (Table 2 row 1).
 pub const ANDROZOO_PLAY_APPS: u64 = 6_507_222;

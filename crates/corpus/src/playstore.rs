@@ -110,6 +110,14 @@ impl PlayCategory {
         }
     }
 
+    /// Inverse of [`PlayCategory::label`], for parsing persisted corpora.
+    pub fn from_label(label: &str) -> Option<PlayCategory> {
+        PlayCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label() == label)
+    }
+
     /// Whether this is a gaming category (Figure 3 notes gaming apps'
     /// heavier use of CT-based social SDKs).
     pub fn is_game(self) -> bool {

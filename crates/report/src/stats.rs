@@ -71,6 +71,29 @@ pub struct PipelineStatsReport {
     /// Fraction of classified sites resolved to a single constant in
     /// `0.0..=1.0`.
     pub dataflow_resolved_rate: f64,
+    /// Shards opened, validated, and analyzed (shard-streaming runs only;
+    /// all stream fields stay zero for in-memory runs).
+    pub shards_read: u64,
+    /// Shards served entirely from the resume manifest.
+    pub shards_cached: u64,
+    /// Shard files that failed to open or validate.
+    pub shard_failures: u64,
+    /// `(failure kind, count)` shard-level taxonomy, sorted by kind.
+    pub shard_failure_kinds: Vec<(String, u64)>,
+    /// Entries analyzed from shard bytes.
+    pub entries_streamed: u64,
+    /// Entries whose results were loaded from the resume manifest.
+    pub entries_cached: u64,
+    /// Total shard bytes opened through `mmap`.
+    pub bytes_mapped: u64,
+    /// High-water mark of concurrently mapped shard bytes — the streaming
+    /// run's address-space footprint.
+    pub peak_mapped_bytes: u64,
+}
+
+/// Render a byte count as a human MiB figure.
+fn mebibytes(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
 }
 
 impl PipelineStatsReport {
@@ -188,6 +211,42 @@ impl PipelineStatsReport {
         Some(t)
     }
 
+    /// Shard-streaming table; `None` when the run was in-memory (no
+    /// shards touched).
+    pub fn streaming_table(&self) -> Option<Table> {
+        if self.shards_read + self.shards_cached + self.shard_failures == 0 {
+            return None;
+        }
+        let mut t = Table::new("Shard streaming", &["Metric", "Value"]);
+        t.row_owned(vec!["Shards read".into(), thousands(self.shards_read)]);
+        t.row_owned(vec![
+            "Shards from resume cache".into(),
+            thousands(self.shards_cached),
+        ]);
+        if self.shard_failures > 0 {
+            t.row_owned(vec!["Shards failed".into(), thousands(self.shard_failures)]);
+            for (kind, count) in &self.shard_failure_kinds {
+                t.row_owned(vec![format!("  {kind}"), thousands(*count)]);
+            }
+        }
+        t.row_owned(vec![
+            "Entries streamed".into(),
+            thousands(self.entries_streamed),
+        ]);
+        t.row_owned(vec![
+            "Entries from resume cache".into(),
+            thousands(self.entries_cached),
+        ]);
+        if self.bytes_mapped > 0 {
+            t.row_owned(vec!["Bytes mapped".into(), mebibytes(self.bytes_mapped)]);
+            t.row_owned(vec![
+                "Peak concurrently mapped".into(),
+                mebibytes(self.peak_mapped_bytes),
+            ]);
+        }
+        Some(t)
+    }
+
     /// Failure taxonomy table; `None` when nothing broke.
     pub fn failure_table(&self) -> Option<Table> {
         if self.failure_kinds.is_empty() {
@@ -210,6 +269,10 @@ impl PipelineStatsReport {
         if let Some(failures) = self.failure_table() {
             out.push('\n');
             out.push_str(&failures.render());
+        }
+        if let Some(streaming) = self.streaming_table() {
+            out.push('\n');
+            out.push_str(&streaming.render());
         }
         out
     }
@@ -251,6 +314,14 @@ mod tests {
             dataflow_linear_rate: 0.94,
             dataflow_sites: 3_210,
             dataflow_resolved_rate: 1.0,
+            shards_read: 144,
+            shards_cached: 1_324,
+            shard_failures: 1,
+            shard_failure_kinds: vec![("checksum-mismatch".into(), 1)],
+            entries_streamed: 1_440,
+            entries_cached: 13_240,
+            bytes_mapped: 75_497_472,
+            peak_mapped_bytes: 8_388_608,
         }
     }
 
@@ -277,6 +348,11 @@ mod tests {
         assert!(r.contains("2.5 Medges/s"));
         assert!(r.contains("9,876 (94.0%)")); // dataflow methods, linear share
         assert!(r.contains("100.0% of 3,210")); // URL-site resolution
+        assert!(r.contains("Shard streaming"));
+        assert!(r.contains("1,324")); // shards served from resume cache
+        assert!(r.contains("checksum-mismatch"));
+        assert!(r.contains("72.0 MiB")); // bytes mapped
+        assert!(r.contains("8.0 MiB")); // peak concurrently mapped
     }
 
     #[test]
@@ -287,6 +363,7 @@ mod tests {
         assert!(!r.contains("serial tail"));
         assert!(!r.contains("pre-size"));
         assert!(!r.contains("Dataflow methods"));
+        assert!(!r.contains("Shard streaming"));
     }
 
     #[test]

@@ -292,11 +292,39 @@ pub fn analyze_app_timed_with(
     ctx: &mut AnalysisCtx<'_>,
 ) -> (Result<AppAnalysis, ApkError>, StageTimings) {
     let mut timings = StageTimings::default();
-
-    // (2) unpack the container and every dex section.
     let started = Instant::now();
     let decoded = decode_stage(bytes);
     timings.decode_ns = started.elapsed().as_nanos() as u64;
+    finish_analysis(meta, decoded, ctx, timings)
+}
+
+/// [`analyze_app_timed_with`] over a shared [`bytes::Bytes`] handle.
+///
+/// The zero-copy streaming path: when `bytes` is a window into an
+/// mmap-backed corpus shard, the container decode and every dex string
+/// span alias the mapping directly — no per-app copy of the container is
+/// ever made. Results are identical to the slice path
+/// ([`Sapk::decode_bytes`] is equivalence-pinned against [`Sapk::decode`]).
+pub fn analyze_app_bytes_timed_with(
+    meta: AppMeta,
+    bytes: bytes::Bytes,
+    ctx: &mut AnalysisCtx<'_>,
+) -> (Result<AppAnalysis, ApkError>, StageTimings) {
+    let mut timings = StageTimings::default();
+    let started = Instant::now();
+    let decoded = Sapk::decode_bytes(bytes).and_then(decode_rest);
+    timings.decode_ns = started.elapsed().as_nanos() as u64;
+    finish_analysis(meta, decoded, ctx, timings)
+}
+
+/// Stages (3)–(5) plus summary construction, shared by the slice and
+/// shared-buffer entry points.
+fn finish_analysis(
+    meta: AppMeta,
+    decoded: Result<(Manifest, Vec<Dex>), ApkError>,
+    ctx: &mut AnalysisCtx<'_>,
+    mut timings: StageTimings,
+) -> (Result<AppAnalysis, ApkError>, StageTimings) {
     let (manifest, dexes) = match decoded {
         Ok(v) => v,
         Err(e) => return (Err(e), timings),
@@ -406,7 +434,11 @@ pub fn analyze_app_timed_with(
 /// zero-copy: each section's `Bytes` handle is shared with the dex's span
 /// table, so no string data is copied out of the container buffer.
 fn decode_stage(bytes: &[u8]) -> Result<(Manifest, Vec<Dex>), ApkError> {
-    let apk = Sapk::decode(bytes)?;
+    decode_rest(Sapk::decode(bytes)?)
+}
+
+/// Manifest + dex decoding over an already-decoded container.
+fn decode_rest(apk: Sapk) -> Result<(Manifest, Vec<Dex>), ApkError> {
     let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
     let dexes: Vec<Dex> = apk
         .sections()

@@ -22,18 +22,20 @@
 
 pub mod aggregate;
 pub mod analyze;
+mod cache;
 pub mod dataflow;
 pub mod oracle;
 pub mod pipeline;
 pub mod privacy;
+pub mod stream;
 
 pub use aggregate::{
     aggregate, CategoryBreakdown, HeatmapRow, MethodCensusRow, SdkTypeCount, SdkUsageRow,
     StudyResults, UrlOriginCensus,
 };
 pub use analyze::{
-    analyze_app, analyze_app_timed, analyze_app_timed_with, AnalysisCtx, AppAnalysis,
-    CtSiteSummary, StageTimings, WebViewSiteSummary,
+    analyze_app, analyze_app_bytes_timed_with, analyze_app_timed, analyze_app_timed_with,
+    AnalysisCtx, AppAnalysis, CtSiteSummary, StageTimings, WebViewSiteSummary,
 };
 pub use dataflow::{method_provenance, DataflowCounters};
 pub use oracle::aggregate_string_oracle;
@@ -42,3 +44,4 @@ pub use pipeline::{
     PipelineStats, WorkerStats,
 };
 pub use privacy::{grade_distribution, privacy_label, ExposureGrade, PrivacyLabel};
+pub use stream::{run_pipeline_streamed, StreamConfig, StreamCounters, MANIFEST_SUBDIR};

@@ -36,6 +36,7 @@
 
 use crate::analyze::{analyze_app_timed_with, AnalysisCtx, AppAnalysis, StageTimings};
 use crate::dataflow::DataflowCounters;
+use crate::stream::StreamCounters;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -207,6 +208,8 @@ pub struct PipelineStats {
     /// Constant-propagation counters (basic blocks, fixpoint iterations,
     /// resolved/unknown/conflict invokes), merged across workers.
     pub dataflow: DataflowCounters,
+    /// Shard-streaming counters; all-zero for the in-memory path.
+    pub stream: StreamCounters,
 }
 
 impl PipelineStats {
@@ -272,7 +275,7 @@ impl PipelineOutput {
 }
 
 /// Render a panic payload as text for [`ApkError::AnalysisPanic`].
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -282,24 +285,44 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// What one worker brings back to the merge step.
-struct WorkerYield {
+/// What one worker brings back to the merge step. Shared with the
+/// shard-streaming driver in [`crate::stream`], whose workers produce the
+/// same yields keyed by global entry index.
+pub(crate) struct WorkerYield {
     /// `(input index, result)` pairs, in claim order. Symbols inside are
     /// local to this worker's `lexicon`.
-    results: Vec<(usize, Result<AppAnalysis, ApkError>)>,
-    stats: WorkerStats,
-    stage: StageTimings,
-    failures: BTreeMap<&'static str, usize>,
-    panicked: usize,
+    pub(crate) results: Vec<(usize, Result<AppAnalysis, ApkError>)>,
+    pub(crate) stats: WorkerStats,
+    pub(crate) stage: StageTimings,
+    pub(crate) failures: BTreeMap<&'static str, usize>,
+    pub(crate) panicked: usize,
     /// The worker's private interner; consumed by the join-time remap.
-    lexicon: LocalInterner,
+    pub(crate) lexicon: LocalInterner,
     /// Package-label memo hits/misses.
-    label_hits: u64,
-    label_misses: u64,
+    pub(crate) label_hits: u64,
+    pub(crate) label_misses: u64,
     /// Call-graph build + traversal counters for this worker's shard.
-    callgraph: CallGraphCounters,
+    pub(crate) callgraph: CallGraphCounters,
     /// Constant-propagation counters for this worker's shard.
-    dataflow: DataflowCounters,
+    pub(crate) dataflow: DataflowCounters,
+}
+
+impl WorkerYield {
+    /// An empty yield with a fresh lexicon.
+    pub(crate) fn empty() -> WorkerYield {
+        WorkerYield {
+            results: Vec::new(),
+            stats: WorkerStats::default(),
+            stage: StageTimings::default(),
+            failures: BTreeMap::new(),
+            panicked: 0,
+            lexicon: LocalInterner::new(),
+            label_hits: 0,
+            label_misses: 0,
+            callgraph: CallGraphCounters::default(),
+            dataflow: DataflowCounters::default(),
+        }
+    }
 }
 
 /// Analyze every corpus entry, in parallel, labeling against `catalog`.
@@ -344,18 +367,7 @@ where
                 scope.spawn(|| {
                     let mut ctx = AnalysisCtx::new(catalog);
                     ctx.use_dataflow = config.use_dataflow;
-                    let mut y = WorkerYield {
-                        results: Vec::new(),
-                        stats: WorkerStats::default(),
-                        stage: StageTimings::default(),
-                        failures: BTreeMap::new(),
-                        panicked: 0,
-                        lexicon: LocalInterner::new(),
-                        label_hits: 0,
-                        label_misses: 0,
-                        callgraph: CallGraphCounters::default(),
-                        dataflow: DataflowCounters::default(),
-                    };
+                    let mut y = WorkerYield::empty();
                     loop {
                         let start = next.fetch_add(batch, Ordering::Relaxed);
                         if start >= n {
@@ -407,6 +419,23 @@ where
             .collect()
     });
 
+    join_worker_yields(n, batch, started, yields)
+}
+
+/// The serial join tail: merge worker buffers into input order, fold the
+/// stats, and translate worker-local symbols into one global table.
+///
+/// Shared between [`run_pipeline_with`] (whose workers claim index
+/// batches) and the shard-streaming driver in [`crate::stream`] (whose
+/// workers claim whole shards and key results by global entry index) —
+/// both produce [`WorkerYield`]s, so the deterministic input-order symbol
+/// remap below makes their outputs bit-identical for the same corpus.
+pub(crate) fn join_worker_yields(
+    n: usize,
+    batch: usize,
+    started: Instant,
+    yields: Vec<WorkerYield>,
+) -> PipelineOutput {
     // Everything from here to return runs on one thread after the pool
     // joins — the serial tail `stats.serial_tail_ns` exposes.
     let tail_started = Instant::now();

@@ -1,0 +1,390 @@
+//! Streamed-shard ⇔ in-memory equivalence: analyzing a sharded on-disk
+//! corpus through `run_pipeline_streamed` must produce **bit-identical**
+//! results to loading the same apps into memory and running
+//! `run_pipeline` — across worker counts, shard sizes, mmap vs buffered
+//! sources, corrupted entries, and resume-after-partial-run.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use wla_corpus::{write_sharded_corpus, CorpusConfig, GeneratedApp, Generator};
+use wla_sdk_index::SdkIndex;
+use wla_static::stream::MANIFEST_SUBDIR;
+use wla_static::{
+    aggregate, run_pipeline, run_pipeline_streamed, CorpusInput, PipelineConfig, PipelineOutput,
+    StreamConfig, StudyResults,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wla-stream-eq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus(scale: u32, seed: u64, corrupt: f64) -> Vec<GeneratedApp> {
+    let catalog = SdkIndex::paper();
+    let cfg = CorpusConfig {
+        scale,
+        seed,
+        corrupt_fraction: corrupt,
+        ..CorpusConfig::default()
+    };
+    Generator::new(&catalog, cfg).generate()
+}
+
+fn in_memory_baseline(apps: &[GeneratedApp], catalog: &SdkIndex) -> (PipelineOutput, StudyResults) {
+    let inputs: Vec<CorpusInput> = apps
+        .iter()
+        .map(|a| CorpusInput {
+            meta: a.spec.meta.clone(),
+            bytes: a.bytes.clone(),
+        })
+        .collect();
+    let output = run_pipeline(
+        &inputs,
+        catalog,
+        PipelineConfig {
+            workers: 1,
+            ..PipelineConfig::default()
+        },
+    );
+    let results = aggregate(&output, catalog, 1);
+    (output, results)
+}
+
+/// Full bit-identity check: per-app results (values and global symbol
+/// ids), interner contents, and aggregated study results.
+fn assert_outputs_identical(streamed: &PipelineOutput, baseline: &PipelineOutput) {
+    assert_eq!(streamed.results.len(), baseline.results.len());
+    for (i, (s, b)) in streamed.results.iter().zip(&baseline.results).enumerate() {
+        match (s, b) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "analysis diverged at input {i}"),
+            (Err(x), Err(y)) => assert_eq!(x, y, "error diverged at input {i}"),
+            other => panic!("ok/err mismatch at input {i}: {other:?}"),
+        }
+    }
+    assert_eq!(streamed.interner.len(), baseline.interner.len());
+    let (ss, bs) = (streamed.symbols(), baseline.symbols());
+    for a in streamed.analyzed() {
+        for site in &a.webview_sites {
+            assert_eq!(ss.resolve(site.method), bs.resolve(site.method));
+            assert_eq!(ss.resolve(site.caller_class), bs.resolve(site.caller_class));
+        }
+    }
+}
+
+#[test]
+fn streamed_matches_in_memory_across_workers_and_shard_sizes() {
+    let catalog = SdkIndex::paper();
+    let apps = corpus(2_000, 41, 0.1);
+    let (baseline, baseline_study) = in_memory_baseline(&apps, &catalog);
+    for per_shard in [3usize, 16] {
+        let dir = temp_dir(&format!("wk-{per_shard}"));
+        write_sharded_corpus(&dir, &apps, per_shard).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let out = run_pipeline_streamed(
+                &dir,
+                &catalog,
+                StreamConfig {
+                    pipeline: PipelineConfig {
+                        workers,
+                        ..PipelineConfig::default()
+                    },
+                    resume: false,
+                    ..StreamConfig::default()
+                },
+            )
+            .unwrap();
+            assert_outputs_identical(&out, &baseline);
+            assert_eq!(aggregate(&out, &catalog, 1), baseline_study);
+            assert_eq!(out.stats.stream.entries_streamed, apps.len());
+            assert_eq!(out.stats.stream.shards_cached, 0);
+            assert_eq!(out.stats.stream.shard_failures, 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn buffered_source_matches_mmap() {
+    let catalog = SdkIndex::paper();
+    let apps = corpus(3_000, 17, 0.15);
+    let dir = temp_dir("buffered");
+    write_sharded_corpus(&dir, &apps, 7).unwrap();
+    let run = |mmap: bool| {
+        run_pipeline_streamed(
+            &dir,
+            &catalog,
+            StreamConfig {
+                pipeline: PipelineConfig {
+                    workers: 4,
+                    ..PipelineConfig::default()
+                },
+                mmap,
+                resume: false,
+            },
+        )
+        .unwrap()
+    };
+    let mapped = run(true);
+    let buffered = run(false);
+    assert_outputs_identical(&mapped, &buffered);
+    // mmap accounting only on the mapped run (when the platform maps).
+    assert_eq!(buffered.stats.stream.bytes_mapped, 0);
+    if cfg!(unix) {
+        assert!(mapped.stats.stream.bytes_mapped > 0);
+        assert!(mapped.stats.stream.peak_mapped_bytes > 0);
+        assert!(mapped.stats.stream.peak_mapped_bytes <= mapped.stats.stream.bytes_mapped);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_after_partial_run_is_bit_identical() {
+    let catalog = SdkIndex::paper();
+    let apps = corpus(2_000, 29, 0.12);
+    let (baseline, baseline_study) = in_memory_baseline(&apps, &catalog);
+    let dir = temp_dir("resume");
+    write_sharded_corpus(&dir, &apps, 5).unwrap();
+    let config = StreamConfig {
+        pipeline: PipelineConfig {
+            workers: 3,
+            ..PipelineConfig::default()
+        },
+        ..StreamConfig::default()
+    };
+
+    // First full run populates the manifest.
+    let first = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+    assert_outputs_identical(&first, &baseline);
+    assert_eq!(first.stats.stream.shards_cached, 0);
+
+    // Simulate a partial previous run: drop some of the caches.
+    let manifest = dir.join(MANIFEST_SUBDIR);
+    let mut dropped = 0usize;
+    for (i, entry) in std::fs::read_dir(&manifest).unwrap().enumerate() {
+        if i % 3 == 0 {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0);
+    let partial = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+    assert_outputs_identical(&partial, &baseline);
+    assert_eq!(aggregate(&partial, &catalog, 1), baseline_study);
+    assert_eq!(partial.stats.stream.shards_read, dropped);
+    assert!(partial.stats.stream.shards_cached > 0);
+    assert!(partial.stats.stream.entries_cached > 0);
+
+    // Third run: everything cached, still identical.
+    let resumed = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+    assert_outputs_identical(&resumed, &baseline);
+    assert_eq!(resumed.stats.stream.shards_read, 0);
+    assert_eq!(resumed.stats.stream.entries_cached, apps.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rewritten_shard_invalidates_its_cache() {
+    let catalog = SdkIndex::paper();
+    let apps = corpus(3_000, 53, 0.0);
+    let dir = temp_dir("invalidate");
+    let paths = write_sharded_corpus(&dir, &apps, 4).unwrap();
+    let config = StreamConfig::default();
+    let first = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+    assert_eq!(first.stats.stream.shards_cached, 0);
+
+    // Rewrite shard 0 with different contents (drop its last entry).
+    let shard0 = wla_corpus::Shard::open(&paths[0]).unwrap();
+    let metas: Vec<_> = (0..shard0.len() - 1)
+        .map(|i| (shard0.entry_meta(i).clone(), shard0.entry_bytes(i).to_vec()))
+        .collect();
+    drop(shard0);
+    let entries: Vec<(&wla_corpus::AppMeta, &[u8])> =
+        metas.iter().map(|(m, b)| (m, b.as_slice())).collect();
+    wla_corpus::write_shard(&paths[0], &entries).unwrap();
+
+    let second = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+    // The rewritten shard misses its stale cache and is re-analyzed; the
+    // untouched shards come back from cache.
+    assert_eq!(second.stats.stream.shards_read, 1);
+    assert_eq!(second.stats.stream.shards_cached, paths.len() - 1);
+    assert_eq!(second.results.len(), first.results.len() - 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_shard_file_is_counted_and_skipped() {
+    let catalog = SdkIndex::paper();
+    let apps = corpus(3_000, 61, 0.0);
+    let dir = temp_dir("corrupt-shard");
+    let paths = write_sharded_corpus(&dir, &apps, 6).unwrap();
+    assert!(paths.len() >= 2);
+    // Damage the second shard's payload region.
+    let mut raw = std::fs::read(&paths[1]).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xff;
+    std::fs::write(&paths[1], &raw).unwrap();
+
+    let out = run_pipeline_streamed(
+        &dir,
+        &catalog,
+        StreamConfig {
+            resume: false,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.stats.stream.shard_failures, 1);
+    assert_eq!(
+        out.stats
+            .stream
+            .shard_failure_kinds
+            .get("checksum-mismatch"),
+        Some(&1)
+    );
+    // Every entry of every *other* shard still analyzed, in order.
+    let shard1_entries = wla_corpus::Shard::open(&paths[0]).unwrap().len();
+    assert_eq!(out.results.len(), apps.len() - 6);
+    assert!(out.results.len() >= shard1_entries);
+    // The surviving prefix matches the in-memory analysis of shard 0.
+    let (baseline, _) = in_memory_baseline(&apps[..shard1_entries], &catalog);
+    for (i, (s, b)) in out
+        .results
+        .iter()
+        .zip(&baseline.results)
+        .take(shard1_entries)
+        .enumerate()
+    {
+        assert_eq!(s.is_ok(), b.is_ok(), "index {i}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn prop_streamed_equals_in_memory(
+        seed in 0u64..500,
+        workers in 1usize..9,
+        per_shard in 1usize..20,
+        corrupt in prop_oneof![Just(0.0f64), Just(0.2f64)],
+        resume in any::<bool>(),
+    ) {
+        let catalog = SdkIndex::paper();
+        let apps = corpus(4_000, seed, corrupt);
+        let (baseline, baseline_study) = in_memory_baseline(&apps, &catalog);
+        let dir = temp_dir(&format!("prop-{seed}-{workers}-{per_shard}-{resume}"));
+        write_sharded_corpus(&dir, &apps, per_shard).unwrap();
+        let config = StreamConfig {
+            pipeline: PipelineConfig { workers, ..PipelineConfig::default() },
+            resume,
+            ..StreamConfig::default()
+        };
+        let out = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+        prop_assert_eq!(out.results.len(), baseline.results.len());
+        for (s, b) in out.results.iter().zip(&baseline.results) {
+            match (s, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                other => prop_assert!(false, "ok/err mismatch: {other:?}"),
+            }
+        }
+        prop_assert_eq!(aggregate(&out, &catalog, 1), baseline_study);
+        // Stats invariants carry over to the streamed path.
+        let s = &out.stats;
+        prop_assert_eq!(s.total, apps.len());
+        prop_assert_eq!(s.analyzed + s.broken, s.total);
+        prop_assert_eq!(s.failure_kinds.values().sum::<usize>(), s.broken);
+        prop_assert_eq!(
+            s.stream.entries_streamed + s.stream.entries_cached,
+            apps.len()
+        );
+        if resume {
+            // A second run serves everything from the manifest, identically.
+            let again = run_pipeline_streamed(&dir, &catalog, config).unwrap();
+            prop_assert_eq!(again.stats.stream.entries_cached, apps.len());
+            prop_assert_eq!(again.stats.stream.shards_read, 0);
+            prop_assert_eq!(aggregate(&again, &catalog, 1), baseline_study);
+            for (s, b) in again.results.iter().zip(&baseline.results) {
+                match (s, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                    (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                    other => prop_assert!(false, "resume mismatch: {other:?}"),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Paper-scale acceptance: ≥50K apps streamed from disk shards with
+/// results identical at several worker counts, plus a full resume pass.
+/// Ignored in tier-1 (debug-mode) runs — execute with
+/// `cargo test --release -p wla-static --test stream_equivalence -- --ignored`.
+#[test]
+#[ignore = "paper-scale: run in release mode"]
+fn paper_scale_stream_50k() {
+    let catalog = SdkIndex::paper();
+    // scale=2 ⇒ 146_800 / 2 = 73_400 apps.
+    let apps = corpus(2, 4242, 0.0016);
+    assert!(
+        apps.len() >= 50_000,
+        "need a 50K+ corpus, got {}",
+        apps.len()
+    );
+    let dir = temp_dir("50k");
+    write_sharded_corpus(&dir, &apps, 512).unwrap();
+
+    let run = |workers: usize, resume: bool| {
+        run_pipeline_streamed(
+            &dir,
+            &catalog,
+            StreamConfig {
+                pipeline: PipelineConfig {
+                    workers,
+                    stage_timings: false,
+                    ..PipelineConfig::default()
+                },
+                resume,
+                ..StreamConfig::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let first = run(1, false);
+    let study = aggregate(&first, &catalog, 1);
+    eprintln!(
+        "paper-scale: {} apps, {} shards, {:.1} MiB mapped total, {:.1} MiB peak concurrent",
+        apps.len(),
+        first.stats.stream.shards_read,
+        first.stats.stream.bytes_mapped as f64 / (1024.0 * 1024.0),
+        first.stats.stream.peak_mapped_bytes as f64 / (1024.0 * 1024.0),
+    );
+    for workers in [2usize, 4, 8] {
+        let out = run(workers, false);
+        assert_eq!(out.results.len(), first.results.len());
+        for (i, (a, b)) in out.results.iter().zip(&first.results).enumerate() {
+            assert_eq!(a, b, "diverged at {i} with {workers} workers");
+        }
+        assert_eq!(aggregate(&out, &catalog, 1), study);
+    }
+
+    // Resume: populate the manifest, then a second pass must skip every
+    // shard and reproduce the study bit-for-bit.
+    let warm = run(8, true);
+    eprintln!(
+        "paper-scale @8 workers: {:.1} MiB peak concurrently mapped",
+        warm.stats.stream.peak_mapped_bytes as f64 / (1024.0 * 1024.0),
+    );
+    assert_eq!(aggregate(&warm, &catalog, 1), study);
+    let resumed = run(8, true);
+    assert_eq!(resumed.stats.stream.shards_read, 0);
+    assert_eq!(resumed.stats.stream.entries_cached, apps.len());
+    assert_eq!(aggregate(&resumed, &catalog, 1), study);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

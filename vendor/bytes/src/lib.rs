@@ -6,12 +6,36 @@
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Shared backing storage for [`Bytes`]: either an owned heap allocation
+/// or a caller-supplied owner (e.g. a memory-mapped file region) whose
+/// `AsRef<[u8]>` view must stay stable for the owner's lifetime.
+#[derive(Clone)]
+enum Storage {
+    Heap(Arc<[u8]>),
+    Owner(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Heap(a) => a,
+            Storage::Owner(o) => (**o).as_ref(),
+        }
+    }
+}
+
 /// Cheaply cloneable, immutable byte buffer (a view into shared storage).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Storage,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
 }
 
 // Equality, ordering, and hashing go by *content*, not storage identity —
@@ -53,6 +77,27 @@ impl Bytes {
         Bytes::from(src.to_vec())
     }
 
+    /// Wrap caller-owned storage without copying (mirrors upstream
+    /// `Bytes::from_owner`). The owner is kept alive behind an `Arc` for
+    /// as long as any view derived from this buffer exists.
+    ///
+    /// The owner's `AsRef<[u8]>` must return the same slice (address and
+    /// length) on every call — e.g. a `Vec`, a boxed slice, or a
+    /// memory-mapped region; a view whose extent changes between calls
+    /// would invalidate outstanding slices.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let data: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(owner);
+        let end = (*data).as_ref().len();
+        Bytes {
+            data: Storage::Owner(data),
+            start: 0,
+            end,
+        }
+    }
+
     /// Length of this view in bytes.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -78,7 +123,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= len, "slice out of range");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -88,7 +133,7 @@ impl Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -109,7 +154,7 @@ impl From<Vec<u8>> for Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
         Bytes {
-            data,
+            data: Storage::Heap(data),
             start: 0,
             end,
         }
@@ -413,5 +458,28 @@ mod tests {
     fn short_read_panics() {
         let mut cur: &[u8] = &[1];
         cur.get_u32_le();
+    }
+
+    #[test]
+    fn from_owner_shares_without_copying() {
+        struct Region(Vec<u8>);
+        impl AsRef<[u8]> for Region {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let region = Region(b"shard payload bytes".to_vec());
+        let addr = region.0.as_ptr() as usize;
+        let b = Bytes::from_owner(region);
+        // Views alias the owner's storage — no copy happened.
+        assert_eq!(b.as_ref().as_ptr() as usize, addr);
+        let tail = b.slice(6..);
+        assert_eq!(&tail[..], b"payload bytes");
+        assert_eq!(tail.as_ref().as_ptr() as usize, addr + 6);
+        drop(b);
+        // The slice keeps the owner alive on its own.
+        assert_eq!(&tail[..], b"payload bytes");
+        // Content equality is storage-agnostic.
+        assert_eq!(tail, Bytes::copy_from_slice(b"payload bytes"));
     }
 }
