@@ -5,20 +5,28 @@
 # the net crate) are exactly the kind of thing `clippy -D warnings` plus
 # the proptest suites catch mechanically — run this before every push.
 #
-# `ci.sh bench-snapshot` refreshes BENCH_static.json: it runs the
-# callgraph, static-pipeline, url-provenance, and corpus-stream benches in quick mode (WLA_BENCH_QUICK=1,
-# ~seconds instead of minutes) and assembles the per-bench medians into a
-# committed JSON snapshot. Quick-mode numbers are noisier than a full
-# `cargo bench` run — use them for order-of-magnitude regression spotting,
-# and EXPERIMENTS.md for the measured full-mode ablations.
+# `ci.sh bench-snapshot` refreshes the committed bench snapshots in quick
+# mode (WLA_BENCH_QUICK=1, ~seconds instead of minutes):
+#   BENCH_static.json  — callgraph, static-pipeline, url-provenance, and
+#                        corpus-stream benches;
+#   BENCH_dynamic.json — the crawl-study benches (seed oracle vs interned
+#                        pipeline vs parallel pool) and the simhash kernel.
+# Quick-mode numbers are noisier than a full `cargo bench` run — use them
+# for order-of-magnitude regression spotting, and EXPERIMENTS.md for the
+# measured full-mode ablations.
 #
-# `ci.sh bench-check` re-runs the same quick snapshot into a temp file and
-# fails, with a printed diff, if any bench present in the committed
-# BENCH_static.json got more than 25% slower. Quick-mode noise stays well
-# inside that allowance; real regressions (an accidental re-allocation in
-# the decode path, a serial-tail blowup) do not.
+# `ci.sh bench-check` re-runs the same quick snapshots into temp files and
+# fails, with a printed diff, if any bench present in a committed snapshot
+# got slower than its allowance: 25% for the static microbenches, 50% for
+# the end-to-end crawl runs (whole-pipeline wall times swing more with
+# host load, and the seed-vs-parallel sides of the speedup ratio swing
+# together). Real regressions — an accidental re-allocation in the decode
+# path, a per-visit parse sneaking back in — clear both bars.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+STATIC_BENCHES="--bench callgraph --bench static_pipeline --bench url_provenance --bench corpus_stream"
+DYNAMIC_BENCHES="--bench crawl --bench simhash"
 
 run_quick_benches() {
     # TSV (id<TAB>median_ns), one line per bench, sorted. Two passes with
@@ -26,11 +34,12 @@ run_quick_benches() {
     # runs, and the min is the statistic least sensitive to that noise —
     # a real regression slows the best case too.
     local tsv=$1
+    shift
     rm -f "$tsv.raw"
     local pass
     for pass in 1 2; do
         WLA_BENCH_QUICK=1 WLA_BENCH_JSON="$tsv.raw" \
-            cargo bench -q -p wla-bench --bench callgraph --bench static_pipeline --bench url_provenance --bench corpus_stream
+            cargo bench -q -p wla-bench "$@"
     done
     awk -F'\t' '
         !($1 in best) || $2 + 0 < best[$1] + 0 { best[$1] = $2 }
@@ -50,26 +59,38 @@ tsv_to_json() {
         }' "$1"
 }
 
-bench_snapshot() {
-    echo "== bench snapshot (quick mode) =="
+snapshot_one() {
+    # $1 = snapshot file; the rest are the bench flags for its suite.
+    local json=$1
+    shift
     local tsv
     tsv=$(mktemp)
-    trap 'rm -f "$tsv"' RETURN
-    run_quick_benches "$tsv"
-    tsv_to_json "$tsv" > BENCH_static.json
-    echo "wrote BENCH_static.json ($(grep -c '":' BENCH_static.json) benches)"
+    run_quick_benches "$tsv" "$@"
+    tsv_to_json "$tsv" > "$json"
+    rm -f "$tsv"
+    echo "wrote $json ($(grep -c '":' "$json") benches)"
 }
 
-bench_check() {
-    echo "== bench check (quick mode, +25% regression gate) =="
-    [[ -f BENCH_static.json ]] || { echo "bench-check: no committed BENCH_static.json"; exit 1; }
+bench_snapshot() {
+    echo "== bench snapshot (quick mode) =="
+    # shellcheck disable=SC2086
+    snapshot_one BENCH_static.json $STATIC_BENCHES
+    # shellcheck disable=SC2086
+    snapshot_one BENCH_dynamic.json $DYNAMIC_BENCHES
+}
+
+check_one() {
+    # $1 = committed snapshot; $2 = regression allowance (e.g. 1.25);
+    # the rest are the bench flags for its suite.
+    local json=$1 limit=$2
+    shift 2
+    [[ -f "$json" ]] || { echo "bench-check: no committed $json"; exit 1; }
     local tsv
     tsv=$(mktemp)
-    trap 'rm -f "$tsv"' RETURN
-    run_quick_benches "$tsv"
+    run_quick_benches "$tsv" "$@"
     # Compare every committed entry against the fresh run; entries only on
     # one side (added or retired benches) are reported but never fail.
-    awk -F'\t' '
+    awk -F'\t' -v limit="$limit" '
         NR == FNR { fresh[$1] = $2; next }
         /":/ {
             line = $0
@@ -79,16 +100,25 @@ bench_check() {
             if (!(id in fresh)) { printf "  retired   %-40s (baseline %.0f ns)\n", id, old; next }
             new = fresh[id] + 0
             ratio = (old > 0) ? new / old : 1
-            verdict = (ratio > 1.25) ? "REGRESSED" : "ok"
+            verdict = (ratio > limit) ? "REGRESSED" : "ok"
             printf "  %-9s %-40s %12.0f -> %12.0f ns (%+.1f%%)\n", verdict, id, old, new, (ratio - 1) * 100
-            if (ratio > 1.25) bad++
+            if (ratio > limit) bad++
             seen[id] = 1
         }
         END {
             for (id in fresh) if (!(id in seen)) printf "  new       %-40s %12.0f ns\n", id, fresh[id] + 0
             exit bad > 0 ? 1 : 0
-        }' "$tsv" BENCH_static.json || { echo "bench-check: FAILED (>25% regression above)"; exit 1; }
-    echo "bench-check: all within 25% of committed snapshot"
+        }' "$tsv" "$json" || { rm -f "$tsv"; echo "bench-check: FAILED (regression above allowance in $json)"; exit 1; }
+    rm -f "$tsv"
+    echo "bench-check: $json within its allowance"
+}
+
+bench_check() {
+    echo "== bench check (quick mode regression gate) =="
+    # shellcheck disable=SC2086
+    check_one BENCH_static.json 1.25 $STATIC_BENCHES
+    # shellcheck disable=SC2086
+    check_one BENCH_dynamic.json 1.50 $DYNAMIC_BENCHES
 }
 
 case "${1:-}" in

@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use wla_core::wla_web::script::{execute, ScriptEffect};
 use wla_core::wla_web::testpage::test_page;
 use wla_core::wla_web::webapi::DomSession;
-use wla_core::wla_web::{hamming, simhash64};
+use wla_core::wla_web::{hamming, simhash64, simhash64_scalar};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("simhash");
@@ -13,6 +13,10 @@ fn bench(c: &mut Criterion) {
         let tokens: Vec<String> = (0..n).map(|i| format!("token{i}")).collect();
         group.bench_with_input(BenchmarkId::new("simhash64", n), &tokens, |b, tokens| {
             b.iter(|| simhash64(tokens.iter().map(String::as_str)))
+        });
+        // The branchy voting loop the nibble-spread path replaced.
+        group.bench_with_input(BenchmarkId::new("scalar", n), &tokens, |b, tokens| {
+            b.iter(|| simhash64_scalar(tokens.iter().map(String::as_str)))
         });
     }
     group.bench_function("hamming", |b| {

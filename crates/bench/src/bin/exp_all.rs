@@ -14,7 +14,8 @@ fn main() {
     eprintln!("[3/4] dynamic study (top-1K classification + 10 IABs) …");
     let dynamic_run = study.run_dynamic();
     eprintln!("[4/4] crawl study (100 sites × 10 IABs + baseline) …");
-    let crawl_run = study.run_crawl(None);
+    let crawl_run = study.run_crawl_parallel(None, wla_core::wla_dynamic::CrawlConfig::default());
+    eprintln!("{}", exp::crawl_stats_report(&crawl_run).render());
 
     let experiments = vec![
         exp::table2(&study, &funnel),

@@ -5,6 +5,13 @@ fn main() {
     let opts = wla_bench::parse_args();
     let study = wla_bench::study(opts);
     eprintln!("crawling 100 top sites through LinkedIn and Kik IABs + baseline …");
-    let run = study.run_crawl(Some(&["LinkedIn", "Kik"]));
+    let run = study.run_crawl_parallel(
+        Some(&["LinkedIn", "Kik"]),
+        wla_core::wla_dynamic::CrawlConfig::default(),
+    );
     wla_bench::print_experiment(&wla_core::experiments::fig6(&run));
+    eprintln!(
+        "{}",
+        wla_core::experiments::crawl_stats_report(&run).render()
+    );
 }

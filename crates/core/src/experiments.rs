@@ -11,8 +11,8 @@ use wla_corpus::ecosystem::named_top_apps;
 use wla_crawler::loadtime::{figure7_series, LoadContext, LoadMode};
 use wla_crawler::EndpointKind;
 use wla_report::{
-    bar_chart, heatmap, percent, thousands, Comparison, PipelineStatsReport, Series, Table,
-    UrlOriginReport,
+    bar_chart, heatmap, percent, thousands, Comparison, CrawlStatsReport, PipelineStatsReport,
+    Series, Table, UrlOriginReport,
 };
 use wla_sdk_index::SdkCategory;
 
@@ -96,6 +96,50 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         entries_cached: s.stream.entries_cached as u64,
         bytes_mapped: s.stream.bytes_mapped,
         peak_mapped_bytes: s.stream.peak_mapped_bytes,
+    }
+}
+
+/// Flatten a crawl run's [`wla_dynamic::CrawlStats`] into the renderer's
+/// plain-data report.
+pub fn crawl_stats_report(run: &CrawlRun) -> CrawlStatsReport {
+    let s = &run.stats;
+    let ms = |ns: u64| ns as f64 * 1e-6;
+    CrawlStatsReport {
+        visits_total: s.visits_total as u64,
+        visits_completed: s.visits_completed as u64,
+        visits_panicked: s.visits_panicked as u64,
+        rows: s.rows as u64,
+        sites: s.sites as u64,
+        workers: s.workers.len(),
+        batch: s.batch,
+        steps_executed: s.steps_executed,
+        requests_logged: s.requests_logged,
+        wall_ms: ms(s.total_ns),
+        prepare_ms: ms(s.prepare_ns),
+        visit_ms: ms(s.visit_ns),
+        merge_ms: ms(s.merge_ns),
+        visits_per_second: if s.total_ns > 0 {
+            s.visits_total as f64 / (s.total_ns as f64 * 1e-9)
+        } else {
+            0.0
+        },
+        utilization: s.utilization(),
+        interned_symbols: s.interner.global_symbols as u64,
+        interned_bytes: s.interner.global_bytes as u64,
+        intern_hit_rate: {
+            let total = s.interner.local_hits + s.interner.local_misses;
+            if total > 0 {
+                s.interner.local_hits as f64 / total as f64
+            } else {
+                0.0
+            }
+        },
+        classify_hit_rate: s.classify_hit_rate(),
+        failure_kinds: s
+            .failure_kinds
+            .iter()
+            .map(|(kind, count)| ((*kind).to_owned(), *count as u64))
+            .collect(),
     }
 }
 
@@ -920,6 +964,32 @@ mod tests {
         // shard-streaming table.
         assert_eq!(report.shards_read + report.shards_cached, 0);
         assert!(!rendered.contains("Shard streaming"));
+    }
+
+    #[test]
+    fn crawl_stats_report_flattens_the_run() {
+        let study = Study::default_experiment();
+        let run = study.run_crawl_parallel(
+            Some(&["Kik"]),
+            wla_dynamic::CrawlConfig {
+                workers: 2,
+                batch: 0,
+                oversubscribe: true,
+            },
+        );
+        let report = crawl_stats_report(&run);
+        assert_eq!(report.visits_total, 200); // (baseline + Kik) x 100 sites
+        assert_eq!(report.visits_completed, report.visits_total);
+        assert_eq!(report.visits_panicked, 0);
+        assert_eq!(report.workers, 2);
+        assert!(report.visits_per_second > 0.0);
+        assert!(report.intern_hit_rate > 0.0);
+        assert!(report.classify_hit_rate > 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("Crawl run summary"));
+        assert!(rendered.contains("2 rows x 100 sites = 200"));
+        assert!(rendered.contains("Crawl phase timing"));
+        assert!(!rendered.contains("Crawl failure taxonomy"));
     }
 
     #[test]

@@ -87,22 +87,46 @@ const APP_SERVICE_SUFFIXES: &[&str] = &[
     "kik.com",
 ];
 
-/// Classify `host` relative to the visited `site_host`.
-pub fn classify_endpoint(host: &str, site_host: &str) -> EndpointKind {
-    if host == site_host || host.ends_with(&format!(".{site_host}")) {
-        return EndpointKind::FirstParty;
+/// Label-aligned suffix match: `host` is `suffix` itself or a subdomain
+/// of it. No allocation — the dot alignment is checked positionally.
+fn suffix_matches(host: &str, suffix: &str) -> bool {
+    if host.len() == suffix.len() {
+        return host == suffix;
     }
+    host.len() > suffix.len()
+        && host.ends_with(suffix)
+        && host.as_bytes()[host.len() - suffix.len() - 1] == b'.'
+}
+
+/// Is `host` the visited site itself or one of its subdomains?
+pub fn is_first_party(host: &str, site_host: &str) -> bool {
+    suffix_matches(host, site_host)
+}
+
+/// Classify `host` by the suffix-rule tables alone, ignoring which site
+/// was visited. This is the site-independent part of
+/// [`classify_endpoint`] — a pure function of the host, which is what
+/// makes the crawl pipeline's per-symbol classification memo sound.
+pub fn classify_third_party(host: &str) -> EndpointKind {
     for (suffix, kind) in RULES {
-        if host == *suffix || host.ends_with(&format!(".{suffix}")) {
+        if suffix_matches(host, suffix) {
             return *kind;
         }
     }
     for suffix in APP_SERVICE_SUFFIXES {
-        if host == *suffix || host.ends_with(&format!(".{suffix}")) {
+        if suffix_matches(host, suffix) {
             return EndpointKind::AppService;
         }
     }
     EndpointKind::Other
+}
+
+/// Classify `host` relative to the visited `site_host`.
+pub fn classify_endpoint(host: &str, site_host: &str) -> EndpointKind {
+    if is_first_party(host, site_host) {
+        return EndpointKind::FirstParty;
+    }
+    classify_third_party(host)
 }
 
 #[cfg(test)]
@@ -165,6 +189,26 @@ mod tests {
             classify_endpoint("px.ads.linkedin.com", "x.com"),
             EndpointKind::AdNetwork
         );
+    }
+
+    #[test]
+    fn split_classifier_matches_composed_one() {
+        for (host, site) in [
+            ("ads.mopub.com", "news0.example-1.com"),
+            ("cdn.news0.example-1.com", "news0.example-1.com"),
+            ("px.ads.linkedin.com", "x.com"),
+            ("mopub.com.evil.net", "x.com"),
+            ("om", "t.co"), // shorter than every suffix
+            ("co", "t.co"),
+        ] {
+            let composed = classify_endpoint(host, site);
+            let split = if is_first_party(host, site) {
+                EndpointKind::FirstParty
+            } else {
+                classify_third_party(host)
+            };
+            assert_eq!(composed, split, "{host} vs {site}");
+        }
     }
 
     #[test]

@@ -7,25 +7,33 @@
 //! next crawl, we also purge the logs on the device, terminate the app,
 //! and wait for 1 minute." [`crawl_app`] executes exactly that loop on the
 //! simulated device; [`crawl_baseline`] is the System WebView Shell run.
+//!
+//! Every visit runs on its own [`VisitSession`] — fresh netlog, fresh
+//! logcat, visit-scoped source ids — so [`run_visit`] is a pure function
+//! of `(site, profile)` and the paper's "purge the logs" step is the
+//! session drop itself. The string-keyed [`CrawlRecord`]/[`figure6`] path
+//! here is the serial oracle the interned parallel pipeline in
+//! `wla-dynamic` is equivalence-pinned against.
 
 use crate::classify::{classify_endpoint, EndpointKind};
-use crate::sites::{site_extra_requests, site_html, SiteCategory, TopSite};
+use crate::sites::{SiteCategory, TopSite};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use wla_device::iab::{open_in_iab, IabProfile};
-use wla_device::webview::{PageSource, WebViewInstance};
-use wla_device::{FridaRecorder, Logcat};
-use wla_net::NetLog;
+use wla_device::session::VisitSession;
+use wla_device::webview::{PageSource, PreparedPage, WebViewInstance};
 
 /// One step of the scripted UI traversal (kept explicit so logcat shows
 /// the same sequence a real ADB transcript would).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrawlStep {
     /// `adb shell monkey -p <pkg> 1` — launch.
     LaunchApp,
     /// Simulated screen taps to the target activity.
     NavigateToActivity,
-    /// `adb shell input text <url>`.
-    InsertUrl(String),
+    /// `adb shell input text <url>` — the crawl URL comes from the visit's
+    /// page source.
+    InsertUrl,
     /// Tap the URL to open the IAB.
     TapUrl,
     /// Swipe to the end of the page.
@@ -41,19 +49,29 @@ pub enum CrawlStep {
 }
 
 /// The canonical per-visit script.
-pub fn visit_script(url: &str) -> Vec<CrawlStep> {
-    vec![
-        CrawlStep::LaunchApp,
-        CrawlStep::NavigateToActivity,
-        CrawlStep::InsertUrl(url.to_owned()),
-        CrawlStep::TapUrl,
-        CrawlStep::ScrollToEnd,
-        CrawlStep::Wait(20_000),
-        CrawlStep::CollectLog,
-        CrawlStep::PurgeLogs,
-        CrawlStep::KillApp,
-        CrawlStep::Wait(60_000),
-    ]
+pub const VISIT_SCRIPT: [CrawlStep; 10] = [
+    CrawlStep::LaunchApp,
+    CrawlStep::NavigateToActivity,
+    CrawlStep::InsertUrl,
+    CrawlStep::TapUrl,
+    CrawlStep::ScrollToEnd,
+    CrawlStep::Wait(20_000),
+    CrawlStep::CollectLog,
+    CrawlStep::PurgeLogs,
+    CrawlStep::KillApp,
+    CrawlStep::Wait(60_000),
+];
+
+/// What a single visit left behind in its session: which source id the
+/// page loaded under, and how much work the script did. The caller pulls
+/// hosts out of the session in whatever representation it wants (owned
+/// strings for the oracle path, interned symbols for the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisitObservation {
+    /// Netlog source id of the visit's WebView instance.
+    pub source_id: u32,
+    /// Script steps executed.
+    pub steps: u32,
 }
 
 /// Result of one (app, site) visit.
@@ -67,43 +85,73 @@ pub struct CrawlRecord {
     pub category: SiteCategory,
     /// Distinct hosts contacted during the visit.
     pub hosts: BTreeSet<String>,
+    /// Endpoint kind per host, parallel to `hosts` iteration order —
+    /// classified exactly once, at record construction.
+    pub kinds: Vec<EndpointKind>,
 }
 
 impl CrawlRecord {
-    /// Hosts classified by kind (relative to the visited site).
+    /// Build a record, classifying every host once.
+    pub fn new(
+        app: String,
+        site_host: String,
+        category: SiteCategory,
+        hosts: BTreeSet<String>,
+    ) -> CrawlRecord {
+        let kinds = hosts
+            .iter()
+            .map(|h| classify_endpoint(h, &site_host))
+            .collect();
+        CrawlRecord {
+            app,
+            site_host,
+            category,
+            hosts,
+            kinds,
+        }
+    }
+
+    /// Hosts by kind (relative to the visited site), counted from the
+    /// kinds stored at construction.
     pub fn classified(&self) -> BTreeMap<EndpointKind, usize> {
         let mut out = BTreeMap::new();
-        for h in &self.hosts {
-            *out.entry(classify_endpoint(h, &self.site_host))
-                .or_insert(0) += 1;
+        for k in &self.kinds {
+            *out.entry(*k).or_insert(0) += 1;
         }
         out
     }
 }
 
-fn run_visit(
-    site: &TopSite,
-    profile: Option<&IabProfile>,
-    source_id: u32,
-    netlog: &NetLog,
-    logcat: &Logcat,
-) -> CrawlRecord {
-    let app = profile
-        .map(|p| p.package.to_owned())
-        .unwrap_or_else(|| "system-webview-shell".to_owned());
-    let url = site.url();
+/// Display app id for the baseline run.
+pub const BASELINE_APP: &str = "system-webview-shell";
 
-    for step in visit_script(&url) {
+/// Execute the visit script for `site` through `profile`'s IAB (or the
+/// System WebView Shell when `None`) on the visit's own session, loading
+/// the page from `source`. Pure in `(site, profile, source)`: all state
+/// lives in `session`.
+pub fn run_visit_with_source(
+    site: &TopSite,
+    source: PageSource,
+    profile: Option<&IabProfile>,
+    session: &mut VisitSession,
+) -> VisitObservation {
+    let url = site.url();
+    let source_id = session.allocate_source_id();
+    let logcat = session.logcat();
+    let netlog = session.netlog();
+
+    let steps = VISIT_SCRIPT.len() as u32;
+    let mut source = Some(source);
+    for step in VISIT_SCRIPT {
         match step {
-            CrawlStep::LaunchApp => logcat.info("adb", &format!("monkey -p {app} 1")),
+            CrawlStep::LaunchApp => match profile {
+                Some(p) => logcat.info("adb", &format!("monkey -p {} 1", p.package)),
+                None => logcat.info("adb", &format!("monkey -p {BASELINE_APP} 1")),
+            },
             CrawlStep::NavigateToActivity => logcat.info("adb", "input tap 540 1200"),
-            CrawlStep::InsertUrl(u) => logcat.info("adb", &format!("input text {u}")),
+            CrawlStep::InsertUrl => logcat.info("adb", &format!("input text {url}")),
             CrawlStep::TapUrl => {
-                let source = PageSource::Synthetic {
-                    url: url.clone(),
-                    html: site_html(site),
-                    extra_requests: site_extra_requests(site),
-                };
+                let source = source.take().expect("TapUrl appears once per script");
                 match profile {
                     Some(profile) => {
                         let _ = open_in_iab(
@@ -111,7 +159,7 @@ fn run_visit(
                             source_id,
                             source,
                             site.category.richness(),
-                            FridaRecorder::new(),
+                            session.recorder().clone(),
                             netlog.clone(),
                             logcat.clone(),
                             None,
@@ -122,7 +170,7 @@ fn run_visit(
                         let mut wv = WebViewInstance::new(
                             source_id,
                             "org.chromium.webview_shell",
-                            FridaRecorder::new(),
+                            session.recorder().clone(),
                             netlog.clone(),
                             logcat.clone(),
                         );
@@ -133,31 +181,55 @@ fn run_visit(
             CrawlStep::ScrollToEnd => logcat.info("adb", "input swipe 540 1600 540 400"),
             CrawlStep::Wait(ms) => netlog.advance_clock(ms),
             CrawlStep::CollectLog => {}
+            // Nothing to purge: the session dies with the visit.
             CrawlStep::PurgeLogs | CrawlStep::KillApp => {}
         }
     }
 
-    let hosts = netlog.distinct_hosts_for(source_id);
-    // Purge for the next visit, as the script does.
-    netlog.clear();
-    logcat.clear();
+    VisitObservation { source_id, steps }
+}
 
-    CrawlRecord {
+/// [`run_visit_with_source`] over freshly generated synthetic site
+/// content — the seed path, regenerating and re-parsing the page markup
+/// on every visit. Kept as the oracle and the bench ablation baseline.
+pub fn run_visit(
+    site: &TopSite,
+    profile: Option<&IabProfile>,
+    session: &mut VisitSession,
+) -> VisitObservation {
+    run_visit_with_source(site, site.synthetic_source(), profile, session)
+}
+
+/// [`run_visit_with_source`] over a page prepared once per site — the
+/// pipeline's fast path (no re-parse, shared URL strings).
+pub fn run_visit_prepared(
+    site: &TopSite,
+    page: &Arc<PreparedPage>,
+    profile: Option<&IabProfile>,
+    session: &mut VisitSession,
+) -> VisitObservation {
+    run_visit_with_source(site, PageSource::Prepared(page.clone()), profile, session)
+}
+
+fn record_for(site: &TopSite, profile: Option<&IabProfile>) -> CrawlRecord {
+    let mut session = VisitSession::new();
+    let obs = run_visit(site, profile, &mut session);
+    let app = profile
+        .map(|p| p.package.to_owned())
+        .unwrap_or_else(|| BASELINE_APP.to_owned());
+    CrawlRecord::new(
         app,
-        site_host: site.host.clone(),
-        category: site.category,
-        hosts,
-    }
+        site.host.clone(),
+        site.category,
+        session.netlog().distinct_hosts_for(obs.source_id),
+    )
 }
 
 /// Crawl every site through one app's IAB.
 pub fn crawl_app(profile: &IabProfile, sites: &[TopSite]) -> Vec<CrawlRecord> {
-    let netlog = NetLog::new();
-    let logcat = Logcat::new();
     sites
         .iter()
-        .enumerate()
-        .map(|(i, site)| run_visit(site, Some(profile), i as u32 + 1, &netlog, &logcat))
+        .map(|site| record_for(site, Some(profile)))
         .collect()
 }
 
@@ -165,13 +237,7 @@ pub fn crawl_app(profile: &IabProfile, sites: &[TopSite]) -> Vec<CrawlRecord> {
 /// network requests expected to be made from a WebView without any
 /// injections").
 pub fn crawl_baseline(sites: &[TopSite]) -> Vec<CrawlRecord> {
-    let netlog = NetLog::new();
-    let logcat = Logcat::new();
-    sites
-        .iter()
-        .enumerate()
-        .map(|(i, site)| run_visit(site, None, i as u32 + 1, &netlog, &logcat))
-        .collect()
+    sites.iter().map(|site| record_for(site, None)).collect()
 }
 
 /// One Figure 6 bar: per site category, the average number of distinct
@@ -187,53 +253,75 @@ pub struct Figure6Row {
     pub by_kind: BTreeMap<EndpointKind, f64>,
 }
 
-/// Aggregate app-vs-baseline crawls into Figure 6 rows.
+/// Average per-visit kind counts into one row. `visits` is the per-visit
+/// specific-endpoint tally for one category; an empty slice yields the
+/// explicit all-zero row (a category crawled zero times, or one whose
+/// IAB added nothing, must still appear in the figure). Public because the
+/// interned pipeline in `wla-dynamic` folds its symbol-keyed tallies
+/// through this exact function — sharing the accumulation order is what
+/// makes its figures bit-identical to this string-path oracle.
+pub fn figure6_row(category: SiteCategory, visits: &[BTreeMap<EndpointKind, usize>]) -> Figure6Row {
+    if visits.is_empty() {
+        return Figure6Row {
+            category,
+            avg_endpoints: 0.0,
+            by_kind: BTreeMap::new(),
+        };
+    }
+    let n = visits.len() as f64;
+    let mut by_kind: BTreeMap<EndpointKind, f64> = BTreeMap::new();
+    let mut total = 0usize;
+    for v in visits {
+        for (&k, &c) in v {
+            *by_kind.entry(k).or_insert(0.0) += c as f64;
+            total += c;
+        }
+    }
+    for v in by_kind.values_mut() {
+        *v /= n;
+    }
+    Figure6Row {
+        category,
+        avg_endpoints: total as f64 / n,
+        by_kind,
+    }
+}
+
+/// Aggregate app-vs-baseline crawls into Figure 6 rows — one row per
+/// [`SiteCategory`], in category order, zero rows included. Endpoint
+/// kinds come from the records (classified once at construction), not
+/// from re-running the classifier here.
 pub fn figure6(app_records: &[CrawlRecord], baseline: &[CrawlRecord]) -> Vec<Figure6Row> {
     let baseline_by_site: BTreeMap<&str, &CrawlRecord> =
         baseline.iter().map(|r| (r.site_host.as_str(), r)).collect();
-    let mut per_cat: BTreeMap<SiteCategory, Vec<BTreeMap<EndpointKind, usize>>> = BTreeMap::new();
+    let mut per_cat: BTreeMap<SiteCategory, Vec<BTreeMap<EndpointKind, usize>>> =
+        SiteCategory::ALL.iter().map(|&c| (c, Vec::new())).collect();
     for rec in app_records {
         let base_hosts: &BTreeSet<String> = match baseline_by_site.get(rec.site_host.as_str()) {
             Some(b) => &b.hosts,
             None => continue,
         };
-        let specific: BTreeSet<&String> = rec.hosts.difference(base_hosts).collect();
         let mut kinds: BTreeMap<EndpointKind, usize> = BTreeMap::new();
-        for h in specific {
-            *kinds
-                .entry(classify_endpoint(h, &rec.site_host))
-                .or_insert(0) += 1;
+        for (h, k) in rec.hosts.iter().zip(&rec.kinds) {
+            if !base_hosts.contains(h) {
+                *kinds.entry(*k).or_insert(0) += 1;
+            }
         }
-        per_cat.entry(rec.category).or_default().push(kinds);
+        per_cat
+            .get_mut(&rec.category)
+            .expect("ALL covers every category")
+            .push(kinds);
     }
     per_cat
         .into_iter()
-        .map(|(category, visits)| {
-            let n = visits.len() as f64;
-            let mut by_kind: BTreeMap<EndpointKind, f64> = BTreeMap::new();
-            let mut total = 0usize;
-            for v in &visits {
-                for (&k, &c) in v {
-                    *by_kind.entry(k).or_insert(0.0) += c as f64;
-                    total += c;
-                }
-            }
-            for v in by_kind.values_mut() {
-                *v /= n;
-            }
-            Figure6Row {
-                category,
-                avg_endpoints: total as f64 / n,
-                by_kind,
-            }
-        })
+        .map(|(category, visits)| figure6_row(category, &visits))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sites::top_100_sites;
+    use crate::sites::{site_page, top_100_sites};
     use wla_device::iab::profile_for;
 
     #[test]
@@ -250,6 +338,43 @@ mod tests {
     }
 
     #[test]
+    fn prepared_visit_matches_synthetic_visit() {
+        let sites = top_100_sites();
+        let profile = profile_for("kik.android").unwrap();
+        for site in sites.iter().step_by(17) {
+            let page = Arc::new(site_page(site));
+            for profile in [None, Some(&profile)] {
+                let mut fresh = VisitSession::new();
+                let a = run_visit(site, profile, &mut fresh);
+                let mut prepared = VisitSession::new();
+                let b = run_visit_prepared(site, &page, profile, &mut prepared);
+                assert_eq!(a, b);
+                // Same events in the same order — not just the same hosts.
+                assert_eq!(fresh.netlog().events(), prepared.netlog().events());
+                assert_eq!(fresh.logcat().lines(), prepared.logcat().lines());
+            }
+        }
+    }
+
+    #[test]
+    fn record_kinds_parallel_hosts_and_classified_agrees() {
+        let sites = top_100_sites();
+        let profile = profile_for("kik.android").unwrap();
+        let rec = &crawl_app(&profile, &sites[..3])[0];
+        assert_eq!(rec.hosts.len(), rec.kinds.len());
+        for ((h, k), via_classify) in rec
+            .hosts
+            .iter()
+            .zip(&rec.kinds)
+            .map(|(h, k)| ((h, *k), classify_endpoint(h, &rec.site_host)))
+        {
+            assert_eq!(k, via_classify, "{h}");
+        }
+        let counted: usize = rec.classified().values().sum();
+        assert_eq!(counted, rec.hosts.len());
+    }
+
+    #[test]
     fn linkedin_figure6_shape() {
         let sites = top_100_sites();
         let profile = profile_for("com.linkedin.android").unwrap();
@@ -257,8 +382,8 @@ mod tests {
         let get = |cat: SiteCategory| {
             rows.iter()
                 .find(|r| r.category == cat)
-                .map(|r| r.avg_endpoints)
-                .unwrap_or(0.0)
+                .expect("every category has a row")
+                .avg_endpoints
         };
         // News-rich pages trigger more IAB endpoints than Search.
         assert!(get(SiteCategory::News) > get(SiteCategory::Search));
@@ -308,16 +433,38 @@ mod tests {
         let sites: Vec<TopSite> = top_100_sites().into_iter().take(20).collect();
         let profile = profile_for("com.snapchat.android").unwrap();
         let rows = figure6(&crawl_app(&profile, &sites), &crawl_baseline(&sites));
+        assert_eq!(rows.len(), SiteCategory::ALL.len());
         for row in rows {
             assert_eq!(row.avg_endpoints, 0.0, "{row:?}");
         }
     }
 
     #[test]
+    fn every_category_gets_a_row_even_on_subsets() {
+        // The first ten sites are all News — the other nine categories
+        // must still be present, as explicit zero rows.
+        let sites: Vec<TopSite> = top_100_sites().into_iter().take(10).collect();
+        assert!(sites.iter().all(|s| s.category == SiteCategory::News));
+        let profile = profile_for("kik.android").unwrap();
+        let rows = figure6(&crawl_app(&profile, &sites), &crawl_baseline(&sites));
+        assert_eq!(rows.len(), SiteCategory::ALL.len());
+        let news = rows
+            .iter()
+            .find(|r| r.category == SiteCategory::News)
+            .unwrap();
+        assert!(news.avg_endpoints > 0.0);
+        for row in rows.iter().filter(|r| r.category != SiteCategory::News) {
+            assert_eq!(row.avg_endpoints, 0.0, "{row:?}");
+            assert!(row.by_kind.is_empty(), "{row:?}");
+        }
+    }
+
+    #[test]
     fn visit_script_matches_paper_sequence() {
-        let script = visit_script("https://x.example/");
-        assert!(matches!(script[0], CrawlStep::LaunchApp));
-        assert!(matches!(script[5], CrawlStep::Wait(20_000)));
-        assert!(matches!(script.last(), Some(CrawlStep::Wait(60_000))));
+        assert_eq!(VISIT_SCRIPT.len(), 10);
+        assert!(matches!(VISIT_SCRIPT[0], CrawlStep::LaunchApp));
+        assert!(matches!(VISIT_SCRIPT[2], CrawlStep::InsertUrl));
+        assert!(matches!(VISIT_SCRIPT[5], CrawlStep::Wait(20_000)));
+        assert!(matches!(VISIT_SCRIPT.last(), Some(CrawlStep::Wait(60_000))));
     }
 }

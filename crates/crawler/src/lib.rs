@@ -22,7 +22,10 @@ pub mod driver;
 pub mod loadtime;
 pub mod sites;
 
-pub use classify::{classify_endpoint, EndpointKind};
-pub use driver::{crawl_app, crawl_baseline, CrawlRecord, CrawlStep, Figure6Row};
+pub use classify::{classify_endpoint, classify_third_party, is_first_party, EndpointKind};
+pub use driver::{
+    crawl_app, crawl_baseline, figure6, figure6_row, run_visit, run_visit_prepared, CrawlRecord,
+    CrawlStep, Figure6Row, VisitObservation, BASELINE_APP, VISIT_SCRIPT,
+};
 pub use loadtime::{load_time_ms, LoadContext, LoadMode};
-pub use sites::{top_100_sites, SiteCategory, TopSite};
+pub use sites::{site_page, top_100_sites, SiteCategory, TopSite};

@@ -7,6 +7,9 @@
 //! activates (Figure 6's x-axis effect).
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use wla_device::webview::{PageSource, PreparedPage};
+use wla_web::Document;
 
 /// Site categories (Sitereview-style; the x-axis of Figures 6a/6b).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -105,6 +108,112 @@ impl TopSite {
     pub fn url(&self) -> String {
         format!("https://{}/", self.host)
     }
+
+    /// Freshly generated synthetic page source for this site — regenerates
+    /// the markup and re-parses on load (the seed crawl path).
+    pub fn synthetic_source(&self) -> PageSource {
+        PageSource::Synthetic {
+            url: self.url(),
+            html: site_html(self),
+            extra_requests: site_extra_requests(self),
+        }
+    }
+}
+
+/// Prepare a site's page once — DOM and resolved subresource URL list —
+/// for sharing across every visit to that site. Builds the document and
+/// its resolved fetch list directly from the same recipe [`site_html`]
+/// renders, skipping the markup/parse/DOM-walk round-trip;
+/// `site_page_matches_parsed_markup` pins the two paths node-for-node and
+/// URL-for-URL over the whole corpus.
+pub fn site_page(site: &TopSite) -> PreparedPage {
+    let r = site.category.richness() as usize;
+    let mut doc = Document::new();
+    let head = doc.head().expect("skeleton");
+    let body = doc.body().expect("skeleton");
+    // Resolved subresources accumulate in document order — the order
+    // `collect_subresource_urls` walks the parsed DOM.
+    let mut sub_urls: Vec<Arc<str>> = Vec::with_capacity(10 + r / 2);
+
+    let meta = doc.alloc_element("meta");
+    doc.set_attr(meta, "name", "description");
+    doc.set_attr(meta, "content", &format!("{} landing", site.host));
+    doc.append_child(head, meta);
+    let link = doc.alloc_element("link");
+    doc.set_attr(link, "href", "/static/site.css");
+    doc.append_child(head, link);
+    sub_urls.push(format!("https://{}/static/site.css", site.host).into());
+
+    let h1 = doc.alloc_element("h1");
+    let title = doc.alloc_text(&site.host);
+    doc.append_child(h1, title);
+    doc.append_child(body, h1);
+    for p in 0..(2 + r) {
+        let para = doc.alloc_element("p");
+        let text = doc.alloc_text(&format!(
+            "Article paragraph {p} with body copy for {}.",
+            site.category.label()
+        ));
+        doc.append_child(para, text);
+        doc.append_child(body, para);
+    }
+    for img in 0..(1 + r / 2) {
+        let el = doc.alloc_element("img");
+        doc.set_attr(el, "src", &format!("/media/img{img}.jpg"));
+        doc.append_child(body, el);
+        sub_urls.push(format!("https://{}/media/img{img}.jpg", site.host).into());
+    }
+    let mut script = |doc: &mut Document, src: &str, resolved: Arc<str>| {
+        let el = doc.alloc_element("script");
+        doc.set_attr(el, "src", src);
+        doc.append_child(body, el);
+        sub_urls.push(resolved);
+    };
+    script(
+        &mut doc,
+        "/static/bundle.js",
+        format!("https://{}/static/bundle.js", site.host).into(),
+    );
+    script(
+        &mut doc,
+        "https://analytics.site-metrics.net/ga.js",
+        "https://analytics.site-metrics.net/ga.js".into(),
+    );
+    if r >= 5 {
+        script(
+            &mut doc,
+            "https://static.site-ads.net/slot.js",
+            "https://static.site-ads.net/slot.js".into(),
+        );
+        let ins = doc.alloc_element("ins");
+        doc.set_attr(ins, "class", "adsbygoogle");
+        doc.append_child(body, ins);
+    }
+    if r >= 8 {
+        script(
+            &mut doc,
+            "https://cdn.tag-manager.net/tm.js",
+            "https://cdn.tag-manager.net/tm.js".into(),
+        );
+        let frame = doc.alloc_element("iframe");
+        doc.set_attr(frame, "src", "https://video.player-cdn.net/embed");
+        doc.append_child(body, frame);
+        sub_urls.push("https://video.player-cdn.net/embed".into());
+    }
+
+    // The site's own non-DOM requests (`site_extra_requests`) close the
+    // fetch list, as `PreparedPage::from_document` appends them.
+    sub_urls.push(format!("https://{}/api/config", site.host).into());
+    if r >= 6 {
+        sub_urls.push("https://beacons.site-metrics.net/v1/collect".into());
+    }
+
+    PreparedPage {
+        url: site.url().into(),
+        doc: Arc::new(doc),
+        sub_urls,
+        readonly: Default::default(),
+    }
 }
 
 /// The 100-site list: ten per category, deterministic.
@@ -173,6 +282,24 @@ pub fn site_extra_requests(site: &TopSite) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn site_page_matches_parsed_markup() {
+        // The direct document build must equal the markup round-trip
+        // node-for-node (same arena order, attributes, and text), and the
+        // resolved fetch list must match URL-for-URL.
+        for site in top_100_sites() {
+            let direct = site_page(&site);
+            let parsed = PreparedPage::from_markup(
+                &site.url(),
+                &site_html(&site),
+                &site_extra_requests(&site),
+            );
+            assert_eq!(*direct.doc, *parsed.doc, "{}", site.host);
+            assert_eq!(direct.sub_urls, parsed.sub_urls, "{}", site.host);
+            assert_eq!(direct.url, parsed.url);
+        }
+    }
 
     #[test]
     fn exactly_one_hundred_sites_ten_per_category() {

@@ -16,6 +16,8 @@ use wla_web::script::{AdPayload, ScriptEffect, ScriptOutcome};
 
 /// One endpoint the IAB contacts on its own initiative, gated on how
 /// content-rich the visited page is (0 = always, 10 = only the richest).
+/// A profile's rules are kept ordered by `min_richness`, so the set that
+/// fires for a given page is always a prefix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EndpointRule {
     /// Host contacted.
@@ -41,8 +43,12 @@ pub struct IabProfile {
     pub obfuscated_bridge: bool,
     /// Script effects injected after page load.
     pub scripts: Vec<ScriptEffect>,
-    /// IAB-initiated endpoint contacts.
+    /// IAB-initiated endpoint contacts, ordered by `min_richness`.
     pub endpoint_rules: Vec<EndpointRule>,
+    /// Contact URL per endpoint rule, derived once by
+    /// [`IabProfile::with_collect_urls`] and shared across visits so the
+    /// hot crawl path records them without allocating.
+    pub collect_urls: Vec<std::sync::Arc<str>>,
 }
 
 impl IabProfile {
@@ -54,6 +60,24 @@ impl IabProfile {
     /// Does the profile inject any JS bridge?
     pub fn injects_bridge(&self) -> bool {
         !self.bridges.is_empty()
+    }
+
+    /// Derive the shared per-rule contact URLs (and check the richness
+    /// ordering the prefix-firing fast path relies on).
+    pub fn with_collect_urls(mut self) -> IabProfile {
+        debug_assert!(
+            self.endpoint_rules
+                .windows(2)
+                .all(|w| w[0].min_richness <= w[1].min_richness),
+            "{}: endpoint rules must be ordered by min_richness",
+            self.app_name
+        );
+        self.collect_urls = self
+            .endpoint_rules
+            .iter()
+            .map(|rule| format!("https://{}/collect", rule.host).into())
+            .collect();
+        self
     }
 }
 
@@ -94,6 +118,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "Post",
             redirector: Some("lm.facebook.com/l.php"),
             bridges: meta_bridges.clone(),
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: meta_scripts.clone(),
             endpoint_rules: vec![],
@@ -104,6 +129,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "DM",
             redirector: Some("l.instagram.com"),
             bridges: meta_bridges,
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: meta_scripts,
             endpoint_rules: vec![],
@@ -114,6 +140,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "Story",
             redirector: None,
             bridges: vec![],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![],
             endpoint_rules: vec![],
@@ -124,6 +151,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "DM",
             redirector: Some("t.co"),
             bridges: vec![],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![],
             endpoint_rules: vec![],
@@ -134,6 +162,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "Post",
             redirector: None,
             bridges: vec![],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             // The Cedexis Radar client runs as injected JS interacting with
             // the radar API; its network side is the endpoint rules below.
@@ -175,6 +204,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "DM",
             redirector: None,
             bridges: vec!["a"],
+            collect_urls: Vec::new(),
             obfuscated_bridge: true,
             scripts: vec![],
             endpoint_rules: vec![],
@@ -185,6 +215,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "Profile",
             redirector: None,
             bridges: vec!["googleAdsJsInterface"],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![google_ads_probe()],
             endpoint_rules: vec![
@@ -204,6 +235,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "Bio",
             redirector: None,
             bridges: vec!["googleAdsJsInterface"],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![google_ads_probe()],
             endpoint_rules: vec![
@@ -223,6 +255,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "DM",
             redirector: None,
             bridges: vec![],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![],
             endpoint_rules: vec![],
@@ -233,6 +266,7 @@ pub fn all_profiles() -> Vec<IabProfile> {
             surface: "DM",
             redirector: None,
             bridges: vec!["googleAdsJsInterface"],
+            collect_urls: Vec::new(),
             obfuscated_bridge: false,
             scripts: vec![google_ads_probe(), ScriptEffect::ReadOnlyScan],
             endpoint_rules: vec![
@@ -311,6 +345,9 @@ pub fn all_profiles() -> Vec<IabProfile> {
             ],
         },
     ]
+    .into_iter()
+    .map(IabProfile::with_collect_urls)
+    .collect()
 }
 
 /// Profile lookup by package name.
@@ -412,9 +449,17 @@ pub fn open_in_iab(
         }
     }
 
-    // IAB-initiated endpoint contacts, richness-gated.
-    for rule in &profile.endpoint_rules {
-        if richness >= rule.min_richness {
+    // IAB-initiated endpoint contacts, richness-gated. Rules are ordered
+    // by `min_richness`, so the firing set is a prefix; profiles built by
+    // [`IabProfile::with_collect_urls`] record it without allocating.
+    let fired = profile
+        .endpoint_rules
+        .partition_point(|rule| richness >= rule.min_richness);
+    if profile.collect_urls.len() == profile.endpoint_rules.len() {
+        netlog.record_request_pairs(source_id, &profile.collect_urls[..fired], 1);
+    } else {
+        // Hand-built profile without derived URLs: same records, per-rule.
+        for rule in &profile.endpoint_rules[..fired] {
             let url = format!("https://{}/collect", rule.host);
             netlog.advance_clock(1);
             netlog.record(source_id, &url, NetLogPhase::RequestSent);
@@ -454,6 +499,23 @@ mod tests {
             None,
         );
         (visit, netlog, recorder)
+    }
+
+    #[test]
+    fn endpoint_rules_are_richness_ordered_with_derived_urls() {
+        for p in all_profiles() {
+            assert!(
+                p.endpoint_rules
+                    .windows(2)
+                    .all(|w| w[0].min_richness <= w[1].min_richness),
+                "{}",
+                p.app_name
+            );
+            assert_eq!(p.collect_urls.len(), p.endpoint_rules.len());
+            for (url, rule) in p.collect_urls.iter().zip(&p.endpoint_rules) {
+                assert_eq!(url.as_ref(), format!("https://{}/collect", rule.host));
+            }
+        }
     }
 
     #[test]

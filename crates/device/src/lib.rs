@@ -32,6 +32,7 @@ pub mod logcat;
 pub mod monkey;
 pub mod oauth;
 pub mod security;
+pub mod session;
 pub mod webview;
 
 pub use browser::Browser;
@@ -43,4 +44,5 @@ pub use logcat::Logcat;
 pub use monkey::{monkey_success_rate, run_monkey, MonkeyOutcome};
 pub use oauth::{run_oauth_flow, AuthMechanism, OAuthOutcome};
 pub use security::{page_invoke_bridge, BridgeData, BridgeHost, LoadVerdict, SafeBrowsing};
-pub use webview::{PageSource, WebViewInstance, WebViewSettings};
+pub use session::VisitSession;
+pub use webview::{PageSource, PreparedPage, WebViewInstance, WebViewSettings};

@@ -1,0 +1,88 @@
+//! Per-visit device session.
+//!
+//! The crawl script's "purge the logs on the device" step used to be a
+//! `netlog.clear()` on a device-wide shared log — which serialized every
+//! visit and made `run_visit` order-dependent. A [`VisitSession`] is the
+//! per-visit replacement: its own netlog, its own logcat, its own hook
+//! recorder, and visit-scoped source-id allocation. A visit that owns its
+//! session is a pure function of `(site, profile)`; nothing needs purging
+//! because the whole session is dropped with the visit, and sessions on
+//! different worker threads never contend.
+
+use crate::frida::FridaRecorder;
+use crate::logcat::Logcat;
+use wla_net::NetLog;
+
+/// Device state scoped to a single visit: fresh logs, fresh recorder,
+/// fresh source-id space.
+#[derive(Debug, Default, Clone)]
+pub struct VisitSession {
+    netlog: NetLog,
+    logcat: Logcat,
+    recorder: FridaRecorder,
+    next_source_id: u32,
+}
+
+impl VisitSession {
+    /// Fresh session (empty logs, source ids starting at 1).
+    pub fn new() -> VisitSession {
+        VisitSession::default()
+    }
+
+    /// Allocate the next WebView source id in this session's private id
+    /// space (1-based — 0 is reserved as "no source").
+    pub fn allocate_source_id(&mut self) -> u32 {
+        self.next_source_id += 1;
+        self.next_source_id
+    }
+
+    /// The session's network log.
+    pub fn netlog(&self) -> &NetLog {
+        &self.netlog
+    }
+
+    /// The session's device log buffer.
+    pub fn logcat(&self) -> &Logcat {
+        &self.logcat
+    }
+
+    /// The session's WebView hook recorder.
+    pub fn recorder(&self) -> &FridaRecorder {
+        &self.recorder
+    }
+
+    /// Total netlog events captured during the visit.
+    pub fn requests_logged(&self) -> usize {
+        self.netlog.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wla_net::NetLogPhase;
+
+    #[test]
+    fn source_ids_are_session_scoped() {
+        let mut a = VisitSession::new();
+        let mut b = VisitSession::new();
+        assert_eq!(a.allocate_source_id(), 1);
+        assert_eq!(a.allocate_source_id(), 2);
+        // A fresh session restarts the id space — ids are visit-scoped,
+        // not device-global.
+        assert_eq!(b.allocate_source_id(), 1);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let a = VisitSession::new();
+        let b = VisitSession::new();
+        a.netlog()
+            .record(1, "https://x.example/", NetLogPhase::RequestSent);
+        a.logcat().info("adb", "launch");
+        assert_eq!(a.requests_logged(), 1);
+        assert_eq!(b.requests_logged(), 0);
+        assert!(b.logcat().lines().is_empty());
+        assert!(b.recorder().calls().is_empty());
+    }
+}

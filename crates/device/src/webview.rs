@@ -12,9 +12,10 @@ use crate::browser::CookieJar;
 use crate::frida::FridaRecorder;
 use crate::logcat::Logcat;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use wla_net::netlog::host_of;
 use wla_net::{fetch, NetLog, NetLogPhase, Request};
-use wla_web::script::{execute, ScriptEffect, ScriptOutcome};
+use wla_web::script::{execute, execute_readonly, ScriptEffect, ScriptOutcome};
 use wla_web::webapi::DomSession;
 use wla_web::{html, Document};
 
@@ -60,6 +61,10 @@ pub enum PageSource {
         /// subresources (XHR endpoints, trackers).
         extra_requests: Vec<String>,
     },
+    /// A page parsed once and shared across many visits (the crawl
+    /// pipeline visits every site through eleven different IABs; parsing
+    /// and subresource resolution happen once per site, not per visit).
+    Prepared(Arc<PreparedPage>),
 }
 
 impl PageSource {
@@ -67,8 +72,96 @@ impl PageSource {
     pub fn url(&self) -> &str {
         match self {
             PageSource::Http { url, .. } | PageSource::Synthetic { url, .. } => url,
+            PageSource::Prepared(page) => &page.url,
         }
     }
+}
+
+/// A page whose parse, subresource resolution, and URL strings are
+/// computed once and shared (`Arc`) across visits. Loading a prepared
+/// page records exactly the netlog event sequence the equivalent
+/// [`PageSource::Synthetic`] load would — same URLs, same order, same
+/// clock steps — but without re-parsing or re-allocating any of it.
+#[derive(Debug, Clone)]
+pub struct PreparedPage {
+    /// Logical URL.
+    pub url: Arc<str>,
+    /// Parsed DOM prototype; visits that run scripts clone it so DOM
+    /// mutations stay visit-local.
+    pub doc: Arc<Document>,
+    /// Resolved subresource URLs (DOM-referenced first, then extras), in
+    /// the order a synthetic load would fetch them.
+    pub sub_urls: Vec<Arc<str>>,
+    /// Cached intrinsic read-only outcomes (see [`ReadOnlyCache`]).
+    pub readonly: ReadOnlyCache,
+}
+
+/// Lazily computed outcomes of the intrinsic (payload-free) read-only
+/// effects — pure functions of the shared prototype DOM, so the first
+/// visit's computation serves every later visit to the page.
+#[derive(Debug, Clone, Default)]
+pub struct ReadOnlyCache {
+    scan: std::sync::OnceLock<ScriptOutcome>,
+    tag_counts: std::sync::OnceLock<ScriptOutcome>,
+    simhash: std::sync::OnceLock<ScriptOutcome>,
+}
+
+impl PreparedPage {
+    /// Parse `markup` once and precompute the full fetch list.
+    pub fn from_markup(url: &str, markup: &str, extra_requests: &[String]) -> PreparedPage {
+        PreparedPage::from_document(url, html::parse(markup), extra_requests)
+    }
+
+    /// Wrap an already-built document (a corpus generator emitting DOM
+    /// directly) and precompute the full fetch list.
+    pub fn from_document(url: &str, doc: Document, extra_requests: &[String]) -> PreparedPage {
+        let page_host = host_of(url).unwrap_or("localhost");
+        let mut sub_urls: Vec<Arc<str>> = collect_subresource_urls(&doc, page_host)
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+        sub_urls.extend(extra_requests.iter().map(|u| Arc::from(u.as_str())));
+        PreparedPage {
+            url: Arc::from(url),
+            doc: Arc::new(doc),
+            sub_urls,
+            readonly: ReadOnlyCache::default(),
+        }
+    }
+
+    /// Run a read-only effect against the shared prototype, caching the
+    /// intrinsic ones so each page computes them at most once.
+    fn readonly_outcome(&self, effect: &ScriptEffect) -> Option<ScriptOutcome> {
+        let slot = match effect {
+            ScriptEffect::ReadOnlyScan => &self.readonly.scan,
+            ScriptEffect::DomTagCounts => &self.readonly.tag_counts,
+            ScriptEffect::SimHashPage => &self.readonly.simhash,
+            _ => return execute_readonly(effect, &self.doc),
+        };
+        Some(
+            slot.get_or_init(|| {
+                execute_readonly(effect, &self.doc).expect("intrinsic effects are read-only")
+            })
+            .clone(),
+        )
+    }
+}
+
+/// Subresource URLs referenced by a parsed DOM, resolved against the page
+/// host — the fetch list a WebView issues after the main document.
+pub fn collect_subresource_urls(doc: &Document, page_host: &str) -> Vec<String> {
+    let mut sub_urls = Vec::new();
+    for node in doc.walk() {
+        let attr = match doc.tag(node) {
+            Some("script") | Some("img") | Some("iframe") => doc.get_attr(node, "src"),
+            Some("link") => doc.get_attr(node, "href"),
+            _ => None,
+        };
+        if let Some(raw) = attr {
+            sub_urls.push(resolve_url(raw, page_host));
+        }
+    }
+    sub_urls
 }
 
 /// One WebView instance inside an app.
@@ -87,9 +180,23 @@ pub struct WebViewInstance {
     netlog: NetLog,
     logcat: Logcat,
     bridges: Vec<String>,
-    session: Option<DomSession>,
-    current_url: Option<String>,
+    dom: PageDom,
+    current_url: Option<Arc<str>>,
     reporter: Option<SocketAddr>,
+}
+
+/// DOM state of the instance. Prepared pages stay `Pending` (a shared,
+/// immutable prototype) until a script or bridge actually needs the DOM,
+/// at which point the prototype is cloned into a visit-local session —
+/// script-free visits never pay for a DOM copy.
+#[derive(Debug)]
+enum PageDom {
+    /// Nothing loaded.
+    None,
+    /// Prepared page loaded; session not yet materialized.
+    Pending(Arc<PreparedPage>),
+    /// Materialized, visit-local instrumented session.
+    Live(DomSession),
 }
 
 impl WebViewInstance {
@@ -110,7 +217,7 @@ impl WebViewInstance {
             netlog,
             logcat,
             bridges: Vec::new(),
-            session: None,
+            dom: PageDom::None,
             current_url: None,
             reporter: None,
         }
@@ -128,14 +235,33 @@ impl WebViewInstance {
         &self.bridges
     }
 
-    /// The instrumented DOM session of the loaded page.
+    /// The instrumented DOM session of the loaded page (`None` until a
+    /// page is loaded; prepared pages materialize on first mutable use).
     pub fn session(&self) -> Option<&DomSession> {
-        self.session.as_ref()
+        match &self.dom {
+            PageDom::Live(session) => Some(session),
+            _ => None,
+        }
     }
 
     /// Mutable session access (for assertions and follow-up effects).
+    /// Materializes a pending prepared page into a visit-local session.
     pub fn session_mut(&mut self) -> Option<&mut DomSession> {
-        self.session.as_mut()
+        if let PageDom::Pending(page) = &self.dom {
+            let doc = Document::clone(&page.doc);
+            self.dom = PageDom::Live(self.make_session(doc));
+        }
+        match &mut self.dom {
+            PageDom::Live(session) => Some(session),
+            _ => None,
+        }
+    }
+
+    fn make_session(&self, doc: Document) -> DomSession {
+        match self.reporter {
+            Some(addr) => DomSession::with_reporter(doc, addr, &self.app_package),
+            None => DomSession::new(doc),
+        }
     }
 
     /// Currently loaded URL.
@@ -161,12 +287,27 @@ impl WebViewInstance {
     /// `loadUrl` with a page source. Records the hook, fetches/parses the
     /// content, logs the main document and every subresource.
     pub fn load(&mut self, source: PageSource) {
-        let url = source.url().to_owned();
+        let url: Arc<str> = match &source {
+            PageSource::Prepared(page) => page.url.clone(),
+            other => Arc::from(other.url()),
+        };
         self.recorder.record("loadUrl", &[&url]);
         self.logcat
             .info("WebView", &format!("loading {url} in {}", self.app_package));
         self.netlog
-            .record(self.source_id, &url, NetLogPhase::RequestSent);
+            .record_shared(self.source_id, url.clone(), NetLogPhase::RequestSent);
+
+        if let PageSource::Prepared(page) = &source {
+            // Fast path: the parse, subresource resolution, and URL
+            // strings were computed once for the site; replay them.
+            self.netlog
+                .record_shared(self.source_id, url.clone(), NetLogPhase::ResponseReceived);
+            self.netlog
+                .record_request_pairs(self.source_id, &page.sub_urls, 2);
+            self.dom = PageDom::Pending(page.clone());
+            self.current_url = Some(url);
+            return;
+        }
 
         let (doc, extra) = match &source {
             PageSource::Http { server, path, .. } => {
@@ -174,14 +315,17 @@ impl WebViewInstance {
                     Request::get(path.clone()).with_header("X-Requested-With", &self.app_package);
                 match fetch(*server, request) {
                     Ok(resp) => {
-                        self.netlog
-                            .record(self.source_id, &url, NetLogPhase::ResponseReceived);
+                        self.netlog.record_shared(
+                            self.source_id,
+                            url.clone(),
+                            NetLogPhase::ResponseReceived,
+                        );
                         let body = String::from_utf8_lossy(&resp.body).into_owned();
                         (html::parse(&body), Vec::new())
                     }
                     Err(e) => {
                         self.netlog
-                            .record(self.source_id, &url, NetLogPhase::Failed);
+                            .record_shared(self.source_id, url.clone(), NetLogPhase::Failed);
                         self.logcat
                             .info("WebView", &format!("load failed for {url}: {e}"));
                         (Document::new(), Vec::new())
@@ -193,25 +337,19 @@ impl WebViewInstance {
                 extra_requests,
                 ..
             } => {
-                self.netlog
-                    .record(self.source_id, &url, NetLogPhase::ResponseReceived);
+                self.netlog.record_shared(
+                    self.source_id,
+                    url.clone(),
+                    NetLogPhase::ResponseReceived,
+                );
                 (html::parse(markup), extra_requests.clone())
             }
+            PageSource::Prepared(_) => unreachable!("handled above"),
         };
 
         // Subresources referenced by the DOM.
-        let page_host = host_of(&url).unwrap_or("localhost").to_owned();
-        let mut sub_urls = Vec::new();
-        for node in doc.walk() {
-            let attr = match doc.tag(node) {
-                Some("script") | Some("img") | Some("iframe") => doc.get_attr(node, "src"),
-                Some("link") => doc.get_attr(node, "href"),
-                _ => None,
-            };
-            if let Some(raw) = attr {
-                sub_urls.push(resolve_url(raw, &page_host));
-            }
-        }
+        let page_host = host_of(&url).unwrap_or("localhost");
+        let mut sub_urls = collect_subresource_urls(&doc, page_host);
         sub_urls.extend(extra);
         for sub in sub_urls {
             self.netlog.advance_clock(2);
@@ -221,10 +359,7 @@ impl WebViewInstance {
                 .record(self.source_id, &sub, NetLogPhase::ResponseReceived);
         }
 
-        self.session = Some(match self.reporter {
-            Some(addr) => DomSession::with_reporter(doc, addr, &self.app_package),
-            None => DomSession::new(doc),
-        });
+        self.dom = PageDom::Live(self.make_session(doc));
         self.current_url = Some(url);
     }
 
@@ -249,7 +384,15 @@ impl WebViewInstance {
                 .info("WebView", "JS disabled; injection ignored");
             return None;
         }
-        let session = self.session.as_mut()?;
+        // A read-only effect on a still-pending prepared page runs against
+        // the shared prototype (cached for the intrinsic effects) — the
+        // visit never pays for a DOM copy.
+        if let PageDom::Pending(page) = &self.dom {
+            if let Some(outcome) = page.readonly_outcome(effect) {
+                return Some(outcome);
+            }
+        }
+        let session = self.session_mut()?;
         Some(execute(effect, session))
     }
 }
@@ -268,27 +411,30 @@ fn resolve_url(raw: &str, page_host: &str) -> String {
 }
 
 /// Compact pseudo-JS rendering of an effect — what the Frida hook sees as
-/// the injected argument.
-pub fn effect_js(effect: &ScriptEffect) -> String {
+/// the injected argument. Borrowed for the parameter-free effects so the
+/// per-visit injection hooks don't allocate.
+pub fn effect_js(effect: &ScriptEffect) -> std::borrow::Cow<'static, str> {
     match effect {
         ScriptEffect::InsertScriptElement { src, element_id } => format!(
             "(function(d,s,id){{var js,fjs=d.getElementsByTagName(s)[0];if(d.getElementById(id)){{return;}}js=d.createElement(s);js.id=id;js.src=\"{src}\";fjs.parentNode.insertBefore(js,fjs);}}(document,'script','{element_id}'))"
-        ),
+        )
+        .into(),
         ScriptEffect::DomTagCounts => {
-            "(function(){var c={};document.querySelectorAll('*')…return c;})()".to_owned()
+            "(function(){var c={};document.querySelectorAll('*')…return c;})()".into()
         }
         ScriptEffect::SimHashPage => {
-            "(function(){/* cloaker-catcher simhash: text+dom, text, dom */})()".to_owned()
+            "(function(){/* cloaker-catcher simhash: text+dom, text, dom */})()".into()
         }
         ScriptEffect::LogPerformance { .. } => {
-            "(function(){console.log('perf', performance.timing)})()".to_owned()
+            "(function(){console.log('perf', performance.timing)})()".into()
         }
         ScriptEffect::AdProbe(p) => format!(
             "(function(){{var ad={{\"adUnit\":\"{}\",\"src\":\"{}\",\"width\":{},\"height\":{}}};/* obfuscated */}})()",
             p.ad_unit, p.source_host, p.width, p.height
-        ),
+        )
+        .into(),
         ScriptEffect::ReadOnlyScan => {
-            "(function(){document.querySelectorAll('ins,.adsbygoogle')})()".to_owned()
+            "(function(){document.querySelectorAll('ins,.adsbygoogle')})()".into()
         }
     }
 }

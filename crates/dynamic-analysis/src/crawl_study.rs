@@ -2,68 +2,67 @@
 //!
 //! Crawls the synthetic top-100 list through each WebView-IAB app plus the
 //! System WebView Shell baseline, and aggregates the IAB-specific distinct
-//! endpoints per site category.
+//! endpoints per site category. Since the move to the interned pipeline in
+//! [`crate::crawl_pipeline`], the study output carries symbol-keyed
+//! records plus the symbol table to resolve them, and [`CrawlStats`]
+//! observability; the figures keep their string-era shape (and values —
+//! the pipeline folds them through the crawler crate's own row averaging,
+//! so they are bit-identical to the serial string-path oracle).
 
-use std::collections::BTreeMap;
-use wla_crawler::driver::{crawl_app, crawl_baseline, figure6, CrawlRecord, Figure6Row};
-use wla_crawler::sites::{top_100_sites, TopSite};
-use wla_device::iab::all_profiles;
+use crate::crawl_pipeline::{run_crawl_pipeline, CrawlConfig, CrawlOutput};
+use wla_crawler::sites::TopSite;
 
-/// The crawl study output.
-#[derive(Debug, Clone)]
-pub struct CrawlStudy {
-    /// Baseline (System WebView Shell) records.
-    pub baseline: Vec<CrawlRecord>,
-    /// Per-app crawl records.
-    pub per_app: BTreeMap<String, Vec<CrawlRecord>>,
-    /// Per-app Figure 6 rows (baseline-subtracted).
-    pub figures: BTreeMap<String, Vec<Figure6Row>>,
-}
+pub use crate::crawl_pipeline::{CrawlFailure, CrawlFailureKind, CrawlStats, VisitRecord};
 
-impl CrawlStudy {
-    /// Figure 6 rows for one app.
-    pub fn figure_for(&self, app_name: &str) -> Option<&Vec<Figure6Row>> {
-        self.figures.get(app_name)
-    }
-}
+/// The crawl study output (the interned pipeline's output, re-exported
+/// under the study's historical name).
+pub type CrawlStudy = CrawlOutput;
 
-/// Run the full crawl study over `sites` (pass [`top_100_sites`] for the
-/// paper's configuration) for the given app names (None = all ten).
+/// Run the full crawl study serially over `sites` (pass `None` for the
+/// paper's 100-site configuration) for the given app names (`None` = all
+/// ten). One worker, inline — this is the oracle the parallel runs are
+/// equivalence-tested against.
 pub fn run_crawl_study(sites: Option<Vec<TopSite>>, apps: Option<&[&str]>) -> CrawlStudy {
-    let sites = sites.unwrap_or_else(top_100_sites);
-    let baseline = crawl_baseline(&sites);
-    let mut per_app = BTreeMap::new();
-    let mut figures = BTreeMap::new();
-    for profile in all_profiles() {
-        if let Some(filter) = apps {
-            if !filter.contains(&profile.app_name) {
-                continue;
-            }
-        }
-        let records = crawl_app(&profile, &sites);
-        figures.insert(profile.app_name.to_owned(), figure6(&records, &baseline));
-        per_app.insert(profile.app_name.to_owned(), records);
-    }
-    CrawlStudy {
-        baseline,
-        per_app,
-        figures,
-    }
+    run_crawl_study_parallel(
+        sites,
+        apps,
+        CrawlConfig {
+            workers: 1,
+            ..CrawlConfig::default()
+        },
+    )
+}
+
+/// [`run_crawl_study`] with explicit parallelism. Output is bit-identical
+/// to the serial run at any worker count.
+pub fn run_crawl_study_parallel(
+    sites: Option<Vec<TopSite>>,
+    apps: Option<&[&str]>,
+    config: CrawlConfig,
+) -> CrawlStudy {
+    let sites = sites.unwrap_or_else(wla_crawler::sites::top_100_sites);
+    run_crawl_pipeline(&sites, apps, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
     use wla_crawler::sites::SiteCategory;
 
     #[test]
     fn linkedin_and_kik_figures_present() {
         let study = run_crawl_study(None, Some(&["LinkedIn", "Kik"]));
         assert_eq!(study.figures.len(), 2);
-        let li = study.figure_for("LinkedIn").unwrap();
-        let kik = study.figure_for("Kik").unwrap();
+        let li = study.figures.get("LinkedIn").unwrap();
+        let kik = study.figures.get("Kik").unwrap();
         assert_eq!(li.len(), 10); // one row per site category
         assert_eq!(kik.len(), 10);
+        // Every visit completed and was observed.
+        assert_eq!(study.stats.visits_total, 3 * 100);
+        assert_eq!(study.stats.visits_completed, 3 * 100);
+        assert_eq!(study.stats.visits_panicked, 0);
+        assert!(study.failures.is_empty());
     }
 
     #[test]
@@ -71,14 +70,15 @@ mod tests {
         // "These endpoints were specific to LinkedIn's IAB and were not
         // contacted by any other app's IAB" (§4.2.2).
         let study = run_crawl_study(None, Some(&["LinkedIn", "Kik", "Snapchat"]));
-        let li_hosts: std::collections::BTreeSet<&String> = study.per_app["LinkedIn"]
-            .iter()
-            .flat_map(|r| r.hosts.iter())
-            .collect();
-        let kik_hosts: std::collections::BTreeSet<&String> = study.per_app["Kik"]
-            .iter()
-            .flat_map(|r| r.hosts.iter())
-            .collect();
+        let hosts_of = |app: &str| -> std::collections::BTreeSet<&str> {
+            study.per_app[app]
+                .iter()
+                .flat_map(|r| r.hosts.iter())
+                .map(|&h| study.symbols.resolve(h))
+                .collect()
+        };
+        let li_hosts = hosts_of("LinkedIn");
+        let kik_hosts = hosts_of("Kik");
         assert!(li_hosts.iter().any(|h| h.contains("cedexis")));
         assert!(!kik_hosts.iter().any(|h| h.contains("cedexis")));
         assert!(kik_hosts.iter().any(|h| h.contains("mopub")));
@@ -88,10 +88,35 @@ mod tests {
     #[test]
     fn rich_categories_dominate_poor_ones() {
         let study = run_crawl_study(None, Some(&["Kik"]));
-        let rows = study.figure_for("Kik").unwrap();
+        let rows = study.figures.get("Kik").unwrap();
         let by_cat: BTreeMap<SiteCategory, f64> =
             rows.iter().map(|r| (r.category, r.avg_endpoints)).collect();
         assert!(by_cat[&SiteCategory::News] > by_cat[&SiteCategory::Technology]);
         assert!(by_cat[&SiteCategory::Shopping] > by_cat[&SiteCategory::Search]);
+    }
+
+    #[test]
+    fn stats_account_for_the_whole_matrix() {
+        let sites: Vec<TopSite> = wla_crawler::sites::top_100_sites()
+            .into_iter()
+            .take(20)
+            .collect();
+        let study = run_crawl_study(Some(sites), Some(&["Kik"]));
+        assert_eq!(study.stats.rows, 2);
+        assert_eq!(study.stats.sites, 20);
+        assert_eq!(study.stats.visits_total, 40);
+        // 10 script steps per visit.
+        assert_eq!(study.stats.steps_executed, 40 * 10);
+        assert!(study.stats.requests_logged > 0);
+        assert_eq!(study.stats.workers.len(), 1);
+        assert_eq!(study.stats.workers[0].visits, 40);
+        // Each app/site/host string is interned once per worker but seen
+        // many times — the memo and interner must be doing their job.
+        assert!(study.stats.interner.local_hits > study.stats.interner.local_misses);
+        assert!(study.stats.classify_hit_rate() > 0.5, "{:?}", study.stats);
+        assert_eq!(
+            study.stats.interner.global_symbols,
+            study.stats.interner.local_symbols
+        );
     }
 }

@@ -14,6 +14,7 @@
 //!   IAB with System-WebView-Shell baseline subtraction.
 
 pub mod classify;
+pub mod crawl_pipeline;
 pub mod crawl_study;
 pub mod iab_study;
 
@@ -21,5 +22,9 @@ pub use classify::{
     classify_app, classify_app_with_settings, classify_top_apps, ClassificationOutcome,
     LinkSettings, Table6Counts,
 };
-pub use crawl_study::{run_crawl_study, CrawlStudy};
+pub use crawl_pipeline::{
+    run_crawl_pipeline, run_crawl_pipeline_with, CrawlConfig, CrawlFailure, CrawlFailureKind,
+    CrawlOutput, CrawlStats, VisitRecord,
+};
+pub use crawl_study::{run_crawl_study, run_crawl_study_parallel, CrawlStudy};
 pub use iab_study::{run_iab_study, IabAppReport, IabStudy};

@@ -139,6 +139,14 @@ impl Hasher for U32Hasher {
     }
 
     #[inline]
+    fn write_usize(&mut self, v: usize) {
+        // Pointer-sized keys (e.g. `Arc` identities) get the same
+        // single-multiply treatment; the multiplier mixes the zeroed
+        // alignment bits into the bucket index.
+        self.hash = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
     fn finish(&self) -> u64 {
         self.hash
     }

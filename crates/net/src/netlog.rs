@@ -5,6 +5,12 @@
 //! (more precise than a device-wide proxy). [`NetLog`] plays that role for
 //! the simulated device: every URL request a WebView (or CT/browser) makes
 //! is logged with a source id, phase, and simulated-clock timestamp.
+//!
+//! URLs are stored as `Arc<str>`: the crawl pipeline replays the same
+//! prepared per-site subresource lists through thousands of visits, and
+//! sharing the backing string turns each replayed event into a refcount
+//! bump instead of a fresh heap allocation ([`NetLog::record_shared`],
+//! [`NetLog::record_request_pairs`]).
 
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -26,8 +32,8 @@ pub enum NetLogPhase {
 pub struct NetLogEvent {
     /// Identifier of the requesting WebView / tab instance.
     pub source_id: u32,
-    /// Requested URL.
-    pub url: String,
+    /// Requested URL (shared, so replayed prepared URLs don't reallocate).
+    pub url: Arc<str>,
     /// Phase.
     pub phase: NetLogPhase,
     /// Simulated milliseconds since capture start.
@@ -64,14 +70,53 @@ impl NetLog {
 
     /// Record an event at the current simulated time.
     pub fn record(&self, source_id: u32, url: &str, phase: NetLogPhase) {
+        self.record_shared(source_id, Arc::from(url), phase);
+    }
+
+    /// Record an event whose URL is already shared — no string allocation.
+    pub fn record_shared(&self, source_id: u32, url: Arc<str>, phase: NetLogPhase) {
         let mut inner = self.inner.lock();
         let timestamp_ms = inner.clock_ms;
         inner.events.push(NetLogEvent {
             source_id,
-            url: url.to_owned(),
+            url,
             phase,
             timestamp_ms,
         });
+    }
+
+    /// Record a `RequestSent`/`ResponseReceived` pair per URL under one
+    /// lock acquisition, advancing the clock by `clock_step_ms` before
+    /// each pair — the shape of a page's subresource fetch burst.
+    pub fn record_request_pairs(&self, source_id: u32, urls: &[Arc<str>], clock_step_ms: u64) {
+        let mut inner = self.inner.lock();
+        inner.events.reserve(urls.len() * 2);
+        for url in urls {
+            inner.clock_ms += clock_step_ms;
+            let timestamp_ms = inner.clock_ms;
+            inner.events.push(NetLogEvent {
+                source_id,
+                url: url.clone(),
+                phase: NetLogPhase::RequestSent,
+                timestamp_ms,
+            });
+            inner.events.push(NetLogEvent {
+                source_id,
+                url: url.clone(),
+                phase: NetLogPhase::ResponseReceived,
+                timestamp_ms,
+            });
+        }
+    }
+
+    /// Total events captured.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether anything was captured.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().events.is_empty()
     }
 
     /// Snapshot of all events.
@@ -100,6 +145,32 @@ impl NetLog {
             .filter(|e| e.source_id == source_id && e.phase == NetLogPhase::RequestSent)
             .filter_map(|e| host_of(&e.url).map(str::to_owned))
             .collect()
+    }
+
+    /// Visit the host of every `RequestSent` event for one source, in
+    /// capture order, without materializing an owned host set — the
+    /// allocation-free path the interned crawl pipeline consumes.
+    pub fn for_each_request_host(&self, source_id: u32, mut f: impl FnMut(&str)) {
+        for e in self.inner.lock().events.iter() {
+            if e.source_id == source_id && e.phase == NetLogPhase::RequestSent {
+                if let Some(host) = host_of(&e.url) {
+                    f(host);
+                }
+            }
+        }
+    }
+
+    /// Visit the shared URL of every `RequestSent` event for one source,
+    /// in capture order. Prepared-page and endpoint-rule URLs are one
+    /// `Arc` shared across every visit that fetches them, so callers can
+    /// key per-URL caches on the `Arc`'s pointer identity instead of
+    /// re-parsing the string each time.
+    pub fn for_each_request_url(&self, source_id: u32, mut f: impl FnMut(&Arc<str>)) {
+        for e in self.inner.lock().events.iter() {
+            if e.source_id == source_id && e.phase == NetLogPhase::RequestSent {
+                f(&e.url);
+            }
+        }
     }
 
     /// Purge all events ("purge the logs on the device" between crawls).
@@ -133,6 +204,8 @@ mod tests {
         log.record(2, "https://b.example/y", NetLogPhase::RequestSent);
         log.record(1, "https://a.example/x", NetLogPhase::ResponseReceived);
         assert_eq!(log.events().len(), 3);
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
         assert_eq!(log.events_for(1).len(), 2);
         assert_eq!(log.events_for(2)[0].timestamp_ms, 10);
     }
@@ -152,6 +225,37 @@ mod tests {
     }
 
     #[test]
+    fn request_pairs_match_individual_records() {
+        let urls: Vec<Arc<str>> = vec![
+            Arc::from("https://cdn.x.com/a.js"),
+            Arc::from("https://img.x.com/b.jpg"),
+        ];
+        let batched = NetLog::new();
+        batched.record_request_pairs(7, &urls, 2);
+
+        let serial = NetLog::new();
+        for url in &urls {
+            serial.advance_clock(2);
+            serial.record_shared(7, url.clone(), NetLogPhase::RequestSent);
+            serial.record_shared(7, url.clone(), NetLogPhase::ResponseReceived);
+        }
+        assert_eq!(batched.events(), serial.events());
+        assert_eq!(batched.now_ms(), serial.now_ms());
+    }
+
+    #[test]
+    fn for_each_request_host_sees_sent_only() {
+        let log = NetLog::new();
+        log.record(1, "https://a.x.com/1", NetLogPhase::RequestSent);
+        log.record(1, "https://a.x.com/2", NetLogPhase::ResponseReceived);
+        log.record(2, "https://other.com/", NetLogPhase::RequestSent);
+        log.record(1, "https://b.x.com/", NetLogPhase::RequestSent);
+        let mut seen = Vec::new();
+        log.for_each_request_host(1, |h| seen.push(h.to_owned()));
+        assert_eq!(seen, vec!["a.x.com".to_owned(), "b.x.com".to_owned()]);
+    }
+
+    #[test]
     fn host_extraction() {
         assert_eq!(host_of("https://a.b.c/path?q=1"), Some("a.b.c"));
         assert_eq!(host_of("http://host:8080/"), Some("host"));
@@ -166,6 +270,7 @@ mod tests {
         log.record(1, "https://x/", NetLogPhase::RequestSent);
         log.clear();
         assert!(log.events().is_empty());
+        assert!(log.is_empty());
         // Clock survives the purge.
         log.advance_clock(5);
         assert_eq!(log.now_ms(), 5);

@@ -278,6 +278,156 @@ impl PipelineStatsReport {
     }
 }
 
+/// Flattened crawl-pipeline statistics, ready to render (filled in by
+/// `wla-core::experiments::crawl_stats_report`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CrawlStatsReport {
+    /// Visits in the crawl matrix (`rows × sites`).
+    pub visits_total: u64,
+    /// Visits that produced a record.
+    pub visits_completed: u64,
+    /// Visits isolated by the per-visit fault boundary.
+    pub visits_panicked: u64,
+    /// Matrix rows (baseline + apps).
+    pub rows: u64,
+    /// Sites crawled per row.
+    pub sites: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Visit indices claimed per atomic increment.
+    pub batch: usize,
+    /// Script steps executed across completed visits.
+    pub steps_executed: u64,
+    /// Netlog events captured across completed visits.
+    pub requests_logged: u64,
+    /// End-to-end wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Milliseconds preparing per-site pages before the pool started.
+    pub prepare_ms: f64,
+    /// Summed worker busy milliseconds.
+    pub visit_ms: f64,
+    /// Milliseconds in the serial join tail (merge, symbol remap, figure
+    /// fold).
+    pub merge_ms: f64,
+    /// Visit throughput.
+    pub visits_per_second: f64,
+    /// Worker-pool utilization in `0.0..=1.0`.
+    pub utilization: f64,
+    /// Distinct strings in the merged global symbol table.
+    pub interned_symbols: u64,
+    /// Bytes held by the global symbol table.
+    pub interned_bytes: u64,
+    /// Worker-local interner hit rate in `0.0..=1.0`.
+    pub intern_hit_rate: f64,
+    /// Per-host classification memo hit rate in `0.0..=1.0`.
+    pub classify_hit_rate: f64,
+    /// `(failure kind, count)` taxonomy, sorted by kind.
+    pub failure_kinds: Vec<(String, u64)>,
+}
+
+impl CrawlStatsReport {
+    /// The run-summary table (matrix shape, counts, throughput, caches).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("Crawl run summary", &["Metric", "Value"]);
+        t.row_owned(vec![
+            "Visit matrix".into(),
+            format!(
+                "{} rows x {} sites = {}",
+                self.rows,
+                self.sites,
+                thousands(self.visits_total)
+            ),
+        ]);
+        t.row_owned(vec![
+            "Visits completed".into(),
+            thousands(self.visits_completed),
+        ]);
+        if self.visits_panicked > 0 {
+            t.row_owned(vec![
+                "  of which panicked".into(),
+                thousands(self.visits_panicked),
+            ]);
+        }
+        t.row_owned(vec![
+            "Script steps executed".into(),
+            thousands(self.steps_executed),
+        ]);
+        t.row_owned(vec![
+            "Netlog events captured".into(),
+            thousands(self.requests_logged),
+        ]);
+        t.row_owned(vec!["Wall time".into(), format!("{:.1} ms", self.wall_ms)]);
+        t.row_owned(vec![
+            "Throughput".into(),
+            format!("{:.0} visits/s", self.visits_per_second),
+        ]);
+        t.row_owned(vec![
+            "Worker threads".into(),
+            format!("{} (batch {})", self.workers, self.batch),
+        ]);
+        t.row_owned(vec!["Pool utilization".into(), percent(self.utilization)]);
+        if self.interned_symbols > 0 {
+            t.row_owned(vec![
+                "Interned symbols".into(),
+                format!(
+                    "{} ({} KiB)",
+                    thousands(self.interned_symbols),
+                    self.interned_bytes / 1024
+                ),
+            ]);
+            t.row_owned(vec![
+                "Intern cache hit rate".into(),
+                percent(self.intern_hit_rate),
+            ]);
+            t.row_owned(vec![
+                "Classify memo hit rate".into(),
+                percent(self.classify_hit_rate),
+            ]);
+        }
+        t
+    }
+
+    /// Where the wall clock went: page prep, the pool, the serial tail.
+    pub fn timing_table(&self) -> Table {
+        let mut t = Table::new("Crawl phase timing", &["Phase", "Time (ms)"]);
+        t.row_owned(vec![
+            "prepare pages".into(),
+            format!("{:.1}", self.prepare_ms),
+        ]);
+        t.row_owned(vec![
+            "visits (summed busy)".into(),
+            format!("{:.1}", self.visit_ms),
+        ]);
+        t.row_owned(vec!["merge tail".into(), format!("{:.1}", self.merge_ms)]);
+        t.row_owned(vec!["wall".into(), format!("{:.1}", self.wall_ms)]);
+        t
+    }
+
+    /// Failure taxonomy table; `None` when every visit completed.
+    pub fn failure_table(&self) -> Option<Table> {
+        if self.failure_kinds.is_empty() {
+            return None;
+        }
+        let mut t = Table::new("Crawl failure taxonomy", &["Kind", "Visits"]);
+        for (kind, count) in &self.failure_kinds {
+            t.row_owned(vec![kind.clone(), thousands(*count)]);
+        }
+        Some(t)
+    }
+
+    /// Render every section as one text block.
+    pub fn render(&self) -> String {
+        let mut out = self.summary_table().render();
+        out.push('\n');
+        out.push_str(&self.timing_table().render());
+        if let Some(failures) = self.failure_table() {
+            out.push('\n');
+            out.push_str(&failures.render());
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +514,59 @@ mod tests {
         assert!(!r.contains("pre-size"));
         assert!(!r.contains("Dataflow methods"));
         assert!(!r.contains("Shard streaming"));
+    }
+
+    fn crawl_sample() -> CrawlStatsReport {
+        CrawlStatsReport {
+            visits_total: 1100,
+            visits_completed: 1099,
+            visits_panicked: 1,
+            rows: 11,
+            sites: 100,
+            workers: 8,
+            batch: 18,
+            steps_executed: 10_990,
+            requests_logged: 54_321,
+            wall_ms: 12.5,
+            prepare_ms: 0.8,
+            visit_ms: 11.0,
+            merge_ms: 0.6,
+            visits_per_second: 87_920.0,
+            utilization: 0.88,
+            interned_symbols: 160,
+            interned_bytes: 4_096,
+            intern_hit_rate: 0.97,
+            classify_hit_rate: 0.93,
+            failure_kinds: vec![("visit-panic".into(), 1)],
+        }
+    }
+
+    #[test]
+    fn crawl_render_includes_all_sections() {
+        let r = crawl_sample().render();
+        assert!(r.contains("Crawl run summary"));
+        assert!(r.contains("11 rows x 100 sites = 1,100"));
+        assert!(r.contains("1,099"));
+        assert!(r.contains("10,990")); // script steps
+        assert!(r.contains("54,321")); // netlog events
+        assert!(r.contains("87920 visits/s"));
+        assert!(r.contains("8 (batch 18)"));
+        assert!(r.contains("97.0%")); // intern hit rate
+        assert!(r.contains("93.0%")); // classify memo hit rate
+        assert!(r.contains("Crawl phase timing"));
+        assert!(r.contains("prepare pages"));
+        assert!(r.contains("merge tail"));
+        assert!(r.contains("Crawl failure taxonomy"));
+        assert!(r.contains("visit-panic"));
+    }
+
+    #[test]
+    fn crawl_failure_table_is_optional() {
+        let r = CrawlStatsReport::default().render();
+        assert!(r.contains("Crawl run summary"));
+        assert!(!r.contains("Crawl failure taxonomy"));
+        assert!(!r.contains("Interned symbols"));
+        assert!(!r.contains("panicked"));
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod website;
 
 pub use dom::{Document, Node, NodeId};
 pub use script::{ScriptEffect, ScriptOutcome};
-pub use simhash::{hamming, simhash64};
+pub use simhash::{hamming, simhash64, simhash64_scalar};
 pub use webapi::{ApiCall, DomSession};
 pub use website::{ClientContext, LoginPage, WebViewLoginPolicy, Website};

@@ -100,6 +100,82 @@ pub enum ScriptOutcome {
     },
 }
 
+/// Execute an effect that never mutates the DOM directly against a shared
+/// document, without materializing an instrumented session. Returns the
+/// same outcome [`execute`] would produce (the unit tests pin the two
+/// paths together); `None` when the effect mutates and needs a
+/// visit-local session. This is the crawl pipeline's fast path: prepared
+/// pages stay un-cloned across visits whose scripts only read.
+pub fn execute_readonly(effect: &ScriptEffect, doc: &crate::Document) -> Option<ScriptOutcome> {
+    match effect {
+        ScriptEffect::DomTagCounts => {
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for node in doc.query_selector_all("*") {
+                if let Some(tag) = doc.tag(node) {
+                    *counts.entry(tag.to_owned()).or_insert(0) += 1;
+                }
+            }
+            Some(ScriptOutcome::TagCounts(counts))
+        }
+
+        ScriptEffect::SimHashPage => {
+            let body = *doc
+                .get_elements_by_tag_name("body")
+                .first()
+                .expect("page has a body");
+            // Subtree element walk, in the same order the session's
+            // `Element.getElementsByTagName(body, "*")` visits.
+            let mut dom_tokens: Vec<String> = Vec::new();
+            let mut stack = vec![body];
+            while let Some(id) = stack.pop() {
+                if id != body {
+                    if let Some(tag) = doc.tag(id) {
+                        dom_tokens.push(tag.to_owned());
+                        if doc.has_attr(id, "id") {
+                            dom_tokens.push("#has-id".to_owned());
+                        }
+                    }
+                }
+                for &c in doc.children(id).iter().rev() {
+                    stack.push(c);
+                }
+            }
+            let text = doc.text_content();
+            Some(ScriptOutcome::SimHashes {
+                text_and_dom: simhash64(
+                    text.split_whitespace()
+                        .chain(dom_tokens.iter().map(String::as_str)),
+                ),
+                text: simhash_text(&text),
+                dom: simhash64(dom_tokens.iter().map(String::as_str)),
+            })
+        }
+
+        // A zero-sized slot bails before touching the DOM at all.
+        ScriptEffect::AdProbe(payload) if payload.width == 0 || payload.height == 0 => {
+            Some(ScriptOutcome::AdResult {
+                displayed: false,
+                not_visible_reason: Some("noAdView".to_owned()),
+            })
+        }
+
+        ScriptEffect::ReadOnlyScan => {
+            let slots = doc.query_selector_all(".adsbygoogle, ins");
+            let metas = doc.query_selector_all("meta");
+            let inspected = metas
+                .iter()
+                .filter(|&&meta| doc.get_attr(meta, "name").is_some())
+                .count();
+            Some(ScriptOutcome::ScanResult {
+                ad_slots: slots.len(),
+                metas: inspected,
+            })
+        }
+
+        _ => None,
+    }
+}
+
 /// Execute one effect against the session.
 pub fn execute(effect: &ScriptEffect, session: &mut DomSession) -> ScriptOutcome {
     match effect {
@@ -271,6 +347,45 @@ mod tests {
 
     fn session() -> DomSession {
         DomSession::new(test_page())
+    }
+
+    #[test]
+    fn readonly_path_matches_session_execution() {
+        let read_only = [
+            ScriptEffect::DomTagCounts,
+            ScriptEffect::SimHashPage,
+            ScriptEffect::AdProbe(AdPayload {
+                ad_unit: "/1/x".into(),
+                source_host: "ads.example".into(),
+                width: 0,
+                height: 0,
+            }),
+            ScriptEffect::ReadOnlyScan,
+        ];
+        for effect in &read_only {
+            let doc = test_page();
+            let shared = execute_readonly(effect, &doc).expect("read-only");
+            let mut s = DomSession::new(doc);
+            assert_eq!(shared, execute(effect, &mut s), "{effect:?}");
+        }
+        // Mutating effects refuse the shared path.
+        for effect in [
+            ScriptEffect::InsertScriptElement {
+                src: "//x/y.js".into(),
+                element_id: "i".into(),
+            },
+            ScriptEffect::LogPerformance {
+                dom_content_loaded_ms: 1,
+            },
+            ScriptEffect::AdProbe(AdPayload {
+                ad_unit: "/1/x".into(),
+                source_host: "ads.example".into(),
+                width: 300,
+                height: 250,
+            }),
+        ] {
+            assert!(execute_readonly(&effect, &test_page()).is_none());
+        }
     }
 
     #[test]

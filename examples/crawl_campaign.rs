@@ -35,11 +35,16 @@ fn main() {
     }
 
     println!("baseline sanity: the System WebView Shell contacted only site-owned hosts;");
+    let symbols = &crawl.symbols;
     let baseline_foreign = crawl
         .baseline
         .iter()
-        .flat_map(|r| r.hosts.iter().map(move |h| (h, &r.site_host)))
-        .filter(|(h, site)| !h.ends_with(site.as_str()) && !h.contains("site-"))
+        .flat_map(|r| {
+            r.hosts
+                .iter()
+                .map(move |&h| (symbols.resolve(h), symbols.resolve(r.site)))
+        })
+        .filter(|(h, site)| !h.ends_with(site) && !h.contains("site-"))
         .filter(|(h, _)| !h.contains("cdn") && !h.contains("player") && !h.contains("tag-manager"))
         .count();
     println!(

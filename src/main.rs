@@ -112,9 +112,13 @@ fn main() {
                 args.rest.iter().map(String::as_str).collect()
             };
             eprintln!("crawling 100 sites through {apps:?} + baseline …");
-            let run = study.run_crawl(Some(&apps));
+            let run = study.run_crawl_parallel(
+                Some(&apps),
+                whatcha_lookin_at::wla_dynamic::CrawlConfig::default(),
+            );
             print_exp(&experiments::fig6(&run));
             print_exp(&experiments::fig7());
+            eprintln!("{}", experiments::crawl_stats_report(&run).render());
         }
         "labels" => {
             eprintln!("deriving privacy labels at scale 1:{} …", study.scale);
@@ -160,7 +164,8 @@ fn main() {
             let static_run = study.run_static();
             let funnel = study.run_funnel(&static_run);
             let dynamic_run = study.run_dynamic();
-            let crawl_run = study.run_crawl(None);
+            let crawl_run = study
+                .run_crawl_parallel(None, whatcha_lookin_at::wla_dynamic::CrawlConfig::default());
             for exp in [
                 experiments::table2(&study, &funnel),
                 experiments::table3(&study, &static_run),
