@@ -8,6 +8,7 @@
 //! them for later analysis.
 
 use crate::http::{parse_form, Method, Request, Response, Status};
+use crate::router::Router;
 use crate::server::Server;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
@@ -54,36 +55,40 @@ pub struct MeasurementServer {
     store: BeaconStore,
 }
 
+/// Mount the measurement routes — `GET /page` (the controlled page) and
+/// `POST /beacon` (interception reports) — onto a router, so they compose
+/// with the netlog and analysis routes on one server.
+pub fn beacon_routes(router: Router, page_html: Arc<String>, store: BeaconStore) -> Router {
+    router
+        .route(Method::Get, "/page", move |_req: &Request| {
+            Response::ok("text/html", page_html.as_bytes().to_vec())
+        })
+        .route(Method::Post, "/beacon", move |req: &Request| {
+            let body = String::from_utf8_lossy(&req.body);
+            let pairs = parse_form(&body);
+            let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+            match (get("interface"), get("method")) {
+                (Some(interface), Some(method)) => {
+                    store.push(BeaconRecord {
+                        interface,
+                        method,
+                        argument: get("argument"),
+                        visitor: get("visitor")
+                            .or_else(|| req.header("x-requested-with").map(str::to_owned)),
+                    });
+                    Response::no_content()
+                }
+                _ => Response::error(Status::BadRequest, "missing interface/method"),
+            }
+        })
+}
+
 impl MeasurementServer {
     /// Start with the given controlled-page HTML.
     pub fn start(page_html: String) -> std::io::Result<MeasurementServer> {
         let store = BeaconStore::default();
-        let handler_store = store.clone();
-        let page = Arc::new(page_html);
-        let server = Server::start(Arc::new(move |req: &Request| {
-            match (req.method, req.path()) {
-                (Method::Get, "/page") => Response::ok("text/html", page.as_bytes().to_vec()),
-                (Method::Post, "/beacon") => {
-                    let body = String::from_utf8_lossy(&req.body);
-                    let pairs = parse_form(&body);
-                    let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
-                    match (get("interface"), get("method")) {
-                        (Some(interface), Some(method)) => {
-                            handler_store.push(BeaconRecord {
-                                interface,
-                                method,
-                                argument: get("argument"),
-                                visitor: get("visitor")
-                                    .or_else(|| req.header("x-requested-with").map(str::to_owned)),
-                            });
-                            Response::no_content()
-                        }
-                        _ => Response::error(Status::BadRequest, "missing interface/method"),
-                    }
-                }
-                _ => Response::error(Status::NotFound, "unknown route"),
-            }
-        }))?;
+        let router = beacon_routes(Router::new(), Arc::new(page_html), store.clone());
+        let server = Server::start(router.into_handler())?;
         Ok(MeasurementServer { server, store })
     }
 

@@ -13,6 +13,32 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Hard cap on bodies accepted by this stack.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Hard cap on the number of headers per message.
+pub const MAX_HEADERS: usize = 100;
+
+/// Configurable per-message codec limits. The defaults reproduce the
+/// historical hard caps; servers thread their own copies so a deployment
+/// fronting the analysis pipeline can shrink the body budget without
+/// rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Cap on the header block in bytes (exceeding it is a 431).
+    pub max_header_bytes: usize,
+    /// Cap on declared bodies in bytes (exceeding it is a 413).
+    pub max_body_bytes: usize,
+    /// Cap on the number of headers per message (exceeding it is a 431).
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_header_bytes: MAX_HEADER_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+            max_headers: MAX_HEADERS,
+        }
+    }
+}
 
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,9 +51,11 @@ pub enum HttpError {
     Malformed(&'static str),
     /// Unsupported method.
     BadMethod(String),
-    /// Header block exceeded [`MAX_HEADER_BYTES`].
+    /// Header block exceeded [`Limits::max_header_bytes`].
     HeadersTooLarge,
-    /// Declared body exceeds [`MAX_BODY_BYTES`].
+    /// More than [`Limits::max_headers`] headers in one message.
+    TooManyHeaders(usize),
+    /// Declared body exceeds [`Limits::max_body_bytes`].
     BodyTooLarge(usize),
 }
 
@@ -39,6 +67,7 @@ impl fmt::Display for HttpError {
             HttpError::Malformed(what) => write!(f, "malformed {what}"),
             HttpError::BadMethod(m) => write!(f, "unsupported method {m:?}"),
             HttpError::HeadersTooLarge => write!(f, "header block too large"),
+            HttpError::TooManyHeaders(n) => write!(f, "too many headers ({n})"),
             HttpError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes too large"),
         }
     }
@@ -96,10 +125,18 @@ pub enum Status {
     BadRequest,
     /// 404.
     NotFound,
+    /// 405 (router path exists, method does not).
+    MethodNotAllowed,
     /// 413.
     PayloadTooLarge,
+    /// 422 (the analysis service's "container decoded but is broken").
+    UnprocessableEntity,
+    /// 431 (header block or header count over the limit).
+    HeaderFieldsTooLarge,
     /// 500.
     InternalError,
+    /// 503 (load shed past the connection high-water mark).
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -111,8 +148,12 @@ impl Status {
             Status::Found => 302,
             Status::BadRequest => 400,
             Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
             Status::PayloadTooLarge => 413,
+            Status::UnprocessableEntity => 422,
+            Status::HeaderFieldsTooLarge => 431,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -124,8 +165,12 @@ impl Status {
             Status::Found => "Found",
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
             Status::PayloadTooLarge => "Payload Too Large",
+            Status::UnprocessableEntity => "Unprocessable Entity",
+            Status::HeaderFieldsTooLarge => "Request Header Fields Too Large",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -136,7 +181,11 @@ impl Status {
             302 => Status::Found,
             400 => Status::BadRequest,
             404 => Status::NotFound,
+            405 => Status::MethodNotAllowed,
             413 => Status::PayloadTooLarge,
+            422 => Status::UnprocessableEntity,
+            431 => Status::HeaderFieldsTooLarge,
+            503 => Status::ServiceUnavailable,
             _ => Status::InternalError,
         }
     }
@@ -202,8 +251,22 @@ impl Request {
         self.target.split_once('?').map(|(_, q)| q)
     }
 
-    /// Serialize onto a writer.
+    /// Whether this request asks the server to close the connection after
+    /// the response (`connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serialize onto a writer with `Connection: close` framing — the
+    /// one-request-per-connection shape the blocking client uses.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
+        self.write_into(w, true)
+    }
+
+    /// Serialize onto a writer, choosing the connection framing. Keep-alive
+    /// clients pass `close = false` so the server holds the socket open.
+    pub fn write_into<W: Write>(&self, w: &mut W, close: bool) -> Result<(), HttpError> {
         write!(w, "{} {} HTTP/1.1\r\n", self.method.as_str(), self.target)?;
         let mut has_len = false;
         for (n, v) in &self.headers {
@@ -215,32 +278,162 @@ impl Request {
         if !has_len && (!self.body.is_empty() || self.method == Method::Post) {
             write!(w, "content-length: {}\r\n", self.body.len())?;
         }
-        write!(w, "connection: close\r\n\r\n")?;
+        if close {
+            write!(w, "connection: close\r\n\r\n")?;
+        } else {
+            write!(w, "connection: keep-alive\r\n\r\n")?;
+        }
         w.write_all(&self.body)?;
         Ok(())
     }
 
-    /// Parse a request from a buffered reader.
+    /// Parse a request from a buffered reader with default [`Limits`].
     pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Request, HttpError> {
-        let start = read_line_limited(reader)?;
-        let mut parts = start.split_whitespace();
-        let method = Method::parse(parts.next().ok_or(HttpError::Malformed("request line"))?)?;
-        let target = parts
-            .next()
-            .ok_or(HttpError::Malformed("request target"))?
-            .to_owned();
-        let version = parts.next().ok_or(HttpError::Malformed("http version"))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed("http version"));
-        }
-        let headers = read_headers(reader)?;
-        let body = read_body(reader, &headers)?;
+        Request::read_from_limited(reader, &Limits::default())
+    }
+
+    /// Parse a request from a buffered reader under explicit limits — the
+    /// blocking (`server::oracle`) read path.
+    pub fn read_from_limited<R: Read>(
+        reader: &mut BufReader<R>,
+        limits: &Limits,
+    ) -> Result<Request, HttpError> {
+        let start = read_line_limited(reader, limits)?;
+        let (method, target) = parse_request_line(&start)?;
+        let headers = read_headers(reader, limits)?;
+        let body = read_body(reader, &headers, limits)?;
         Ok(Request {
             method,
             target,
             headers,
             body,
         })
+    }
+}
+
+/// Parse `METHOD target HTTP/1.x` — shared by the streaming and the
+/// incremental parser so both classify malformed lines identically.
+fn parse_request_line(line: &str) -> Result<(Method, String), HttpError> {
+    let mut parts = line.split_whitespace();
+    let method = Method::parse(parts.next().ok_or(HttpError::Malformed("request line"))?)?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("request target"))?
+        .to_owned();
+    let version = parts.next().ok_or(HttpError::Malformed("http version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("http version"));
+    }
+    Ok((method, target))
+}
+
+/// Split one non-empty header line into its lowercased name and trimmed
+/// value — shared by both parsers.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header"))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// Declared body length from the header list (`None` header means 0);
+/// present-but-unparseable is an error, oversized is [`HttpError::BodyTooLarge`].
+fn declared_body_len(headers: &[(String, String)], limits: &Limits) -> Result<usize, HttpError> {
+    let len: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed("content-length"))?,
+    };
+    if len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    Ok(len)
+}
+
+/// Incremental request parse out of a byte buffer — the nonblocking
+/// server's read path, and the codec piece that makes pipelining work.
+///
+/// Returns `Ok(Some((request, consumed)))` when a complete request starts
+/// at `buf[0]`, `Ok(None)` when more bytes are needed, and `Err` on the
+/// same malformed-input taxonomy as [`Request::read_from_limited`] over the
+/// same bytes. Back-to-back pipelined requests are parsed by repeated
+/// calls, draining `consumed` bytes between them.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, HttpError> {
+    // Request line.
+    let (line, mut pos) = match take_line(buf, 0, limits)? {
+        Some(v) => v,
+        None => return Ok(None),
+    };
+    let (method, target) = parse_request_line(&line)?;
+
+    // Headers: bounded count and cumulative size, as the streaming parser.
+    let mut headers = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let (line, next) = match take_line(buf, pos, limits)? {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        pos = next;
+        if line.is_empty() {
+            break;
+        }
+        total += line.len();
+        if total > limits.max_header_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if headers.len() == limits.max_headers {
+            return Err(HttpError::TooManyHeaders(headers.len() + 1));
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    // Body, framed strictly on content-length.
+    let len = declared_body_len(&headers, limits)?;
+    if buf.len() - pos < len {
+        return Ok(None);
+    }
+    let body = Bytes::copy_from_slice(&buf[pos..pos + len]);
+    Ok(Some((
+        Request {
+            method,
+            target,
+            headers,
+            body,
+        },
+        pos + len,
+    )))
+}
+
+/// Take one `\n`-terminated line starting at `buf[start]`, stripping the
+/// terminator and at most one preceding `\r`. `Ok(None)` means the line is
+/// still incomplete; a terminator-free run past the header budget is the
+/// same [`HttpError::HeadersTooLarge`] the streaming reader raises.
+fn take_line(
+    buf: &[u8],
+    start: usize,
+    limits: &Limits,
+) -> Result<Option<(String, usize)>, HttpError> {
+    match buf[start..].iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            if nl + 1 > limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let mut line = &buf[start..start + nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            Ok(Some((
+                line.iter().map(|&b| b as char).collect(),
+                start + nl + 1,
+            )))
+        }
+        None => {
+            if buf.len() - start > limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            Ok(None)
+        }
     }
 }
 
@@ -301,26 +494,42 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Serialize onto a writer.
+    /// Serialize onto a writer with `Connection: close` framing.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), HttpError> {
-        write!(
-            w,
+        let mut out = Vec::new();
+        self.write_into(&mut out, true);
+        w.write_all(&out)?;
+        Ok(())
+    }
+
+    /// Serialize into a byte buffer, choosing the connection framing. Both
+    /// servers (readiness-loop and blocking oracle) emit responses through
+    /// this one function, which is what lets the equivalence suite pin
+    /// their byte streams against each other.
+    pub fn write_into(&self, out: &mut Vec<u8>, close: bool) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\n",
             self.status.code(),
             self.status.reason()
-        )?;
+        );
         for (n, v) in &self.headers {
-            write!(w, "{n}: {v}\r\n")?;
+            let _ = write!(out, "{n}: {v}\r\n");
         }
-        write!(w, "content-length: {}\r\n", self.body.len())?;
-        write!(w, "connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
-        Ok(())
+        let _ = write!(out, "content-length: {}\r\n", self.body.len());
+        if close {
+            let _ = write!(out, "connection: close\r\n\r\n");
+        } else {
+            let _ = write!(out, "connection: keep-alive\r\n\r\n");
+        }
+        out.extend_from_slice(&self.body);
     }
 
     /// Parse a response from a buffered reader.
     pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Response, HttpError> {
-        let start = read_line_limited(reader)?;
+        let limits = Limits::default();
+        let start = read_line_limited(reader, &limits)?;
         let mut parts = start.split_whitespace();
         let version = parts.next().ok_or(HttpError::Malformed("status line"))?;
         if !version.starts_with("HTTP/1.") {
@@ -330,8 +539,8 @@ impl Response {
             .next()
             .and_then(|c| c.parse().ok())
             .ok_or(HttpError::Malformed("status code"))?;
-        let headers = read_headers(reader)?;
-        let body = read_body(reader, &headers)?;
+        let headers = read_headers(reader, &limits)?;
+        let body = read_body(reader, &headers, &limits)?;
         Ok(Response {
             status: Status::from_code(code),
             headers,
@@ -340,12 +549,15 @@ impl Response {
     }
 }
 
-fn read_line_limited<R: Read>(reader: &mut BufReader<R>) -> Result<String, HttpError> {
+fn read_line_limited<R: Read>(
+    reader: &mut BufReader<R>,
+    limits: &Limits,
+) -> Result<String, HttpError> {
     // Buffered read up to the newline: one read_until over the BufReader's
     // internal buffer instead of a syscall-shaped read() per byte. The
     // Take guard bounds how much a newline-free stream can make us buffer.
     let mut raw = Vec::new();
-    let n = std::io::Read::take(&mut *reader, MAX_HEADER_BYTES as u64 + 1)
+    let n = std::io::Read::take(&mut *reader, limits.max_header_bytes as u64 + 1)
         .read_until(b'\n', &mut raw)?;
     if n == 0 {
         return Err(HttpError::UnexpectedEof);
@@ -353,7 +565,7 @@ fn read_line_limited<R: Read>(reader: &mut BufReader<R>) -> Result<String, HttpE
     if raw.last() != Some(&b'\n') {
         // No terminator: either the peer closed mid-line or the line is
         // longer than the whole header budget.
-        if n > MAX_HEADER_BYTES {
+        if n > limits.max_header_bytes {
             return Err(HttpError::HeadersTooLarge);
         }
         return Err(HttpError::UnexpectedEof);
@@ -367,41 +579,38 @@ fn read_line_limited<R: Read>(reader: &mut BufReader<R>) -> Result<String, HttpE
     Ok(raw.into_iter().map(|b| b as char).collect())
 }
 
-fn read_headers<R: Read>(reader: &mut BufReader<R>) -> Result<Vec<(String, String)>, HttpError> {
+fn read_headers<R: Read>(
+    reader: &mut BufReader<R>,
+    limits: &Limits,
+) -> Result<Vec<(String, String)>, HttpError> {
     let mut headers = Vec::new();
     let mut total = 0usize;
     loop {
-        let line = read_line_limited(reader)?;
+        let line = read_line_limited(reader, limits)?;
         if line.is_empty() {
             return Ok(headers);
         }
         total += line.len();
-        if total > MAX_HEADER_BYTES {
+        if total > limits.max_header_bytes {
             return Err(HttpError::HeadersTooLarge);
         }
-        let (name, value) = line.split_once(':').ok_or(HttpError::Malformed("header"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        if headers.len() == limits.max_headers {
+            return Err(HttpError::TooManyHeaders(headers.len() + 1));
+        }
+        headers.push(parse_header_line(&line)?);
     }
 }
 
 fn read_body<R: Read>(
     reader: &mut BufReader<R>,
     headers: &[(String, String)],
+    limits: &Limits,
 ) -> Result<Bytes, HttpError> {
     // A missing content-length means "no body"; a *present but
     // unparseable* one ("abc", negative, overflow) must be rejected —
     // treating it as 0 would desync framing on this connection and the
     // server would read the body bytes as the next request line.
-    let len: usize = match headers.iter().find(|(n, _)| n == "content-length") {
-        None => 0,
-        Some((_, v)) => v
-            .trim()
-            .parse()
-            .map_err(|_| HttpError::Malformed("content-length"))?,
-    };
-    if len > MAX_BODY_BYTES {
-        return Err(HttpError::BodyTooLarge(len));
-    }
+    let len = declared_body_len(headers, limits)?;
     let mut body = vec![0u8; len];
     reader
         .read_exact(&mut body)
@@ -549,13 +758,33 @@ mod tests {
 
     #[test]
     fn header_bomb_rejected() {
+        // 4000 short headers trip the count cap before the byte cap.
         let mut raw = String::from("GET / HTTP/1.1\r\n");
         for i in 0..4000 {
             raw.push_str(&format!("x-filler-{i}: aaaaaaaaaaaaaaaa\r\n"));
         }
         raw.push_str("\r\n");
-        let err =
-            Request::read_from(&mut BufReader::new(Cursor::new(raw.into_bytes()))).unwrap_err();
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(raw.clone().into_bytes())))
+            .unwrap_err();
+        assert_eq!(err, HttpError::TooManyHeaders(MAX_HEADERS + 1));
+        // The incremental parser classifies the same bytes identically.
+        let err = parse_request(raw.as_bytes(), &Limits::default()).unwrap_err();
+        assert_eq!(err, HttpError::TooManyHeaders(MAX_HEADERS + 1));
+    }
+
+    #[test]
+    fn header_byte_bomb_rejected() {
+        // Few headers, huge values: the byte cap fires with the count cap
+        // still far away.
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..10 {
+            raw.push_str(&format!("x-big-{i}: {}\r\n", "v".repeat(2048)));
+        }
+        raw.push_str("\r\n");
+        let err = Request::read_from(&mut BufReader::new(Cursor::new(raw.clone().into_bytes())))
+            .unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+        let err = parse_request(raw.as_bytes(), &Limits::default()).unwrap_err();
         assert_eq!(err, HttpError::HeadersTooLarge);
     }
 
@@ -622,10 +851,123 @@ mod tests {
         );
     }
 
+    /// Drive the incremental parser over `raw` split at the given chunk
+    /// sizes, as the nonblocking server does across read() boundaries.
+    fn parse_fragmented(raw: &[u8], chunks: &[usize], limits: &Limits) -> Vec<Request> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut requests = Vec::new();
+        let mut fed = 0usize;
+        let mut chunk_iter = chunks.iter().copied().chain(std::iter::repeat(raw.len()));
+        while fed < raw.len() {
+            let take = chunk_iter.next().unwrap().clamp(1, raw.len() - fed);
+            buf.extend_from_slice(&raw[fed..fed + take]);
+            fed += take;
+            while let Some((req, consumed)) = parse_request(&buf, limits).expect("valid stream") {
+                requests.push(req);
+                buf.drain(..consumed);
+            }
+        }
+        assert!(buf.is_empty(), "trailing unparsed bytes: {}", buf.len());
+        requests
+    }
+
+    #[test]
+    fn incremental_parses_pipelined_requests() {
+        let mut raw = Vec::new();
+        let first = Request::post("/beacon", &b"interface=Document&method=write"[..])
+            .with_header("x-requested-with", "com.example");
+        let second = Request::get("/page");
+        let third = Request::post("/analyze", &b"\x00\x01binary body\xff"[..]);
+        first.write_into(&mut raw, false).unwrap();
+        second.write_into(&mut raw, false).unwrap();
+        third.write_into(&mut raw, true).unwrap();
+
+        let limits = Limits::default();
+        // Whole buffer at once.
+        let whole = parse_fragmented(&raw, &[raw.len()], &limits);
+        assert_eq!(whole.len(), 3);
+        assert_eq!(whole[0].path(), "/beacon");
+        assert_eq!(whole[1].method, Method::Get);
+        assert_eq!(&whole[2].body[..], b"\x00\x01binary body\xff");
+        assert!(!whole[1].wants_close());
+        assert!(whole[2].wants_close());
+        // One byte at a time must yield the identical request sequence.
+        let trickled = parse_fragmented(&raw, &vec![1; raw.len()], &limits);
+        assert_eq!(whole, trickled);
+    }
+
+    #[test]
+    fn incremental_reports_incomplete_not_error() {
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort";
+        assert_eq!(parse_request(raw, &Limits::default()).unwrap(), None);
+        let raw = b"GET / HT";
+        assert_eq!(parse_request(raw, &Limits::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_body_cap_is_configurable() {
+        let limits = Limits {
+            max_body_bytes: 8,
+            ..Limits::default()
+        };
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        assert_eq!(
+            parse_request(raw, &limits).unwrap_err(),
+            HttpError::BodyTooLarge(9)
+        );
+        let raw = b"POST /x HTTP/1.1\r\ncontent-length: 8\r\n\r\n12345678";
+        let (req, consumed) = parse_request(raw, &limits).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(&req.body[..], b"12345678");
+    }
+
     proptest! {
         #[test]
         fn prop_form_roundtrip(s in ".{0,80}") {
             prop_assert_eq!(form_decode(&form_encode(&s)), s);
+        }
+
+        /// Pipelined back-to-back requests parse to the same sequence no
+        /// matter where the read boundaries fall — the codec property the
+        /// nonblocking server's fragmented reads rely on.
+        #[test]
+        fn prop_pipelined_split_boundaries(
+            bodies in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..96), 1..5),
+            chunks in proptest::collection::vec(1usize..64, 1..32),
+        ) {
+            let mut raw = Vec::new();
+            for (i, body) in bodies.iter().enumerate() {
+                let close = i + 1 == bodies.len();
+                Request::post(format!("/b/{i}"), body.clone())
+                    .with_header("x-seq", &i.to_string())
+                    .write_into(&mut raw, close)
+                    .unwrap();
+            }
+            let limits = Limits::default();
+            let whole = parse_fragmented(&raw, &[raw.len()], &limits);
+            let split = parse_fragmented(&raw, &chunks, &limits);
+            prop_assert_eq!(&whole, &split);
+            prop_assert_eq!(whole.len(), bodies.len());
+            for (i, req) in whole.iter().enumerate() {
+                prop_assert_eq!(&req.body[..], &bodies[i][..]);
+                prop_assert_eq!(req.header("x-seq"), Some(i.to_string().as_str()));
+            }
+        }
+
+        /// The incremental parser agrees with the streaming reader on any
+        /// single-request prefix: same request or same error taxonomy.
+        #[test]
+        fn prop_incremental_matches_streaming(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let limits = Limits::default();
+            let streamed = Request::read_from(&mut BufReader::new(Cursor::new(raw.clone())));
+            match parse_request(&raw, &limits) {
+                Ok(Some((req, _))) => prop_assert_eq!(Ok(req), streamed),
+                // Incomplete buffer: the streaming side, which sees EOF
+                // where we see "need more bytes", must report EOF.
+                Ok(None) => prop_assert_eq!(streamed.unwrap_err(), HttpError::UnexpectedEof),
+                Err(e) => prop_assert_eq!(streamed.unwrap_err(), e),
+            }
         }
 
         #[test]

@@ -8,21 +8,34 @@
 //! * **NetLog**-style per-WebView network capture (the paper pulls Chrome's
 //!   netlog from a rooted Pixel 3 rather than using a device-wide proxy).
 //!
-//! This crate implements that path over `std::net` TCP with a blocking
-//! HTTP/1.1 stack:
+//! The north star additionally wants the *static* pipeline served as a
+//! service at production traffic levels, so the crate now carries a full
+//! HTTP/1.1 serving stack over `std::net` TCP:
 //!
-//! * [`http`] — request/response types and a hardened codec (header-size
-//!   limits, Content-Length framing; no chunked encoding — the measurement
-//!   traffic never needs it and simplicity wins per the smoltcp ethos);
-//! * [`server`] — a thread-per-connection listener with graceful shutdown
-//!   (CPU cost per request is trivial, concurrency is tiny — a blocking
-//!   design is the simplest robust one, exactly the case the async guides
-//!   say *not* to bring a runtime to);
-//! * [`client`] — a blocking `Connection: close` client;
+//! * [`http`] — request/response types and a hardened codec: configurable
+//!   [`Limits`](http::Limits) (413 body / 431 header caps), strict
+//!   Content-Length framing, and two proptest-pinned parsers — the
+//!   blocking streaming reader and the incremental
+//!   [`parse_request`](http::parse_request) the nonblocking server feeds
+//!   from fragmented reads (no chunked encoding — the measurement traffic
+//!   never needs it and simplicity wins per the smoltcp ethos);
+//! * [`poll`] — the event-source shim: `poll(2)` readiness multiplexing
+//!   declared via two lines of FFI (vendored-stub ethos, no new deps);
+//! * [`server`] — the readiness-loop nonblocking server: keep-alive,
+//!   pipelining, bounded per-connection buffers, connection limits with
+//!   accept backpressure, 503 load shedding past a high-water mark, and an
+//!   idle-timeout sweep. The seed thread-per-connection blocking server is
+//!   preserved as [`server::oracle`] and pinned byte-identical by
+//!   `tests/server_equivalence.rs`;
+//! * [`stats`] — [`ServerStats`]: accepted/active/shed gauges, requests
+//!   per connection, parse failures, p50/p99 service-time histogram;
+//! * [`router`] — method+path dispatch (404/405) shared by every frontend;
+//! * [`client`] — the blocking `Connection: close` [`fetch`] plus the
+//!   keep-alive/pipelining [`ClientConn`];
 //! * [`beacon`] — the measurement server: serves the controlled page,
 //!   records `POST /beacon` Web-API reports;
 //! * [`netlog`] — structured per-source network event capture with
-//!   simulated-clock timestamps.
+//!   simulated-clock timestamps, plus its HTTP routes.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -41,10 +54,15 @@ pub mod beacon;
 pub mod client;
 pub mod http;
 pub mod netlog;
+pub mod poll;
+pub mod router;
 pub mod server;
+pub mod stats;
 
-pub use beacon::{BeaconRecord, MeasurementServer};
-pub use client::{fetch, ClientError};
-pub use http::{HttpError, Method, Request, Response, Status};
-pub use netlog::{NetLog, NetLogEvent, NetLogPhase};
-pub use server::{Handler, Server};
+pub use beacon::{beacon_routes, BeaconRecord, BeaconStore, MeasurementServer};
+pub use client::{fetch, ClientConn, ClientError};
+pub use http::{HttpError, Limits, Method, Request, Response, Status};
+pub use netlog::{netlog_routes, NetLog, NetLogEvent, NetLogPhase};
+pub use router::Router;
+pub use server::{Handler, Server, ServerConfig};
+pub use stats::{LatencyHistogram, ServerStats, ServerStatsSnapshot};

@@ -179,6 +179,55 @@ impl NetLog {
     }
 }
 
+/// Mount the netlog capture endpoints onto a router: `POST /netlog`
+/// records a form-encoded event (`source`, `url`, optional `phase` of
+/// `sent`/`received`/`failed`), and `GET /netlog/hosts?source=N` returns
+/// the distinct hosts contacted by that source, one per line — the
+/// HTTP face of the device-side "pull the netlog from the rooted Pixel"
+/// step, served by the same router as the beacon and analysis routes.
+pub fn netlog_routes(router: crate::router::Router, log: NetLog) -> crate::router::Router {
+    use crate::http::{parse_form, Method, Request, Response, Status};
+    let post_log = log.clone();
+    router
+        .route(Method::Post, "/netlog", move |req: &Request| {
+            let body = String::from_utf8_lossy(&req.body);
+            let pairs = parse_form(&body);
+            let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+            let source = get("source").and_then(|s| s.parse::<u32>().ok());
+            let phase = match get("phase").as_deref() {
+                None | Some("sent") => Some(NetLogPhase::RequestSent),
+                Some("received") => Some(NetLogPhase::ResponseReceived),
+                Some("failed") => Some(NetLogPhase::Failed),
+                Some(_) => None,
+            };
+            match (source, get("url"), phase) {
+                (Some(source), Some(url), Some(phase)) if !url.is_empty() => {
+                    post_log.record(source, &url, phase);
+                    Response::no_content()
+                }
+                _ => Response::error(Status::BadRequest, "missing/invalid source, url, or phase"),
+            }
+        })
+        .route(Method::Get, "/netlog/hosts", move |req: &Request| {
+            let source = req
+                .query()
+                .and_then(|q| {
+                    parse_form(q)
+                        .into_iter()
+                        .find(|(k, _)| k == "source")
+                        .map(|(_, v)| v)
+                })
+                .and_then(|s| s.parse::<u32>().ok());
+            match source {
+                Some(source) => {
+                    let hosts: Vec<String> = log.distinct_hosts_for(source).into_iter().collect();
+                    Response::ok("text/plain", hosts.join("\n").into_bytes())
+                }
+                None => Response::error(Status::BadRequest, "missing/invalid source"),
+            }
+        })
+}
+
 /// Extract the host from a URL (scheme-optional).
 pub fn host_of(url: &str) -> Option<&str> {
     let rest = url.split("://").nth(1).unwrap_or(url);
@@ -274,6 +323,34 @@ mod tests {
         // Clock survives the purge.
         log.advance_clock(5);
         assert_eq!(log.now_ms(), 5);
+    }
+
+    #[test]
+    fn netlog_http_routes_record_and_report() {
+        use crate::http::{form_encode, Request, Status};
+        use crate::router::Router;
+
+        let log = NetLog::new();
+        let router = netlog_routes(Router::new(), log.clone());
+        let post = |body: String| router.dispatch(&Request::post("/netlog", body.into_bytes()));
+        let url = "https://ads.mopub.com/bid?x=1";
+        let resp = post(format!("source=7&url={}", form_encode(url)));
+        assert_eq!(resp.status, Status::NoContent);
+        let resp = post(format!("source=7&url={}&phase=received", form_encode(url)));
+        assert_eq!(resp.status, Status::NoContent);
+        let resp = post("source=notanum&url=https%3A%2F%2Fx%2F".into());
+        assert_eq!(resp.status, Status::BadRequest);
+        let resp = post("source=1&url=https%3A%2F%2Fx%2F&phase=bogus".into());
+        assert_eq!(resp.status, Status::BadRequest);
+
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events_for(7)[0].url.as_ref(), url);
+
+        let resp = router.dispatch(&Request::get("/netlog/hosts?source=7"));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(&resp.body[..], b"ads.mopub.com");
+        let resp = router.dispatch(&Request::get("/netlog/hosts"));
+        assert_eq!(resp.status, Status::BadRequest);
     }
 
     #[test]

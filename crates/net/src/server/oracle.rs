@@ -1,6 +1,19 @@
-//! Thread-per-connection HTTP server with graceful shutdown.
+//! Thread-per-connection blocking HTTP server — the seed implementation,
+//! preserved as the behavioral oracle for the readiness-loop server.
+//!
+//! Two modes: [`Server::start`] keeps the seed's one-request-per-connection
+//! shape (every response is framed `connection: close`) and is the bench
+//! baseline the nonblocking server is measured against;
+//! [`Server::start_persistent`] runs the same blocking read path in a
+//! keep-alive loop, which — because both servers share the codec,
+//! [`error_response`](super::error_response),
+//! [`finalize_head`](super::finalize_head), and `Response::write_into` —
+//! makes its byte stream the reference the equivalence suite pins the
+//! nonblocking server against, pipelining included (the `BufReader`
+//! naturally carries buffered follow-on requests between iterations).
 
-use crate::http::{HttpError, Request, Response, Status};
+use super::{error_response, finalize_head, Handler};
+use crate::http::{HttpError, Limits, Method, Request};
 use parking_lot::Mutex;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -9,11 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Request handler: pure function from request to response. Handlers run on
-/// connection threads, so they must be `Send + Sync`.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
-
-/// A running HTTP server bound to a loopback port.
+/// A running blocking HTTP server bound to a loopback port.
 ///
 /// Dropping the server (or calling [`shutdown`](Server::shutdown)) stops
 /// the accept loop and joins every worker.
@@ -26,17 +35,37 @@ pub struct Server {
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Server").field("addr", &self.addr).finish()
+        f.debug_struct("oracle::Server")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
 /// Per-connection read timeout. Generous for loopback; prevents a stuck
-/// client from pinning a thread forever.
+/// client from pinning a thread forever (the blocking analogue of the
+/// nonblocking server's idle sweep).
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 impl Server {
-    /// Bind to an ephemeral loopback port and start serving.
+    /// Bind to an ephemeral loopback port and serve one request per
+    /// connection (the seed shape).
     pub fn start(handler: Handler) -> std::io::Result<Server> {
+        Server::start_with(handler, Limits::default(), false)
+    }
+
+    /// Bind and serve keep-alive connections: requests are read in a loop
+    /// until the client asks for `connection: close`, errors, or goes
+    /// quiet past the read timeout.
+    pub fn start_persistent(handler: Handler) -> std::io::Result<Server> {
+        Server::start_with(handler, Limits::default(), true)
+    }
+
+    /// Bind with explicit codec limits and connection persistence.
+    pub fn start_with(
+        handler: Handler,
+        limits: Limits,
+        persistent: bool,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -62,7 +91,9 @@ impl Server {
                     break;
                 }
                 let handler = Arc::clone(&handler);
-                let handle = std::thread::spawn(move || serve_connection(stream, handler));
+                let handle = std::thread::spawn(move || {
+                    serve_connection(stream, handler, limits, persistent)
+                });
                 let mut guard = accept_workers.lock();
                 // Opportunistically reap finished workers so the
                 // vector doesn't grow with connection count.
@@ -116,39 +147,31 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: Handler) {
+fn serve_connection(stream: TcpStream, handler: Handler, limits: Limits, persistent: bool) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
-    let peer = stream.try_clone();
+    let Ok(mut out) = stream.try_clone() else {
+        return;
+    };
     let mut reader = BufReader::new(stream);
-    let mut head_request = false;
-    let response = match Request::read_from(&mut reader) {
-        Ok(request) => {
-            head_request = request.method == crate::http::Method::Head;
-            handler(&request)
+    loop {
+        let (response, close) = match Request::read_from_limited(&mut reader, &limits) {
+            Ok(request) => {
+                let close = !persistent || request.wants_close();
+                let head = request.method == Method::Head;
+                (finalize_head(handler(&request), head), close)
+            }
+            Err(HttpError::UnexpectedEof) => return, // probe/shutdown connection
+            Err(e) => (error_response(&e), true),
+        };
+        let mut buf = Vec::new();
+        response.write_into(&mut buf, close);
+        if out.write_all(&buf).is_err() || out.flush().is_err() {
+            return;
         }
-        Err(HttpError::UnexpectedEof) => return, // probe/shutdown connection
-        Err(HttpError::BodyTooLarge(_)) => {
-            Response::error(Status::PayloadTooLarge, "body too large")
+        if close {
+            return;
         }
-        Err(e) => Response::error(Status::BadRequest, &e.to_string()),
-    };
-    // RFC 9110 §9.3.2: HEAD responses carry the GET's metadata but no
-    // body. Our codec frames strictly on content-length, so the would-be
-    // entity size is advertised in `x-entity-length` instead of lying in
-    // content-length (documented codec deviation).
-    let response = if head_request {
-        let mut r = response;
-        r.headers
-            .push(("x-entity-length".into(), r.body.len().to_string()));
-        r.body = bytes::Bytes::new();
-        r
-    } else {
-        response
-    };
-    if let Ok(mut out) = peer {
-        let _ = response.write_to(&mut out);
-        let _ = out.flush();
     }
 }
 
@@ -156,7 +179,8 @@ fn serve_connection(stream: TcpStream, handler: Handler) {
 mod tests {
     use super::*;
     use crate::client::fetch;
-    use crate::http::Method;
+    use crate::http::{Response, Status};
+    use std::io::Read;
 
     fn echo_server() -> Server {
         Server::start(Arc::new(|req: &Request| match (req.method, req.path()) {
@@ -217,7 +241,6 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400() {
-        use std::io::{Read, Write};
         let server = echo_server();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
@@ -228,7 +251,6 @@ mod tests {
 
     /// Write raw bytes, read whatever comes back as a status line.
     fn raw_exchange(addr: SocketAddr, payload: &[u8]) -> String {
-        use std::io::{Read, Write};
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
             .set_read_timeout(Some(Duration::from_secs(10)))
@@ -290,13 +312,6 @@ mod tests {
             }
         }
     }
-}
-
-#[cfg(test)]
-mod head_tests {
-    use super::*;
-    use crate::client::fetch;
-    use crate::http::{Method, Request};
 
     #[test]
     fn head_gets_headers_without_body() {
@@ -311,5 +326,45 @@ mod head_tests {
         assert!(resp.body.is_empty());
         // The would-be entity length is advertised.
         assert_eq!(resp.header("x-entity-length"), Some("22"));
+    }
+
+    #[test]
+    fn persistent_mode_serves_keep_alive_and_pipelined_requests() {
+        let server = Server::start_persistent(Arc::new(|req: &Request| {
+            Response::ok("application/octet-stream", req.body.clone())
+        }))
+        .expect("bind");
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Sequential keep-alive exchanges...
+        for i in 0..3 {
+            let body = format!("seq-{i}");
+            let mut raw = Vec::new();
+            Request::post("/echo", body.clone().into_bytes())
+                .write_into(&mut raw, false)
+                .unwrap();
+            out.write_all(&raw).unwrap();
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(&resp.body[..], body.as_bytes());
+            assert_eq!(resp.header("connection"), Some("keep-alive"));
+        }
+        // ...then a pipelined burst ending in connection: close.
+        let mut raw = Vec::new();
+        for i in 0..3 {
+            Request::post("/echo", format!("pipe-{i}").into_bytes())
+                .write_into(&mut raw, i == 2)
+                .unwrap();
+        }
+        out.write_all(&raw).unwrap();
+        for i in 0..3 {
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(&resp.body[..], format!("pipe-{i}").as_bytes());
+        }
+        let mut one = [0u8; 8];
+        assert_eq!(reader.read(&mut one).unwrap_or(0), 0, "closed after burst");
     }
 }

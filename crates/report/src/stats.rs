@@ -428,6 +428,82 @@ impl CrawlStatsReport {
     }
 }
 
+/// Flattened HTTP-server statistics, ready to render (filled in from
+/// `wla-net`'s `ServerStatsSnapshot` by `wla-core::service::server_stats_report`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStatsReport {
+    /// Connections accepted and served (excludes shed ones).
+    pub accepted: u64,
+    /// Connections answered with an immediate 503 past the high-water mark.
+    pub shed: u64,
+    /// Connections open at snapshot time.
+    pub active: u64,
+    /// Connections closed by the idle-timeout sweep.
+    pub idle_closed: u64,
+    /// Requests parsed and dispatched.
+    pub requests: u64,
+    /// Requests served on an already-warm connection (keep-alive payoff).
+    pub keepalive_requests: u64,
+    /// Malformed/oversized requests answered with a 4xx.
+    pub parse_failures: u64,
+    /// Mean requests per accepted connection.
+    pub requests_per_connection: f64,
+    /// Median service time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile service time, microseconds.
+    pub p99_us: f64,
+}
+
+impl ServerStatsReport {
+    /// The server summary table (connections, requests, latency).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new("HTTP server summary", &["Metric", "Value"]);
+        t.row_owned(vec![
+            "Connections accepted".into(),
+            thousands(self.accepted),
+        ]);
+        if self.shed > 0 {
+            t.row_owned(vec!["Connections shed (503)".into(), thousands(self.shed)]);
+        }
+        t.row_owned(vec!["Connections active".into(), thousands(self.active)]);
+        if self.idle_closed > 0 {
+            t.row_owned(vec![
+                "Idle connections swept".into(),
+                thousands(self.idle_closed),
+            ]);
+        }
+        t.row_owned(vec!["Requests served".into(), thousands(self.requests)]);
+        t.row_owned(vec![
+            "  of which keep-alive".into(),
+            thousands(self.keepalive_requests),
+        ]);
+        if self.parse_failures > 0 {
+            t.row_owned(vec![
+                "Parse failures (4xx)".into(),
+                thousands(self.parse_failures),
+            ]);
+        }
+        t.row_owned(vec![
+            "Requests / connection".into(),
+            format!("{:.2}", self.requests_per_connection),
+        ]);
+        t.row_owned(vec![
+            "Service time p50".into(),
+            format!("{:.1} us", self.p50_us),
+        ]);
+        t.row_owned(vec![
+            "Service time p99".into(),
+            format!("{:.1} us", self.p99_us),
+        ]);
+        t
+    }
+
+    /// Render the report as one text block.
+    pub fn render(&self) -> String {
+        self.summary_table().render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +643,44 @@ mod tests {
         assert!(!r.contains("Crawl failure taxonomy"));
         assert!(!r.contains("Interned symbols"));
         assert!(!r.contains("panicked"));
+    }
+
+    fn server_sample() -> ServerStatsReport {
+        ServerStatsReport {
+            accepted: 64,
+            shed: 3,
+            active: 2,
+            idle_closed: 5,
+            requests: 6_400,
+            keepalive_requests: 6_336,
+            parse_failures: 1,
+            requests_per_connection: 100.0,
+            p50_us: 42.5,
+            p99_us: 812.0,
+        }
+    }
+
+    #[test]
+    fn server_render_includes_all_rows() {
+        let r = server_sample().render();
+        assert!(r.contains("HTTP server summary"));
+        assert!(r.contains("6,400"));
+        assert!(r.contains("6,336")); // keep-alive requests
+        assert!(r.contains("Connections shed (503)"));
+        assert!(r.contains("Idle connections swept"));
+        assert!(r.contains("Parse failures (4xx)"));
+        assert!(r.contains("100.00")); // requests per connection
+        assert!(r.contains("42.5 us"));
+        assert!(r.contains("812.0 us"));
+    }
+
+    #[test]
+    fn server_zero_rows_are_optional() {
+        let r = ServerStatsReport::default().render();
+        assert!(r.contains("HTTP server summary"));
+        assert!(!r.contains("shed"));
+        assert!(!r.contains("swept"));
+        assert!(!r.contains("Parse failures"));
     }
 
     #[test]

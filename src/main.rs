@@ -7,6 +7,7 @@
 //! wla crawl   [APP ...]                run the 100-site crawl (default: LinkedIn Kik)
 //! wla labels  [--scale N]              emit privacy nutrition labels
 //! wla all     [--scale N]              everything, with comparisons
+//! wla serve   [--port N] [--smoke]     analysis-as-a-service HTTP server
 //! ```
 
 use whatcha_lookin_at::wla_report::thousands;
@@ -18,6 +19,8 @@ struct Args {
     scale: u32,
     seed: u64,
     json: bool,
+    port: u16,
+    smoke: bool,
     rest: Vec<String>,
 }
 
@@ -27,6 +30,8 @@ fn parse_args() -> Args {
         scale: 100,
         seed: 0xDA7A_5EED,
         json: false,
+        port: 0,
+        smoke: false,
         rest: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +51,13 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json = true,
+            "--port" => {
+                if let Some(v) = argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    args.port = v;
+                    i += 1;
+                }
+            }
+            "--smoke" => args.smoke = true,
             other if args.command.is_empty() => args.command = other.to_owned(),
             other => args.rest.push(other.to_owned()),
         }
@@ -56,7 +68,8 @@ fn parse_args() -> Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wla <static|funnel|dynamic|crawl|labels|all> [--scale N] [--seed N] [--json] [args…]"
+        "usage: wla <static|funnel|dynamic|crawl|labels|all|serve> \
+         [--scale N] [--seed N] [--json] [--port N] [--smoke] [args…]"
     );
     std::process::exit(2);
 }
@@ -183,7 +196,56 @@ fn main() {
                 print_exp(&exp);
             }
         }
+        "serve" => serve(&args),
         _ => usage(),
+    }
+}
+
+/// `wla serve`: front both pipelines over one nonblocking HTTP server.
+///
+/// `--port 0` (the default) binds an ephemeral port and prints it.
+/// `--smoke` self-checks `GET /healthz` over loopback, prints the server
+/// stats table, and exits — the CI smoke path.
+fn serve(args: &Args) {
+    use std::sync::Arc;
+    use whatcha_lookin_at::wla_net::{
+        fetch, BeaconStore, NetLog, Request, Server, ServerConfig, Status,
+    };
+
+    let catalog = Arc::new(whatcha_lookin_at::wla_sdk_index::SdkIndex::paper());
+    let page_html = Arc::new(whatcha_lookin_at::wla_web::testpage::test_page_html());
+    let store = BeaconStore::default();
+    let log = NetLog::new();
+    let router = whatcha_lookin_at::service_router(catalog, page_html, store, log).into_handler();
+    let mut server = Server::bind(("127.0.0.1", args.port), router, ServerConfig::default())
+        .unwrap_or_else(|e| {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        });
+    println!("serving on http://{}", server.addr());
+    eprintln!("routes: GET /healthz, POST /analyze, GET /page, POST /beacon, POST /netlog, GET /netlog/hosts");
+
+    if args.smoke {
+        let resp = fetch(server.addr(), Request::get("/healthz")).unwrap_or_else(|e| {
+            eprintln!("smoke healthz failed: {e}");
+            std::process::exit(1);
+        });
+        if resp.status != Status::Ok || &resp.body[..] != b"ok" {
+            eprintln!("smoke healthz returned {:?}", resp.status);
+            std::process::exit(1);
+        }
+        let report = whatcha_lookin_at::server_stats_report(&server.stats().snapshot());
+        println!("{}", report.render());
+        server.shutdown();
+        println!("smoke ok");
+        return;
+    }
+
+    // Foreground service: report stats once a minute until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        let report = whatcha_lookin_at::server_stats_report(&server.stats().snapshot());
+        eprintln!("{}", report.render());
     }
 }
 

@@ -1,0 +1,86 @@
+//! `POST /analyze` error taxonomy over real HTTP, pinned on both servers.
+//!
+//! The contract (DESIGN 6.8): a container that decodes but is broken is a
+//! `422` whose JSON body carries the stable `ApkError::kind` label; a body
+//! past the configured cap never reaches the handler (`413` from the
+//! codec); a wrong method never reaches it either (`405` from the router,
+//! with an `allow` header). Every case is exercised against the
+//! readiness-loop server *and* the blocking oracle, and the status, body,
+//! and headers must agree.
+
+use std::sync::Arc;
+use wla_core::analysis_routes;
+use wla_net::server::oracle;
+use wla_net::{fetch, Handler, Limits, Request, Response, Server, ServerConfig, Status};
+use wla_sdk_index::SdkIndex;
+
+fn analyze_handler() -> Handler {
+    let catalog = Arc::new(SdkIndex::paper());
+    analysis_routes(wla_net::Router::new(), catalog).into_handler()
+}
+
+/// Run `request` against both servers and assert the responses agree on
+/// status, headers, and body; returns the (shared) response.
+fn on_both(request: Request) -> Response {
+    let mut oracle_server = oracle::Server::start(analyze_handler()).unwrap();
+    let nb_server = Server::start(analyze_handler()).unwrap();
+    let from_oracle = fetch(oracle_server.addr(), request.clone()).unwrap();
+    let from_nb = fetch(nb_server.addr(), request).unwrap();
+    assert_eq!(from_oracle.status, from_nb.status);
+    assert_eq!(from_oracle.body, from_nb.body);
+    assert_eq!(from_oracle.headers, from_nb.headers);
+    oracle_server.shutdown();
+    from_nb
+}
+
+#[test]
+fn corrupted_sdex_is_422_with_error_kind() {
+    let resp = on_both(Request::post("/analyze", &b"XXXX not a container"[..]));
+    assert_eq!(resp.status, Status::UnprocessableEntity);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let body = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(body.contains("\"error\":{\"kind\":\"bad-magic\""), "{body}");
+    assert!(body.contains("\"detail\":"), "{body}");
+}
+
+#[test]
+fn truncated_sdex_reports_its_own_kind() {
+    // A valid magic with nothing behind it exercises a different arm of
+    // the taxonomy than bad-magic; the kind label must still be stable.
+    let resp = on_both(Request::post("/analyze", &b"SAPK"[..]));
+    assert_eq!(resp.status, Status::UnprocessableEntity);
+    let body = String::from_utf8(resp.body.to_vec()).unwrap();
+    assert!(body.contains("\"kind\":\"truncated\""), "{body}");
+}
+
+#[test]
+fn oversized_body_is_413_from_the_codec() {
+    let limits = Limits {
+        max_body_bytes: 1024,
+        ..Limits::default()
+    };
+    let mut oracle_server = oracle::Server::start_with(analyze_handler(), limits, false).unwrap();
+    let nb_server = Server::start_with(
+        analyze_handler(),
+        ServerConfig {
+            limits,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let request = Request::post("/analyze", vec![0u8; 4096]);
+    let from_oracle = fetch(oracle_server.addr(), request.clone()).unwrap();
+    let from_nb = fetch(nb_server.addr(), request).unwrap();
+    assert_eq!(from_oracle.status, Status::PayloadTooLarge);
+    assert_eq!(from_nb.status, Status::PayloadTooLarge);
+    assert_eq!(from_oracle.body, from_nb.body);
+    assert_eq!(from_oracle.headers, from_nb.headers);
+    oracle_server.shutdown();
+}
+
+#[test]
+fn wrong_method_is_405_with_allow_header() {
+    let resp = on_both(Request::get("/analyze"));
+    assert_eq!(resp.status, Status::MethodNotAllowed);
+    assert_eq!(resp.header("allow"), Some("POST"));
+}
