@@ -113,6 +113,36 @@ check_one() {
     echo "bench-check: $json within its allowance"
 }
 
+trusted_decode_gate() {
+    # The trusted-decode acceptance bars, gated on the same snapshot
+    # check_one just verified: the `None` preset must decode valid shards
+    # ≥1.3x faster than full verification (measured ~1.5x; the floor
+    # leaves quick-mode headroom), the stored lookup table must beat the
+    # linear type-table scan by ≥3x (measured ~8x), and hash-layout vtable
+    # binding must beat binary search on the hierarchy-heavy fixture by
+    # ≥1.2x (measured ~1.8x).
+    awk -F'": ' '
+        /"static_pipeline\/decode_zero_copy"/          { all = $2 + 0 }
+        /"static_pipeline\/decode_trusted"/            { trusted = $2 + 0 }
+        /"callgraph\/type_by_name_lut"/                { lut = $2 + 0 }
+        /"callgraph\/type_by_name_linear_scan"/        { scan = $2 + 0 }
+        /"callgraph\/vtable_bind_hash"/                { vh = $2 + 0 }
+        /"callgraph\/vtable_bind_binary_search"/       { vb = $2 + 0 }
+        END {
+            if (all == 0 || trusted == 0 || lut == 0 || scan == 0 || vh == 0 || vb == 0) {
+                print "  trusted-decode gate: bench rows missing"; exit 1
+            }
+            bad = 0
+            printf "  trusted-decode  decode_zero_copy / decode_trusted = %.2fx (floor 1.3x)\n", all / trusted
+            if (all / trusted < 1.3) bad = 1
+            printf "  trusted-decode  linear_scan / type_by_name_lut   = %.1fx (floor 3x)\n", scan / lut
+            if (scan / lut < 3) bad = 1
+            printf "  trusted-decode  binary_search / vtable_bind_hash = %.2fx (floor 1.2x)\n", vb / vh
+            if (vb / vh < 1.2) bad = 1
+            exit bad
+        }' BENCH_static.json || { echo "bench-check: FAILED (trusted-decode fast path below its floor)"; exit 1; }
+}
+
 saturation_gate() {
     # The http_loop acceptance bar: the nonblocking server must clear 5x
     # the thread-per-connection oracle's req/s with 64 concurrent
@@ -136,6 +166,7 @@ bench_check() {
     # shellcheck disable=SC2086
     check_one BENCH_static.json 1.25 $STATIC_BENCHES
     saturation_gate
+    trusted_decode_gate
     # shellcheck disable=SC2086
     check_one BENCH_dynamic.json 1.50 $DYNAMIC_BENCHES
 }
@@ -159,6 +190,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== corruption suites under the VerifyPreset::All default =="
+# The trusted-decode presets must never leak into corruption-facing paths:
+# re-run the corruption/equivalence suites (their decoders go through the
+# defaults) plus the pin that full verification IS the default everywhere.
+cargo test -q --test robustness --test decode_equivalence
+cargo test -q --test verify_preset_equivalence full_verification_is_the_default
 
 echo "== cargo build --benches (smoke) =="
 bench_start=$SECONDS

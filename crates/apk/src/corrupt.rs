@@ -53,6 +53,21 @@ pub enum CorruptionKind {
         /// Which register slot to hit, modulo the number of slots.
         site_num: u8,
     },
+    /// Overwrite one non-empty slot of the SDEX **type lookup table** (the
+    /// v3 section) with an out-of-range type index and re-encode (checksum
+    /// restamped), so the damage sails through the adler gate and lands on
+    /// the table validators that only `VerifyPreset::All` runs — pinning
+    /// that full verification rejects a damaged table while trusted
+    /// presets, which are never handed corrupted bytes by contract, would
+    /// carry it silently. Like
+    /// [`ClobberRegister`](Self::ClobberRegister) this leaves *container*
+    /// decoding intact on SAPK input, and falls back to
+    /// [`BitFlip`](Self::BitFlip) when the input has no non-empty lookup
+    /// table to damage.
+    ClobberLookupTable {
+        /// Which non-empty slot to hit, modulo the non-empty count.
+        slot_num: u8,
+    },
 }
 
 /// Byte length of the shared `magic + version + adler32` header.
@@ -109,6 +124,12 @@ pub fn corrupt(bytes: &[u8], kind: CorruptionKind) -> Vec<u8> {
             // guaranteed to catch.
             None => corrupt(bytes, CorruptionKind::BitFlip { pos_num: site_num }),
         },
+        CorruptionKind::ClobberLookupTable { slot_num } => match clobber_lut(bytes, slot_num) {
+            Some(out) => out,
+            // No non-empty lookup table anywhere (pre-v3 blob, typeless
+            // dex, corrupt input): degrade to a checksum-caught bit flip.
+            None => corrupt(bytes, CorruptionKind::BitFlip { pos_num: slot_num }),
+        },
     }
 }
 
@@ -137,6 +158,52 @@ fn clobber_register(bytes: &[u8], site_num: u8) -> Option<Vec<u8>> {
         rebuilt.push(s.tag, s.data.clone());
     }
     done.then(|| rebuilt.encode().to_vec())
+}
+
+/// Decode `bytes` (bare SDEX, or SAPK with dex sections), overwrite one
+/// non-empty lookup-table slot with an out-of-range type index, and
+/// re-encode. Returns `None` when there is no table to damage.
+fn clobber_lut(bytes: &[u8], slot_num: u8) -> Option<Vec<u8>> {
+    if bytes.get(..4) == Some(&sdex::SDEX_MAGIC[..]) {
+        let mut dex = Dex::decode(bytes).ok()?;
+        clobber_lut_in_dex(&mut dex, slot_num)?;
+        return Some(dex.encode().to_vec());
+    }
+    let apk = Sapk::decode(bytes).ok()?;
+    let mut rebuilt = Sapk::new();
+    let mut done = false;
+    for s in apk.sections() {
+        if !done && s.tag == SectionTag::Dex {
+            if let Ok(mut dex) = Dex::decode_bytes(s.data.clone()) {
+                if clobber_lut_in_dex(&mut dex, slot_num).is_some() {
+                    rebuilt.push(SectionTag::Dex, dex.encode());
+                    done = true;
+                    continue;
+                }
+            }
+        }
+        rebuilt.push(s.tag, s.data.clone());
+    }
+    done.then(|| rebuilt.encode().to_vec())
+}
+
+fn clobber_lut_in_dex(dex: &mut Dex, slot_num: u8) -> Option<()> {
+    let type_count = dex.type_count() as u32;
+    let slots = dex.lut_slots_mut()?;
+    let occupied: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .map(|(i, _)| i)
+        .collect();
+    if occupied.is_empty() {
+        return None;
+    }
+    let i = occupied[slot_num as usize % occupied.len()];
+    // Strictly past the type table, so full verification flags the slot as
+    // index-out-of-range before even comparing the canonical rebuild.
+    slots[i] = type_count + 1 + slot_num as u32;
+    Some(())
 }
 
 /// Number of register operands an instruction carries.
@@ -343,6 +410,62 @@ mod tests {
             corrupt(&empty, CorruptionKind::BitFlip { pos_num: 9 })
         );
         assert!(crate::Dex::decode(&fallback).is_err());
+    }
+
+    #[test]
+    fn clobber_lookup_table_reaches_the_lut_validator() {
+        let blob = dex_with_registers().encode().to_vec();
+        // Every slot choice produces a blob the adler gate accepts and the
+        // lookup-table validation (only run at `VerifyPreset::All`) rejects.
+        for slot_num in [0u8, 1, 2, 3, 4, 77, 255] {
+            let bad = corrupt(&blob, CorruptionKind::ClobberLookupTable { slot_num });
+            let err = crate::Dex::decode(&bad).expect_err("clobbered lookup table decoded");
+            assert_eq!(err.kind(), "index-out-of-range", "slot_num={slot_num}");
+            assert!(format!("{err:?}").contains("type"), "slot_num={slot_num}");
+        }
+    }
+
+    #[test]
+    fn clobber_lookup_table_transparent_to_container() {
+        let mut apk = Sapk::new();
+        apk.push(SectionTag::Manifest, vec![7u8; 32]);
+        apk.push(SectionTag::Dex, dex_with_registers().encode());
+        let bad = corrupt(
+            &apk.encode(),
+            CorruptionKind::ClobberLookupTable { slot_num: 2 },
+        );
+        let back = Sapk::decode(&bad).expect("container decode must survive");
+        let err = crate::Dex::decode(back.dex_bytes().unwrap()).unwrap_err();
+        assert_eq!(err.kind(), "index-out-of-range");
+    }
+
+    #[test]
+    fn clobber_lookup_table_deterministic_and_falls_back() {
+        let blob = dex_with_registers().encode().to_vec();
+        let kind = CorruptionKind::ClobberLookupTable { slot_num: 5 };
+        assert_eq!(corrupt(&blob, kind), corrupt(&blob, kind));
+        // Nothing decodable: degrade to a checksum-caught bit flip.
+        let garbage = vec![0x42u8; 64];
+        assert_eq!(
+            corrupt(&garbage, kind),
+            corrupt(&garbage, CorruptionKind::BitFlip { pos_num: 5 })
+        );
+    }
+
+    #[test]
+    fn damaged_lut_under_trusted_preset_never_panics() {
+        use crate::sdex::VerifyPreset;
+        // Trusted presets are never *supposed* to see a damaged table, but
+        // if one slips through, probing must degrade to a miss — not panic
+        // or spin.
+        let bad = corrupt(
+            &dex_with_registers().encode(),
+            CorruptionKind::ClobberLookupTable { slot_num: 1 },
+        );
+        let dex = crate::Dex::decode_bytes_with(bytes::Bytes::from(bad), VerifyPreset::None)
+            .expect("trusted decode skips lut verification");
+        let _ = dex.type_by_name("com/example/Main");
+        let _ = dex.type_by_name("definitely/not/There");
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use container::{Sapk, SapkSection, SectionTag};
 pub use error::ApkError;
 pub use sdex::{
     ClassDef, ClassFlags, Dex, DexBuilder, Instruction, InvokeKind, MethodDef, MethodId, MethodRef,
-    Reg, TypeId,
+    Reg, TypeId, VerifyPreset,
 };
 pub use source::ContainerSource;
 #[cfg(unix)]

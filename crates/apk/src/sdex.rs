@@ -28,21 +28,75 @@
 //! byte-for-byte on valid and corrupted input alike.
 
 use crate::error::ApkError;
-use crate::wire::{adler32, get_string_span, get_uvarint, put_string, put_uvarint};
+use crate::wire::{
+    adler32, get_string_span, get_string_span_unchecked, get_uvarint, put_string, put_uvarint,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Magic bytes at the start of every SDEX blob.
 pub const SDEX_MAGIC: [u8; 4] = *b"SDEX";
-/// Current SDEX format version: version 2 lowers every data-bearing
+/// Current SDEX format version: version 2 lowered every data-bearing
 /// instruction onto virtual registers (`const-string vA`, `move vA vB`,
-/// explicit invoke argument lists) and records a per-method register count.
-pub const SDEX_VERSION: u16 = 2;
+/// explicit invoke argument lists) and records a per-method register count;
+/// version 3 appends an optional **type lookup table** section after the
+/// class table — a precomputed open-addressing hash over type names
+/// (modelled on ART's `TypeLookupTable`) that makes [`Dex::type_by_name`]
+/// an O(1) probe instead of a linear scan.
+pub const SDEX_VERSION: u16 = 3;
 /// Oldest version the decoders still accept — the original straight-line
 /// layout without register operands. Version-1 bodies decode into the
 /// register IR with every operand lowered onto `v0`.
 pub const SDEX_MIN_VERSION: u16 = 1;
+
+/// How much validation the SDEX decoders perform, mirroring dexrs's
+/// `VerifyPreset`.
+///
+/// * [`All`](VerifyPreset::All) — everything the format defines: header
+///   magic/version, Adler-32 body checksum, per-string UTF-8, index bounds
+///   on every table reference and instruction operand, superclass
+///   acyclicity, and lookup-table canonicality. This is the default and the
+///   only preset that is sound on bytes an adversary (or bit rot) may have
+///   touched; every corruption test runs under it.
+/// * [`ChecksumOnly`](VerifyPreset::ChecksumOnly) — header plus the
+///   Adler-32 checksum; the per-entry structural re-validation is skipped.
+///   Sound for blobs that already passed `All` once and are re-read through
+///   a checksummed transport (e.g. resume-cache-validated shards).
+/// * [`None`](VerifyPreset::None) — header only; even the checksum is
+///   skipped. Sound only for generator-produced bytes that never left the
+///   process boundary, or shard entries whose enclosing WSHD checksum was
+///   verified by the container layer this read.
+///
+/// Soundness note: [`Dex::string`] slices the pool with
+/// `from_utf8_unchecked`, justified under `All` because every span is
+/// recorded after a successful UTF-8 scan. The trusted presets skip that
+/// scan (spans stay bounds-checked, so no out-of-bounds read is possible),
+/// which is exactly why they must never be handed untrusted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VerifyPreset {
+    /// Full validation — the corruption-facing default.
+    #[default]
+    All,
+    /// Header + Adler-32 checksum; structural re-validation skipped.
+    ChecksumOnly,
+    /// Header only; checksum and structural validation skipped.
+    None,
+}
+
+impl VerifyPreset {
+    /// Whether the Adler-32 body checksum is compared against the header.
+    pub fn checks_checksum(self) -> bool {
+        !matches!(self, VerifyPreset::None)
+    }
+
+    /// Whether per-entry structural validation runs (UTF-8, index bounds,
+    /// instruction operands, hierarchy acyclicity, lookup-table rebuild).
+    pub fn checks_structure(self) -> bool {
+        matches!(self, VerifyPreset::All)
+    }
+}
 
 /// Index into the type table of a [`Dex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -389,6 +443,11 @@ struct StrSpan {
 /// the pipeline needs, without a lifetime parameter), and for builder-made
 /// files it is a packed concatenation of the interned strings. Either way
 /// [`Dex::string`] is a bounds-checked slice, never an allocation.
+/// Sentinel in [`Dex::class_index`] for types with no class definition.
+/// Cannot collide with a real position: class counts are bounded well
+/// below `u32::MAX` by the 4 GiB blob cap.
+const NO_CLASS: u32 = u32::MAX;
+
 #[derive(Clone)]
 pub struct Dex {
     /// Backing bytes every [`StrSpan`] indexes into.
@@ -397,8 +456,19 @@ pub struct Dex {
     types: Vec<u32>,
     methods: Vec<MethodRef>,
     classes: Vec<ClassDef>,
-    /// type -> position in `classes`, for defined classes.
-    class_index: HashMap<TypeId, usize>,
+    /// type -> position in `classes`, direct-indexed by `TypeId` with
+    /// [`NO_CLASS`] marking undefined types. An array, not a map: decode
+    /// builds it with one `memset`-shaped fill instead of per-class
+    /// hashing, and [`Dex::class`] — the hottest lookup in call-graph
+    /// construction — is a bounds-checked load.
+    class_index: Box<[u32]>,
+    /// Stored type lookup table (the v3 wire section): slot count a power
+    /// of two, each slot `type_index + 1` or `0` for empty. `None` for
+    /// v1/v2 blobs and for v3 blobs encoded without the section.
+    lut: Option<Box<[u32]>>,
+    /// Lazily built fallback probe table for lut-less dexes, so repeated
+    /// name lookups stop being O(types) even without the wire section.
+    name_probe: OnceLock<Box<[u32]>>,
 }
 
 impl Dex {
@@ -467,12 +537,92 @@ impl Dex {
 
     /// Look up a defined class by type id.
     pub fn class(&self, ty: TypeId) -> Option<&ClassDef> {
-        self.class_index.get(&ty).map(|&i| &self.classes[i])
+        match self.class_index.get(ty.0 as usize) {
+            Some(&i) if i != NO_CLASS => self.classes.get(i as usize),
+            _ => None,
+        }
     }
 
-    /// Look up a type id by binary name (scans the type table).
+    /// Look up a type id by binary name: an O(1) probe into the stored
+    /// lookup table when the blob carries one, otherwise into a fallback
+    /// table built lazily on the first name lookup.
     pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
-        self.type_ids().find(|&t| self.type_name(t) == name)
+        match &self.lut {
+            Some(slots) => self.probe_lut(slots, name),
+            None => {
+                let slots = self
+                    .name_probe
+                    .get_or_init(|| build_type_lut(self.types.len(), |t| self.name_bytes(t)));
+                self.probe_lut(slots, name)
+            }
+        }
+    }
+
+    /// Raw name bytes of type `t` — probe-side comparisons use bytes, not
+    /// `&str`, so they stay well-defined under trusted presets that skipped
+    /// the UTF-8 scan.
+    fn name_bytes(&self, t: u32) -> &[u8] {
+        let s = self.strings[self.types[t as usize] as usize];
+        &self.pool[s.off as usize..(s.off + s.len) as usize]
+    }
+
+    /// Probe an open-addressing table for `name`. Defensive against
+    /// damaged *trusted* tables: out-of-range slot values are skipped and a
+    /// pathological full table terminates after one lap, so the worst a bad
+    /// table yields on a trusted path is a miss, never a panic or a spin.
+    fn probe_lut(&self, slots: &[u32], name: &str) -> Option<TypeId> {
+        if slots.is_empty() {
+            return None;
+        }
+        let mask = slots.len() - 1;
+        let mut i = fnv1a(name.as_bytes()) as usize & mask;
+        for _ in 0..slots.len() {
+            let v = slots[i];
+            if v == 0 {
+                return None;
+            }
+            let t = v - 1;
+            let matches = self
+                .types
+                .get(t as usize)
+                .and_then(|&s| self.strings.get(s as usize))
+                .is_some_and(|s| {
+                    self.pool
+                        .get(s.off as usize..(s.off + s.len) as usize)
+                        .is_some_and(|b| b == name.as_bytes())
+                });
+            if matches {
+                return Some(TypeId(t));
+            }
+            i = (i + 1) & mask;
+        }
+        None
+    }
+
+    /// Whether this dex carries a stored (wire-format) type lookup table.
+    pub fn has_lookup_table(&self) -> bool {
+        self.lut.is_some()
+    }
+
+    /// Whether the lazy fallback probe table was built because no stored
+    /// table was present — the pipeline's `lut_rebuilds` counter samples
+    /// this after analysis.
+    pub fn lookup_table_rebuilt(&self) -> bool {
+        self.name_probe.get().is_some()
+    }
+
+    /// Mutable slots of the stored lookup table — the corruption module
+    /// damages tables through this.
+    pub(crate) fn lut_slots_mut(&mut self) -> Option<&mut [u32]> {
+        self.lut.as_deref_mut()
+    }
+
+    /// Drop the stored lookup-table section, if any. Name lookups fall
+    /// back to the lazily built probe table; re-encoding emits the
+    /// lut-absent flag. This is the pipeline's `use_lut = false` ablation
+    /// knob.
+    pub fn discard_lookup_table(&mut self) {
+        self.lut = None;
     }
 
     /// Look up a defined class by binary name.
@@ -540,6 +690,19 @@ impl Dex {
                 }
             }
         }
+        // v3 lookup-table section: a flag byte, then the stored table
+        // verbatim. Emitting the *stored* slots (never recomputing) keeps
+        // encoding canonical: decode(encode(d)) == d byte-for-byte.
+        match &self.lut {
+            Some(slots) => {
+                body.put_u8(1);
+                put_uvarint(&mut body, slots.len() as u64);
+                for &s in slots.iter() {
+                    body.put_u32_le(s);
+                }
+            }
+            None => body.put_u8(0),
+        }
 
         let mut out = BytesMut::with_capacity(body.len() + 10);
         out.put_slice(&SDEX_MAGIC);
@@ -566,7 +729,26 @@ impl Dex {
     /// checksum, structure — but records `(offset, len)` spans instead of
     /// materializing strings. The returned [`Dex`] keeps `raw` alive via
     /// the `Bytes` refcount; no byte of string data is copied.
+    ///
+    /// Equivalent to [`Dex::decode_bytes_with`] at [`VerifyPreset::All`].
     pub fn decode_bytes(raw: Bytes) -> Result<Dex, ApkError> {
+        Dex::decode_bytes_with(raw, VerifyPreset::All)
+    }
+
+    /// Parse an SDEX blob under an explicit [`VerifyPreset`].
+    ///
+    /// `All` is full validation (the corruption-facing default);
+    /// `ChecksumOnly` keeps the Adler-32 gate but skips the per-entry
+    /// structural re-validation; `None` additionally skips the checksum.
+    /// The trusted presets still parse every table (truncation and varint
+    /// malformations are detected — the cursor has to walk the bytes
+    /// anyway) and still bounds-check string spans against the blob, so
+    /// they can never read out of bounds; what they skip is the *semantic*
+    /// re-validation (UTF-8, index ranges, register bounds, hierarchy
+    /// acyclicity, lookup-table canonicality) already performed when the
+    /// blob was first admitted to the corpus.
+    pub fn decode_bytes_with(raw: Bytes, preset: VerifyPreset) -> Result<Dex, ApkError> {
+        let verify = preset.checks_structure();
         if raw.len() > u32::MAX as usize {
             // Spans are u32; real SDEX blobs are megabytes, not gigabytes.
             return Err(ApkError::Invalid("sdex blob exceeds 4 GiB"));
@@ -592,15 +774,21 @@ impl Dex {
             return Err(ApkError::UnsupportedVersion(version));
         }
         let stored = buf.get_u32_le();
-        let computed = adler32(buf);
-        if stored != computed {
-            return Err(ApkError::ChecksumMismatch { stored, computed });
+        if preset.checks_checksum() {
+            let computed = adler32(buf);
+            if stored != computed {
+                return Err(ApkError::ChecksumMismatch { stored, computed });
+            }
         }
 
         let string_count = get_uvarint(&mut buf)? as usize;
         let mut strings = Vec::with_capacity(string_count.min(1 << 20));
         for _ in 0..string_count {
-            let (off, len) = get_string_span(full, &mut buf)?;
+            let (off, len) = if verify {
+                get_string_span(full, &mut buf)?
+            } else {
+                get_string_span_unchecked(full, &mut buf)?
+            };
             strings.push(StrSpan { off, len });
         }
 
@@ -608,7 +796,9 @@ impl Dex {
         let mut types = Vec::with_capacity(type_count.min(1 << 20));
         for _ in 0..type_count {
             let s = get_uvarint(&mut buf)? as u32;
-            check_index("string", s, strings.len())?;
+            if verify {
+                check_index("string", s, strings.len())?;
+            }
             types.push(s);
         }
 
@@ -618,9 +808,11 @@ impl Dex {
             let class = TypeId(get_uvarint(&mut buf)? as u32);
             let name = get_uvarint(&mut buf)? as u32;
             let descriptor = get_uvarint(&mut buf)? as u32;
-            check_index("type", class.0, types.len())?;
-            check_index("string", name, strings.len())?;
-            check_index("string", descriptor, strings.len())?;
+            if verify {
+                check_index("type", class.0, types.len())?;
+                check_index("string", name, strings.len())?;
+                check_index("string", descriptor, strings.len())?;
+            }
             methods.push(MethodRef {
                 class,
                 name,
@@ -630,10 +822,12 @@ impl Dex {
 
         let class_count = get_uvarint(&mut buf)? as usize;
         let mut classes = Vec::with_capacity(class_count.min(1 << 20));
-        let mut class_index = HashMap::with_capacity(class_count.min(1 << 20));
+        let mut class_index = vec![NO_CLASS; types.len()].into_boxed_slice();
         for _ in 0..class_count {
             let ty = TypeId(get_uvarint(&mut buf)? as u32);
-            check_index("type", ty.0, types.len())?;
+            if verify {
+                check_index("type", ty.0, types.len())?;
+            }
             if !buf.has_remaining() {
                 return Err(ApkError::Truncated {
                     context: "superclass flag",
@@ -643,7 +837,9 @@ impl Dex {
                 0 => None,
                 _ => {
                     let s = TypeId(get_uvarint(&mut buf)? as u32);
-                    check_index("type", s.0, types.len())?;
+                    if verify {
+                        check_index("type", s.0, types.len())?;
+                    }
                     Some(s)
                 }
             };
@@ -652,7 +848,9 @@ impl Dex {
             let mut defs = Vec::with_capacity(def_count.min(1 << 16));
             for _ in 0..def_count {
                 let method = MethodId(get_uvarint(&mut buf)? as u32);
-                check_index("method", method.0, methods.len())?;
+                if verify {
+                    check_index("method", method.0, methods.len())?;
+                }
                 if !buf.has_remaining() {
                     return Err(ApkError::Truncated {
                         context: "method flags",
@@ -669,13 +867,15 @@ impl Dex {
                 let mut code = Vec::with_capacity(code_len.min(1 << 16));
                 for _ in 0..code_len {
                     let ins = Instruction::decode(&mut buf, version)?;
-                    validate_instruction(
-                        &ins,
-                        strings.len(),
-                        types.len(),
-                        methods.len(),
-                        registers,
-                    )?;
+                    if verify {
+                        validate_instruction(
+                            &ins,
+                            strings.len(),
+                            types.len(),
+                            methods.len(),
+                            registers,
+                        )?;
+                    }
                     code.push(ins);
                 }
                 defs.push(MethodDef {
@@ -686,8 +886,15 @@ impl Dex {
                     code,
                 });
             }
-            if class_index.insert(ty, classes.len()).is_some() {
-                return Err(ApkError::Invalid("duplicate class definition"));
+            match class_index.get_mut(ty.0 as usize) {
+                Some(slot) if *slot == NO_CLASS => *slot = classes.len() as u32,
+                Some(_) => return Err(ApkError::Invalid("duplicate class definition")),
+                // A type id past the table is only reachable under trusted
+                // presets (`All` rejected it via `check_index` above);
+                // tolerate it — the class stays in `classes` but cannot be
+                // found by type lookup, the same garbage-in posture as
+                // `probe_lut`.
+                None => {}
             }
             classes.push(ClassDef {
                 ty,
@@ -696,6 +903,53 @@ impl Dex {
                 methods: defs,
             });
         }
+
+        let lut = if version >= 3 {
+            if !buf.has_remaining() {
+                return Err(ApkError::Truncated {
+                    context: "lookup-table flag",
+                });
+            }
+            match buf.get_u8() {
+                0 => None,
+                _ => {
+                    let slot_count = get_uvarint(&mut buf)? as usize;
+                    // Size guards run under every preset: the remaining-bytes
+                    // check stops a forged count from driving a huge
+                    // allocation, and the probe mask needs a power of two.
+                    if buf.remaining() / 4 < slot_count {
+                        return Err(ApkError::Truncated {
+                            context: "lookup-table slots",
+                        });
+                    }
+                    if !slot_count.is_power_of_two() {
+                        return Err(ApkError::Invalid("lookup table size not a power of two"));
+                    }
+                    let mut slots = Vec::with_capacity(slot_count);
+                    for _ in 0..slot_count {
+                        slots.push(buf.get_u32_le());
+                    }
+                    let slots = slots.into_boxed_slice();
+                    if verify {
+                        for &v in slots.iter() {
+                            if v != 0 {
+                                check_index("type", v - 1, types.len())?;
+                            }
+                        }
+                        let canonical = build_type_lut(types.len(), |t| {
+                            let s = strings[types[t as usize] as usize];
+                            &full[s.off as usize..(s.off + s.len) as usize]
+                        });
+                        if canonical != slots {
+                            return Err(ApkError::Invalid("lookup table mismatch"));
+                        }
+                    }
+                    Some(slots)
+                }
+            }
+        } else {
+            None
+        };
 
         if buf.has_remaining() {
             return Err(ApkError::Invalid("trailing bytes after class table"));
@@ -708,8 +962,12 @@ impl Dex {
             methods,
             classes,
             class_index,
+            lut,
+            name_probe: OnceLock::new(),
         };
-        dex.validate_hierarchy()?;
+        if verify {
+            dex.validate_hierarchy()?;
+        }
         Ok(dex)
     }
 
@@ -778,6 +1036,42 @@ impl Iterator for Superclasses<'_> {
         self.cur = self.dex.class(s).and_then(|c| c.superclass);
         Some(s)
     }
+}
+
+/// 32-bit FNV-1a over a type's binary name — the lookup-table hash.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Slot count for a lookup table over `type_count` entries: the next power
+/// of two at or above twice the entry count, so load factor stays ≤ 0.5 and
+/// linear probe chains stay short. A typeless dex gets a single empty slot.
+fn lut_slot_count(type_count: usize) -> usize {
+    (type_count * 2).next_power_of_two()
+}
+
+/// Build the canonical type lookup table: open addressing with linear
+/// probing, slots storing `type_index + 1` (`0` = empty). Types are
+/// inserted in table order, so among duplicate names the smallest type id
+/// sits earliest on its probe chain — probing preserves the first-match
+/// semantics of the linear scan it replaces.
+fn build_type_lut<'a>(type_count: usize, name_of: impl Fn(u32) -> &'a [u8]) -> Box<[u32]> {
+    let cap = lut_slot_count(type_count);
+    let mut slots = vec![0u32; cap].into_boxed_slice();
+    let mask = cap - 1;
+    for t in 0..type_count as u32 {
+        let mut i = fnv1a(name_of(t)) as usize & mask;
+        while slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        slots[i] = t + 1;
+    }
+    slots
 }
 
 fn check_index(table: &'static str, index: u32, len: usize) -> Result<(), ApkError> {
@@ -926,13 +1220,27 @@ impl DexBuilder {
             });
             pool.put_slice(s.as_bytes());
         }
+        let pool = pool.freeze();
+        // Builder-made dexes always carry the lookup table, so every
+        // generator-produced blob encodes the v3 section and decoded
+        // corpora get O(1) name lookups without a lazy rebuild.
+        let lut = build_type_lut(self.types.len(), |t| {
+            let s = spans[self.types[t as usize] as usize];
+            &pool[s.off as usize..(s.off + s.len) as usize]
+        });
+        let mut class_index = vec![NO_CLASS; self.types.len()].into_boxed_slice();
+        for (ty, i) in self.class_index {
+            class_index[ty.0 as usize] = i as u32;
+        }
         Dex {
-            pool: pool.freeze(),
+            pool,
             strings: spans,
             types: self.types,
             methods: self.methods,
             classes: self.classes,
-            class_index: self.class_index,
+            class_index,
+            lut: Some(lut),
+            name_probe: OnceLock::new(),
         }
     }
 }
@@ -983,7 +1291,17 @@ pub mod oracle {
 
     /// Parse and validate an SDEX blob the old way: owned `String` per
     /// pool entry, identical validation order and error kinds.
+    ///
+    /// Equivalent to [`decode_with`] at [`VerifyPreset::All`].
     pub fn decode(raw: &[u8]) -> Result<OwnedDex, ApkError> {
+        decode_with(raw, VerifyPreset::All)
+    }
+
+    /// Preset-aware owning decoder, mirroring [`Dex::decode_bytes_with`]
+    /// check for check so the equivalence suite can pin the two across
+    /// every preset.
+    pub fn decode_with(raw: &[u8], preset: VerifyPreset) -> Result<OwnedDex, ApkError> {
+        let verify = preset.checks_structure();
         if raw.len() > u32::MAX as usize {
             // Mirrors the span-width guard in `Dex::decode_bytes` so the
             // two decoders stay equivalent on every input.
@@ -1009,22 +1327,34 @@ pub mod oracle {
             return Err(ApkError::UnsupportedVersion(version));
         }
         let stored = buf.get_u32_le();
-        let computed = adler32(buf);
-        if stored != computed {
-            return Err(ApkError::ChecksumMismatch { stored, computed });
+        if preset.checks_checksum() {
+            let computed = adler32(buf);
+            if stored != computed {
+                return Err(ApkError::ChecksumMismatch { stored, computed });
+            }
         }
 
         let string_count = get_uvarint(&mut buf)? as usize;
         let mut strings = Vec::with_capacity(string_count.min(1 << 20));
         for _ in 0..string_count {
-            strings.push(get_string(&mut buf)?);
+            strings.push(if verify {
+                get_string(&mut buf)?
+            } else {
+                let len = get_uvarint(&mut buf)? as usize;
+                let raw = crate::wire::get_bytes(&mut buf, len, "string")?;
+                // SAFETY: the trusted-preset contract — these bytes passed
+                // a full `All` decode when first admitted to the corpus.
+                unsafe { String::from_utf8_unchecked(raw) }
+            });
         }
 
         let type_count = get_uvarint(&mut buf)? as usize;
         let mut types = Vec::with_capacity(type_count.min(1 << 20));
         for _ in 0..type_count {
             let s = get_uvarint(&mut buf)? as u32;
-            check_index("string", s, strings.len())?;
+            if verify {
+                check_index("string", s, strings.len())?;
+            }
             types.push(s);
         }
 
@@ -1034,9 +1364,11 @@ pub mod oracle {
             let class = TypeId(get_uvarint(&mut buf)? as u32);
             let name = get_uvarint(&mut buf)? as u32;
             let descriptor = get_uvarint(&mut buf)? as u32;
-            check_index("type", class.0, types.len())?;
-            check_index("string", name, strings.len())?;
-            check_index("string", descriptor, strings.len())?;
+            if verify {
+                check_index("type", class.0, types.len())?;
+                check_index("string", name, strings.len())?;
+                check_index("string", descriptor, strings.len())?;
+            }
             methods.push(MethodRef {
                 class,
                 name,
@@ -1049,7 +1381,9 @@ pub mod oracle {
         let mut class_index = HashMap::with_capacity(class_count.min(1 << 20));
         for _ in 0..class_count {
             let ty = TypeId(get_uvarint(&mut buf)? as u32);
-            check_index("type", ty.0, types.len())?;
+            if verify {
+                check_index("type", ty.0, types.len())?;
+            }
             if !buf.has_remaining() {
                 return Err(ApkError::Truncated {
                     context: "superclass flag",
@@ -1059,7 +1393,9 @@ pub mod oracle {
                 0 => None,
                 _ => {
                     let s = TypeId(get_uvarint(&mut buf)? as u32);
-                    check_index("type", s.0, types.len())?;
+                    if verify {
+                        check_index("type", s.0, types.len())?;
+                    }
                     Some(s)
                 }
             };
@@ -1068,7 +1404,9 @@ pub mod oracle {
             let mut defs = Vec::with_capacity(def_count.min(1 << 16));
             for _ in 0..def_count {
                 let method = MethodId(get_uvarint(&mut buf)? as u32);
-                check_index("method", method.0, methods.len())?;
+                if verify {
+                    check_index("method", method.0, methods.len())?;
+                }
                 if !buf.has_remaining() {
                     return Err(ApkError::Truncated {
                         context: "method flags",
@@ -1085,13 +1423,15 @@ pub mod oracle {
                 let mut code = Vec::with_capacity(code_len.min(1 << 16));
                 for _ in 0..code_len {
                     let ins = Instruction::decode(&mut buf, version)?;
-                    validate_instruction(
-                        &ins,
-                        strings.len(),
-                        types.len(),
-                        methods.len(),
-                        registers,
-                    )?;
+                    if verify {
+                        validate_instruction(
+                            &ins,
+                            strings.len(),
+                            types.len(),
+                            methods.len(),
+                            registers,
+                        )?;
+                    }
                     code.push(ins);
                 }
                 defs.push(MethodDef {
@@ -1113,20 +1453,63 @@ pub mod oracle {
             });
         }
 
+        // v3 lookup-table section: parsed (and at `All` verified) exactly
+        // like the zero-copy decoder, then dropped — the owning
+        // representation predates the section and name lookups on it are
+        // not on any hot path.
+        if version >= 3 {
+            if !buf.has_remaining() {
+                return Err(ApkError::Truncated {
+                    context: "lookup-table flag",
+                });
+            }
+            if buf.get_u8() != 0 {
+                let slot_count = get_uvarint(&mut buf)? as usize;
+                if buf.remaining() / 4 < slot_count {
+                    return Err(ApkError::Truncated {
+                        context: "lookup-table slots",
+                    });
+                }
+                if !slot_count.is_power_of_two() {
+                    return Err(ApkError::Invalid("lookup table size not a power of two"));
+                }
+                let mut slots = Vec::with_capacity(slot_count);
+                for _ in 0..slot_count {
+                    slots.push(buf.get_u32_le());
+                }
+                let slots = slots.into_boxed_slice();
+                if verify {
+                    for &v in slots.iter() {
+                        if v != 0 {
+                            check_index("type", v - 1, types.len())?;
+                        }
+                    }
+                    let canonical = build_type_lut(types.len(), |t| {
+                        strings[types[t as usize] as usize].as_bytes()
+                    });
+                    if canonical != slots {
+                        return Err(ApkError::Invalid("lookup table mismatch"));
+                    }
+                }
+            }
+        }
+
         if buf.has_remaining() {
             return Err(ApkError::Invalid("trailing bytes after class table"));
         }
 
         // Cycle check, same walk as `Dex::validate_hierarchy`.
-        for c in &classes {
-            let mut seen = 0usize;
-            let mut cur = c.superclass;
-            while let Some(s) = cur {
-                seen += 1;
-                if seen > classes.len() {
-                    return Err(ApkError::Invalid("superclass cycle"));
+        if verify {
+            for c in &classes {
+                let mut seen = 0usize;
+                let mut cur = c.superclass;
+                while let Some(s) = cur {
+                    seen += 1;
+                    if seen > classes.len() {
+                        return Err(ApkError::Invalid("superclass cycle"));
+                    }
+                    cur = class_index.get(&s).and_then(|&i| classes[i].superclass);
                 }
-                cur = class_index.get(&s).and_then(|&i| classes[i].superclass);
             }
         }
 
@@ -1345,8 +1728,8 @@ mod tests {
             flags: ClassFlags::default(),
             methods: vec![],
         });
-        dex.class_index.insert(a, 0);
-        dex.class_index.insert(bb, 1);
+        dex.class_index[a.0 as usize] = 0;
+        dex.class_index[bb.0 as usize] = 1;
         let bytes = dex.encode();
         assert_eq!(
             Dex::decode(&bytes),
@@ -1585,6 +1968,155 @@ mod tests {
             oracle::decode(&blob),
             Err(ApkError::BadOpcode(OP_MOVE))
         ));
+    }
+
+    #[test]
+    fn trusted_presets_decode_valid_blobs_identically() {
+        let dex = sample_dex();
+        let blob = dex.encode();
+        for preset in [
+            VerifyPreset::All,
+            VerifyPreset::ChecksumOnly,
+            VerifyPreset::None,
+        ] {
+            let zc = Dex::decode_bytes_with(blob.clone(), preset).unwrap();
+            assert_eq!(zc, dex, "{preset:?}");
+            let owned = oracle::decode_with(&blob, preset).unwrap();
+            assert_eq!(zc, owned, "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn preset_gates_engage_in_order() {
+        // A flipped body byte: All and ChecksumOnly stop at the adler gate,
+        // None sails past it (the damage lands in an instruction stream the
+        // trusted parse still walks structurally).
+        let blob = sample_dex().encode().to_vec();
+        let mut bad = blob.clone();
+        let i = blob.len() - 3;
+        bad[i] ^= 0x40;
+        for preset in [VerifyPreset::All, VerifyPreset::ChecksumOnly] {
+            assert!(matches!(
+                Dex::decode_bytes_with(Bytes::from(bad.clone()), preset),
+                Err(ApkError::ChecksumMismatch { .. })
+            ));
+        }
+        // Under None the checksum is not consulted at all — whatever
+        // happens next is a structural parse outcome, never a mismatch.
+        assert!(!matches!(
+            Dex::decode_bytes_with(Bytes::from(bad), VerifyPreset::None),
+            Err(ApkError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_table_probe_matches_linear_scan() {
+        let dex = sample_dex();
+        assert!(dex.has_lookup_table());
+        for t in dex.type_ids() {
+            let name = dex.type_name(t).to_owned();
+            let scan = dex.type_ids().find(|&u| dex.type_name(u) == name);
+            assert_eq!(dex.type_by_name(&name), scan, "{name}");
+        }
+        assert_eq!(dex.type_by_name("missing/Class"), None);
+        // The stored table survives the wire roundtrip and probes the same.
+        let back = Dex::decode_bytes(dex.encode()).unwrap();
+        assert!(back.has_lookup_table());
+        assert!(!back.lookup_table_rebuilt());
+        for t in back.type_ids() {
+            let name = back.type_name(t).to_owned();
+            assert_eq!(back.type_by_name(&name), Some(t));
+        }
+    }
+
+    #[test]
+    fn lazy_probe_table_builds_without_wire_section() {
+        // A v1 blob has no lookup-table section; the first name lookup
+        // builds the fallback probe table once.
+        let blob = v1_blob(1, &[OP_RETURN_VOID]);
+        let dex = Dex::decode(&blob).unwrap();
+        assert!(!dex.has_lookup_table());
+        assert!(!dex.lookup_table_rebuilt());
+        assert_eq!(dex.type_by_name("com/x/A"), Some(TypeId(0)));
+        assert!(dex.lookup_table_rebuilt());
+        assert_eq!(dex.type_by_name("com/x/B"), None);
+    }
+
+    #[test]
+    fn damaged_lookup_table_rejected_at_all() {
+        let mut dex = sample_dex();
+        let type_count = dex.type_count() as u32;
+        {
+            let slots = dex.lut_slots_mut().unwrap();
+            let i = slots.iter().position(|&v| v != 0).unwrap();
+            // In-range but wrong slot value: caught by the canonical
+            // rebuild compare, not the per-slot bounds check.
+            slots[i] = (slots[i] % type_count) + 1;
+        }
+        let blob = dex.encode(); // restamps the checksum over the bad table
+        match Dex::decode_bytes(blob.clone()) {
+            Err(ApkError::Invalid("lookup table mismatch"))
+            | Err(ApkError::IndexOutOfRange { .. }) => {}
+            other => panic!("damaged table accepted: {other:?}"),
+        }
+        // Trusted presets take the stored table at face value.
+        assert!(Dex::decode_bytes_with(blob, VerifyPreset::ChecksumOnly).is_ok());
+    }
+
+    #[test]
+    fn absent_lookup_table_flag_roundtrips() {
+        // A v3 body with flag 0 (no table) decodes and re-encodes as-is.
+        let dex = sample_dex();
+        let blob = dex.encode();
+        // Strip the lut by decoding a v2-shaped body: reuse the v1 helper's
+        // idea — here just check a decoded v1 re-encode carries flag 0.
+        let v1 = Dex::decode(&v1_blob(1, &[OP_RETURN_VOID])).unwrap();
+        assert!(!v1.has_lookup_table());
+        let re = v1.encode();
+        let back = Dex::decode(&re).unwrap();
+        assert!(!back.has_lookup_table());
+        assert_eq!(v1, back);
+        // And the sample's stored table re-encodes verbatim (canonicality).
+        assert_eq!(
+            &Dex::decode_bytes(blob.clone()).unwrap().encode()[..],
+            &blob[..]
+        );
+    }
+
+    /// Hand-assemble the sample dex body at wire version 2 (registers, no
+    /// lookup-table section) to pin decode compatibility.
+    fn v2_blob() -> Vec<u8> {
+        let dex = sample_dex();
+        let v3 = dex.encode();
+        // The v3 body is the v2 body plus the trailing lut section; strip
+        // the section (flag byte + count varint + slots) and re-stamp.
+        let slots = match &dex.lut {
+            Some(s) => s.len(),
+            None => unreachable!("builder dexes carry a lut"),
+        };
+        let mut count_len = Vec::new();
+        put_uvarint(&mut count_len, slots as u64);
+        let body_end = v3.len() - (1 + count_len.len() + slots * 4);
+        let body = &v3[10..body_end];
+        let mut out = Vec::new();
+        out.extend_from_slice(&SDEX_MAGIC);
+        out.extend_from_slice(&2u16.to_le_bytes());
+        out.extend_from_slice(&adler32(body).to_le_bytes());
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn version2_blob_decodes_without_lut() {
+        let blob = v2_blob();
+        let dex = Dex::decode(&blob).unwrap();
+        assert!(!dex.has_lookup_table());
+        assert_eq!(dex, sample_dex());
+        let owned = oracle::decode(&blob).unwrap();
+        assert_eq!(dex, owned);
+        // Name lookups still work through the lazy fallback table.
+        assert!(dex.type_by_name("android/webkit/WebView").is_some());
+        assert!(dex.lookup_table_rebuilt());
     }
 
     #[test]

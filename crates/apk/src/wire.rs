@@ -28,10 +28,21 @@ pub fn put_uvarint<B: BufMut>(buf: &mut B, mut value: u64) {
 /// Read an unsigned LEB128 varint from `buf`.
 ///
 /// Rejects varints longer than [`MAX_VARINT_LEN`] bytes and truncated input.
+/// The single-byte case — nearly every count, index, and register in an
+/// SDEX blob — is split out ahead of the loop so decode-side callers pay
+/// one branch for it.
+#[inline]
 pub fn get_uvarint<B: Buf>(buf: &mut B) -> Result<u64, ApkError> {
-    let mut value: u64 = 0;
-    let mut shift = 0u32;
-    for i in 0..MAX_VARINT_LEN {
+    if !buf.has_remaining() {
+        return Err(ApkError::Truncated { context: "varint" });
+    }
+    let byte = buf.get_u8();
+    if byte & 0x80 == 0 {
+        return Ok(byte as u64);
+    }
+    let mut value = (byte & 0x7f) as u64;
+    let mut shift = 7u32;
+    for i in 1..MAX_VARINT_LEN {
         if !buf.has_remaining() {
             return Err(ApkError::Truncated { context: "varint" });
         }
@@ -75,12 +86,34 @@ pub fn get_string<B: Buf>(buf: &mut B) -> Result<String, ApkError> {
 /// strings performs zero per-entry allocations. `buf` must be a suffix of
 /// `full` (the decoder's cursor into the same blob); offsets are relative to
 /// the start of `full`. Error behaviour is identical to [`get_string`].
+#[inline]
 pub fn get_string_span(full: &[u8], buf: &mut &[u8]) -> Result<(u32, u32), ApkError> {
     let len = get_uvarint(buf)? as usize;
     if buf.len() < len {
         return Err(ApkError::Truncated { context: "string" });
     }
     std::str::from_utf8(&buf[..len]).map_err(|_| ApkError::BadUtf8)?;
+    let off = full.len() - buf.len();
+    let span = span_u32(off, len)?;
+    *buf = &buf[len..];
+    Ok(span)
+}
+
+/// [`get_string_span`] minus the UTF-8 scan: record the span of a
+/// varint-length-prefixed string without validating its bytes.
+///
+/// Length and bounds checks are identical to [`get_string_span`] — the span
+/// always lies inside `full` — so slicing through it can never read out of
+/// bounds. What the caller loses is the UTF-8 guarantee: a [`crate::Dex`]
+/// built from unchecked spans may only hand out `&str` views for input that
+/// was validated earlier (the trusted-preset contract in
+/// [`crate::VerifyPreset`]).
+#[inline]
+pub fn get_string_span_unchecked(full: &[u8], buf: &mut &[u8]) -> Result<(u32, u32), ApkError> {
+    let len = get_uvarint(buf)? as usize;
+    if buf.len() < len {
+        return Err(ApkError::Truncated { context: "string" });
+    }
     let off = full.len() - buf.len();
     let span = span_u32(off, len)?;
     *buf = &buf[len..];

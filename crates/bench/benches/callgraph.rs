@@ -5,7 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wla_core::wla_apk::Dex;
+use wla_core::wla_apk::sdex::{ClassFlags, DexBuilder, Instruction, InvokeKind, MethodDef, Reg};
+use wla_core::wla_apk::{Dex, TypeId};
 use wla_core::wla_callgraph::oracle::{
     reachable_methods_oracle, record_web_calls_oracle, HashCallGraph,
 };
@@ -47,6 +48,56 @@ fn fixture() -> (Dex, Manifest) {
     (dex, manifest)
 }
 
+/// A hierarchy-heavy dex for the vtable-binding ablation: `DEPTH` classes
+/// in one superclass chain, `PER_CLASS` methods each, plus a driver whose
+/// virtual invokes all name the *deepest* class as receiver while the
+/// definitions live in ancestors. Every one of those sites misses the
+/// direct signature map and resolves through the flattened vtable — a
+/// 256-entry table probed 744 times — so the layout choice dominates.
+fn deep_hierarchy_dex() -> Dex {
+    const DEPTH: usize = 32;
+    const PER_CLASS: usize = 8;
+    let mut b = DexBuilder::new();
+    for d in 0..DEPTH {
+        let name = format!("com/deep/C{d}");
+        let superclass = (d > 0).then(|| format!("com/deep/C{}", d - 1));
+        let methods = (0..PER_CLASS)
+            .map(|m| {
+                MethodDef::new(
+                    b.intern_method(&name, &format!("m{d}_{m}"), "()V"),
+                    true,
+                    false,
+                    vec![Instruction::ReturnVoid],
+                )
+            })
+            .collect();
+        b.define_class(&name, superclass.as_deref(), ClassFlags::default(), methods)
+            .unwrap();
+    }
+    let deepest = format!("com/deep/C{}", DEPTH - 1);
+    let mut code = Vec::new();
+    for _pass in 0..3 {
+        for d in 0..DEPTH - 1 {
+            for m in 0..PER_CLASS {
+                code.push(Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    method: b.intern_method(&deepest, &format!("m{d}_{m}"), "()V"),
+                    args: vec![Reg(0)],
+                });
+            }
+        }
+    }
+    let main = vec![MethodDef::new(
+        b.intern_method("com/deep/Main", "run", "()V"),
+        true,
+        false,
+        code,
+    )];
+    b.define_class("com/deep/Main", None, ClassFlags::default(), main)
+        .unwrap();
+    b.build()
+}
+
 fn bench(c: &mut Criterion) {
     let catalog = SdkIndex::paper();
     let (dex, manifest) = fixture();
@@ -61,6 +112,50 @@ fn bench(c: &mut Criterion) {
     group.bench_function("build", |b| b.iter(|| CallGraph::build(black_box(&dex))));
     group.bench_function("build_hash_oracle", |b| {
         b.iter(|| HashCallGraph::build(black_box(&dex)))
+    });
+    // Vtable-binding ablation (DESIGN.md §6.9): the default open-addressing
+    // per-class vtables versus the sorted-array + binary-search layout the
+    // `use_lut = false` pipeline knob falls back to.
+    group.bench_function("build_sorted_vtables", |b| {
+        b.iter(|| CallGraph::build_with(black_box(&dex), false))
+    });
+    // The same layout ablation on the hierarchy-heavy fixture, where
+    // virtual binding is the dominant cost instead of a rounding error —
+    // this pair is the ISSUE's hash-beats-binary-search criterion.
+    let deep = deep_hierarchy_dex();
+    group.bench_function("vtable_bind_hash", |b| {
+        b.iter(|| CallGraph::build_with(black_box(&deep), true))
+    });
+    group.bench_function("vtable_bind_binary_search", |b| {
+        b.iter(|| CallGraph::build_with(black_box(&deep), false))
+    });
+    // Name-lookup ablation: O(1) probes into the stored wire lookup table
+    // versus a linear scan of the type table — the pre-v3 shape every
+    // `class_by_name` caller paid per lookup.
+    let class_names: Vec<String> = dex
+        .classes()
+        .iter()
+        .map(|c| dex.type_name(c.ty).to_string())
+        .chain((0..64).map(|i| format!("com/miss/Absent{i}")))
+        .collect();
+    group.bench_function("type_by_name_lut", |b| {
+        assert!(dex.has_lookup_table());
+        b.iter(|| {
+            for name in &class_names {
+                black_box(dex.type_by_name(black_box(name)));
+            }
+        })
+    });
+    group.bench_function("type_by_name_linear_scan", |b| {
+        b.iter(|| {
+            for name in &class_names {
+                black_box(
+                    (0..dex.type_count() as u32)
+                        .map(TypeId)
+                        .find(|&t| dex.type_name(t) == name.as_str()),
+                );
+            }
+        })
     });
     group.bench_function("entry_points", |b| {
         b.iter(|| entry_points(black_box(&graph), black_box(&manifest)))

@@ -119,6 +119,18 @@ impl<'d> CallGraph<'d> {
     /// every arena; pass two resolves each site (vtable-cached) into a
     /// flat edge list that is then bucketed, sorted, and deduped in place.
     pub fn build(dex: &'d Dex) -> Self {
+        CallGraph::build_with(dex, true)
+    }
+
+    /// [`CallGraph::build`] with an explicit vtable layout.
+    ///
+    /// `hash_vtables == true` (what `build` uses) lays each per-class
+    /// flattened vtable out as an open-addressing hash over `(name,
+    /// descriptor)`, making virtual/interface binding an O(1) probe per
+    /// site. `false` keeps the earlier sorted-array layout with
+    /// binary-search lookup — same results, kept for the ablation bench
+    /// row and as an in-tree correctness foil.
+    pub fn build_with(dex: &'d Dex, hash_vtables: bool) -> Self {
         // Pass 1 (count): dense index per defined method, signature index
         // for resolution, and the invoke-site count for exact pre-sizing.
         let mut dense = vec![NOT_DEFINED; dex.method_count()];
@@ -163,7 +175,7 @@ impl<'d> CallGraph<'d> {
         // Pass 2 (fill): record sites and resolve internal edges into a
         // flat (caller, callee) list, then bucket it into CSR.
         let mut stats = BuildStats::default();
-        let mut vtables = VtableCache::new(dex.type_count());
+        let mut vtables = VtableCache::new(dex.type_count(), hash_vtables);
         let mut sites: Vec<CallSite> = Vec::with_capacity(invoke_sites);
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(invoke_sites);
         for class in dex.classes() {
@@ -371,21 +383,36 @@ pub fn annotate_provenance(
 /// with the nearest definition in the hierarchy winning.
 type VtEntry = (u32, u32, u32);
 
+/// Empty slot in a hash-layout vtable. A real entry's dense index is
+/// always a *defined* method, so [`NOT_DEFINED`] can never collide.
+const VT_EMPTY: VtEntry = (0, 0, NOT_DEFINED);
+
+/// Mix a `(name, descriptor)` signature into a probe start. Two odd
+/// multipliers decorrelate the pair — plenty for tables kept at ≤ 0.5 load.
+#[inline]
+fn vt_hash(name: u32, descriptor: u32) -> u32 {
+    name.wrapping_mul(0x9E37_79B1) ^ descriptor.wrapping_mul(0x85EB_CA77)
+}
+
 /// Lazily built per-class flattened vtables, direct-indexed by `TypeId`.
-/// Each table is the class's own methods plus every inherited signature,
-/// sorted by `(name, descriptor)` for binary-search lookup — computed once
-/// per receiver class instead of re-walking the superclass chain at every
-/// virtual invoke site.
+/// Each table is the class's own methods plus every inherited signature —
+/// computed once per receiver class instead of re-walking the superclass
+/// chain at every virtual invoke site. Layout is chosen at construction:
+/// an open-addressing hash over `(name, descriptor)` (O(1) probe per
+/// binding, the default), or the earlier sorted array with binary-search
+/// lookup (kept for ablation).
 struct VtableCache {
     tables: Vec<Option<Box<[VtEntry]>>>,
     scratch: Vec<VtEntry>,
+    hash: bool,
 }
 
 impl VtableCache {
-    fn new(type_count: usize) -> Self {
+    fn new(type_count: usize, hash: bool) -> Self {
         VtableCache {
             tables: (0..type_count).map(|_| None).collect(),
             scratch: Vec::new(),
+            hash,
         }
     }
 
@@ -402,9 +429,9 @@ impl VtableCache {
         if slot.is_none() {
             stats.vtable_misses += 1;
             self.scratch.clear();
-            // Scan order = hierarchy order (class, then ancestors), so a
-            // stable sort keyed on the signature keeps the *nearest*
-            // definition first and dedup drops shadowed ones.
+            // Scan order = hierarchy order (class, then ancestors), so the
+            // *nearest* definition of a signature is seen first whichever
+            // layout is built below.
             let mut collect = |t: TypeId| {
                 if let Some(class) = dex.class(t) {
                     for m in &class.methods {
@@ -418,17 +445,59 @@ impl VtableCache {
             for ancestor in dex.superclasses(ty) {
                 collect(ancestor);
             }
-            self.scratch.sort_by_key(|&(n, d, _)| (n, d));
-            self.scratch.dedup_by_key(|&mut (n, d, _)| (n, d));
-            *slot = Some(self.scratch.as_slice().into());
+            *slot = Some(if self.hash {
+                // Open addressing with linear probing at ≤ 0.5 load;
+                // first-wins insertion in hierarchy order keeps the nearest
+                // definition and drops shadowed ancestors.
+                let cap = (self.scratch.len() * 2).next_power_of_two();
+                let mask = cap - 1;
+                let mut table = vec![VT_EMPTY; cap].into_boxed_slice();
+                'insert: for &(n, d, idx) in &self.scratch {
+                    let mut i = vt_hash(n, d) as usize & mask;
+                    loop {
+                        let e = table[i];
+                        if e.2 == NOT_DEFINED {
+                            table[i] = (n, d, idx);
+                            continue 'insert;
+                        }
+                        if e.0 == n && e.1 == d {
+                            // A nearer definition already claimed the slot.
+                            continue 'insert;
+                        }
+                        i = (i + 1) & mask;
+                    }
+                }
+                table
+            } else {
+                // Sorted layout: a stable sort keyed on the signature keeps
+                // the nearest definition first and dedup drops the rest.
+                self.scratch.sort_by_key(|&(n, d, _)| (n, d));
+                self.scratch.dedup_by_key(|&mut (n, d, _)| (n, d));
+                self.scratch.as_slice().into()
+            });
         } else {
             stats.vtable_hits += 1;
         }
         let table = slot.as_deref().expect("just built");
-        table
-            .binary_search_by_key(&(name, descriptor), |&(n, d, _)| (n, d))
-            .ok()
-            .map(|i| table[i].2)
+        if self.hash {
+            let mask = table.len() - 1;
+            let mut i = vt_hash(name, descriptor) as usize & mask;
+            loop {
+                let e = table[i];
+                if e.2 == NOT_DEFINED {
+                    return None;
+                }
+                if e.0 == name && e.1 == descriptor {
+                    return Some(e.2);
+                }
+                i = (i + 1) & mask;
+            }
+        } else {
+            table
+                .binary_search_by_key(&(name, descriptor), |&(n, d, _)| (n, d))
+                .ok()
+                .map(|i| table[i].2)
+        }
     }
 }
 
@@ -776,5 +845,73 @@ mod tests {
             Provenance::Const(s),
             "nop-separated const-string must still attach"
         );
+    }
+
+    #[test]
+    fn hash_and_sorted_vtables_build_identical_graphs() {
+        // A deep override chain plus an unresolved external call exercises
+        // hit, miss, and shadowing paths; both layouts must agree edge for
+        // edge and count for count.
+        let mut b = DexBuilder::new();
+        let c_handle = b.intern_method("com/x/C", "handle", "()V");
+        let c_other = b.intern_method("com/x/C", "other", "(I)V");
+        let missing = b.intern_method("com/x/C", "absent", "()V");
+        let mut code = Vec::new();
+        for _ in 0..3 {
+            code.push(Instruction::Invoke {
+                kind: InvokeKind::Virtual,
+                method: c_handle,
+                args: vec![],
+            });
+        }
+        code.push(Instruction::Invoke {
+            kind: InvokeKind::Virtual,
+            method: c_other,
+            args: vec![Reg(0)],
+        });
+        code.push(Instruction::Invoke {
+            kind: InvokeKind::Virtual,
+            method: missing,
+            args: vec![],
+        });
+        code.push(Instruction::ReturnVoid);
+        let caller = def(&mut b, "com/x/Main", "go", code);
+        let a_def = def(&mut b, "com/x/A", "handle", vec![Instruction::ReturnVoid]);
+        let a_other = MethodDef::new(
+            b.intern_method("com/x/A", "other", "(I)V"),
+            true,
+            false,
+            vec![Instruction::ReturnVoid],
+        );
+        let b_def = def(&mut b, "com/x/B", "handle", vec![Instruction::ReturnVoid]);
+        b.define_class("com/x/A", None, ClassFlags::default(), vec![a_def, a_other])
+            .unwrap();
+        b.define_class(
+            "com/x/B",
+            Some("com/x/A"),
+            ClassFlags::default(),
+            vec![b_def],
+        )
+        .unwrap();
+        b.define_class("com/x/C", Some("com/x/B"), ClassFlags::default(), vec![])
+            .unwrap();
+        b.define_class("com/x/Main", None, ClassFlags::default(), vec![caller])
+            .unwrap();
+        let dex = b.build();
+
+        let hashed = CallGraph::build_with(&dex, true);
+        let sorted = CallGraph::build_with(&dex, false);
+        assert_eq!(hashed.edge_count(), sorted.edge_count());
+        assert_eq!(hashed.defined_count(), sorted.defined_count());
+        assert_eq!(hashed.sites(), sorted.sites());
+        assert_eq!(hashed.build_stats(), sorted.build_stats());
+        let main = dex.class_by_name("com/x/Main").unwrap().methods[0].method;
+        let h: Vec<MethodId> = hashed.callees(main).collect();
+        let s: Vec<MethodId> = sorted.callees(main).collect();
+        assert_eq!(h, s);
+        // Nearest override must win under the hash layout too.
+        assert!(h
+            .iter()
+            .any(|&m| dex.type_name(hashed.defining_class(m).unwrap()) == "com/x/B"));
     }
 }

@@ -75,6 +75,11 @@ pub fn pipeline_stats_report(run: &StaticRun) -> PipelineStatsReport {
         } else {
             0.0
         },
+        decode_full: s.decode.full,
+        decode_checksum_only: s.decode.checksum_only,
+        decode_trusted: s.decode.trusted,
+        lut_present: s.decode.lut_present,
+        lut_rebuilds: s.decode.lut_rebuilds,
         dataflow_methods: s.dataflow.methods,
         dataflow_linear_rate: if s.dataflow.methods > 0 {
             s.dataflow.linear_methods as f64 / s.dataflow.methods as f64

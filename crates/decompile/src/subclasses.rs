@@ -104,6 +104,17 @@ pub fn webview_subclasses_dex_interned(
     dexes: &[Dex],
     lexicon: &mut LocalInterner,
 ) -> HashSet<Symbol> {
+    // O(1) seed probe through each dex's type lookup table: a subclass
+    // chain can only reach WebView if some dex *references* the WebView
+    // type (superclass links are type-table entries), so an app with no
+    // such reference — most of any corpus — skips the superclass-map
+    // build and fixed point entirely.
+    if !dexes
+        .iter()
+        .any(|d| d.type_by_name(framework::WEBVIEW).is_some())
+    {
+        return HashSet::new();
+    }
     let webview = lexicon.intern(framework::WEBVIEW);
     // binary name -> superclass binary name; last definition wins, as the
     // source-map insert does in the lifted route.

@@ -59,6 +59,19 @@ pub struct PipelineStatsReport {
     /// Traversal speed: CSR edges scanned per second of callgraph-stage
     /// time (0 when stage timing was disabled).
     pub edges_per_second: f64,
+    /// Dex decodes that ran full structural verification
+    /// (`VerifyPreset::All`).
+    pub decode_full: u64,
+    /// Dex decodes that verified only the checksum
+    /// (`VerifyPreset::ChecksumOnly`).
+    pub decode_checksum_only: u64,
+    /// Fully trusted dex decodes (`VerifyPreset::None`).
+    pub decode_trusted: u64,
+    /// Decoded dexes carrying a stored type lookup table.
+    pub lut_present: u64,
+    /// Dexes whose probe table had to be built lazily (no usable stored
+    /// table).
+    pub lut_rebuilds: u64,
     /// Methods run through the constant-propagation pass (0 when the
     /// pass was ablated).
     pub dataflow_methods: u64,
@@ -163,6 +176,31 @@ impl PipelineStatsReport {
                     format!("{:.1} Medges/s", self.edges_per_second / 1e6),
                 ]);
             }
+        }
+        let decodes = self.decode_full + self.decode_checksum_only + self.decode_trusted;
+        if decodes > 0 {
+            t.row_owned(vec![
+                "Dex decodes (full verify)".into(),
+                format!("{} of {}", thousands(self.decode_full), thousands(decodes)),
+            ]);
+            if self.decode_checksum_only + self.decode_trusted > 0 {
+                t.row_owned(vec![
+                    "  checksum-only / trusted".into(),
+                    format!(
+                        "{} / {}",
+                        thousands(self.decode_checksum_only),
+                        thousands(self.decode_trusted)
+                    ),
+                ]);
+            }
+            t.row_owned(vec![
+                "Stored lookup tables".into(),
+                format!(
+                    "{} ({} rebuilt lazily)",
+                    thousands(self.lut_present),
+                    thousands(self.lut_rebuilds)
+                ),
+            ]);
         }
         if self.dataflow_methods > 0 {
             t.row_owned(vec![
@@ -536,6 +574,11 @@ mod tests {
             vtable_hit_rate: 0.75,
             bitset_reuses: 1_460,
             edges_per_second: 2_500_000.0,
+            decode_full: 1_500,
+            decode_checksum_only: 12,
+            decode_trusted: 3,
+            lut_present: 1_515,
+            lut_rebuilds: 0,
             dataflow_methods: 9_876,
             dataflow_linear_rate: 0.94,
             dataflow_sites: 3_210,
@@ -572,6 +615,9 @@ mod tests {
         assert!(r.contains("75.0%")); // vtable hit rate
         assert!(r.contains("1,460")); // bitset reuses
         assert!(r.contains("2.5 Medges/s"));
+        assert!(r.contains("1,500 of 1,515")); // full-verify decodes
+        assert!(r.contains("12 / 3")); // checksum-only / trusted decodes
+        assert!(r.contains("1,515 (0 rebuilt lazily)")); // stored lookup tables
         assert!(r.contains("9,876 (94.0%)")); // dataflow methods, linear share
         assert!(r.contains("100.0% of 3,210")); // URL-site resolution
         assert!(r.contains("Shard streaming"));
@@ -589,6 +635,7 @@ mod tests {
         assert!(!r.contains("serial tail"));
         assert!(!r.contains("pre-size"));
         assert!(!r.contains("Dataflow methods"));
+        assert!(!r.contains("Dex decodes"));
         assert!(!r.contains("Shard streaming"));
     }
 

@@ -11,7 +11,7 @@ use crate::dataflow::{self, DataflowCounters};
 use std::collections::HashSet;
 use std::time::Instant;
 use wla_apk::names::WEBVIEW_CONTENT_METHODS;
-use wla_apk::{ApkError, Dex, Sapk};
+use wla_apk::{ApkError, Dex, Sapk, VerifyPreset};
 use wla_callgraph::{
     entry_points, provenance_oracle, record_web_calls_with, CallGraph, CallGraphCounters,
     ReachScratch, UrlOrigin, WebCallRecord,
@@ -58,6 +58,53 @@ impl StageTimings {
     }
 }
 
+/// Dex-decode observability: how many dex decodes ran under each
+/// [`VerifyPreset`], and how the type lookup table fared. Summed across a
+/// worker's apps, merged into
+/// [`PipelineStats`](crate::PipelineStats) at join time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCounters {
+    /// Dex decodes under [`VerifyPreset::All`].
+    pub full: u64,
+    /// Dex decodes under [`VerifyPreset::ChecksumOnly`].
+    pub checksum_only: u64,
+    /// Dex decodes under [`VerifyPreset::None`] (fully trusted).
+    pub trusted: u64,
+    /// Decoded dexes that carried a stored (wire-format) lookup table and
+    /// kept it ([`AnalysisCtx::use_lut`] on).
+    pub lut_present: u64,
+    /// Dexes whose probe table was built lazily on first name lookup —
+    /// either no stored table on the wire, or the stored one was
+    /// discarded under ablation.
+    pub lut_rebuilds: u64,
+}
+
+impl DecodeCounters {
+    /// Dex decodes across all presets.
+    pub fn total(&self) -> u64 {
+        self.full + self.checksum_only + self.trusted
+    }
+
+    /// Fraction of decodes that skipped structural re-validation
+    /// (`ChecksumOnly` + `None` over the total).
+    pub fn trusted_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.checksum_only + self.trusted) as f64 / total as f64
+    }
+
+    /// Accumulate another worker's counters into this one.
+    pub fn merge(&mut self, other: &DecodeCounters) {
+        self.full += other.full;
+        self.checksum_only += other.checksum_only;
+        self.trusted += other.trusted;
+        self.lut_present += other.lut_present;
+        self.lut_rebuilds += other.lut_rebuilds;
+    }
+}
+
 /// Per-worker analysis state threaded through [`analyze_app_timed_with`]:
 /// the shared catalog plus the worker-local string lexicon and package-label
 /// memo. One context serves many apps; its lexicon is merged into the
@@ -87,6 +134,18 @@ pub struct AnalysisCtx<'c> {
     /// resolved/unknown/conflict sites) accumulated across this worker's
     /// apps.
     pub dataflow: DataflowCounters,
+    /// How much decode-time verification each container gets. Defaults to
+    /// [`VerifyPreset::All`] — the corruption-facing setting; the trusted
+    /// presets are for corpora whose bytes were already validated
+    /// end-to-end (a just-generated corpus, a resume-stamped shard).
+    pub verify_preset: VerifyPreset,
+    /// Use the wire-format type lookup table and the hash-vtable call
+    /// graph (default). `false` ablates to the linear/binary-search
+    /// paths — the bench knob behind the lut ablation table.
+    pub use_lut: bool,
+    /// Decode counters (per-preset decodes, lut presence/rebuilds)
+    /// accumulated across this worker's apps.
+    pub decode: DecodeCounters,
 }
 
 impl<'c> AnalysisCtx<'c> {
@@ -100,6 +159,9 @@ impl<'c> AnalysisCtx<'c> {
             graph_counters: CallGraphCounters::default(),
             use_dataflow: true,
             dataflow: DataflowCounters::default(),
+            verify_preset: VerifyPreset::All,
+            use_lut: true,
+            decode: DecodeCounters::default(),
         }
     }
 
@@ -293,7 +355,7 @@ pub fn analyze_app_timed_with(
 ) -> (Result<AppAnalysis, ApkError>, StageTimings) {
     let mut timings = StageTimings::default();
     let started = Instant::now();
-    let decoded = decode_stage(bytes);
+    let decoded = Sapk::decode(bytes).and_then(|apk| decode_rest(apk, ctx));
     timings.decode_ns = started.elapsed().as_nanos() as u64;
     finish_analysis(meta, decoded, ctx, timings)
 }
@@ -312,7 +374,8 @@ pub fn analyze_app_bytes_timed_with(
 ) -> (Result<AppAnalysis, ApkError>, StageTimings) {
     let mut timings = StageTimings::default();
     let started = Instant::now();
-    let decoded = Sapk::decode_bytes(bytes).and_then(decode_rest);
+    let decoded =
+        Sapk::decode_bytes_with(bytes, ctx.verify_preset).and_then(|apk| decode_rest(apk, ctx));
     timings.decode_ns = started.elapsed().as_nanos() as u64;
     finish_analysis(meta, decoded, ctx, timings)
 }
@@ -344,7 +407,7 @@ fn finish_analysis(
     let records: Vec<WebCallRecord> = dexes
         .iter()
         .map(|dex| {
-            let mut graph = CallGraph::build(dex);
+            let mut graph = CallGraph::build_with(dex, ctx.use_lut);
             ctx.graph_counters
                 .absorb_build(&graph.build_stats(), graph.edge_count());
             // URL-argument provenance rides on the site stream before
@@ -419,6 +482,10 @@ fn finish_analysis(
     custom_webview_classes.sort_by(|a, b| ctx.lexicon.resolve(*a).cmp(ctx.lexicon.resolve(*b)));
     timings.label_ns = started.elapsed().as_nanos() as u64;
 
+    // Sample after every name lookup has run: a dex whose lazy probe table
+    // was built had no usable stored table on the wire.
+    ctx.decode.lut_rebuilds += dexes.iter().filter(|d| d.lookup_table_rebuilt()).count() as u64;
+
     let analysis = AppAnalysis {
         package: manifest.package.clone(),
         meta,
@@ -430,22 +497,34 @@ fn finish_analysis(
     (Ok(analysis), timings)
 }
 
-/// Decode the container, manifest, and every dex section. Dex decoding is
-/// zero-copy: each section's `Bytes` handle is shared with the dex's span
-/// table, so no string data is copied out of the container buffer.
-fn decode_stage(bytes: &[u8]) -> Result<(Manifest, Vec<Dex>), ApkError> {
-    decode_rest(Sapk::decode(bytes)?)
-}
-
-/// Manifest + dex decoding over an already-decoded container.
-fn decode_rest(apk: Sapk) -> Result<(Manifest, Vec<Dex>), ApkError> {
+/// Manifest + dex decoding over an already-decoded container. Dex decoding
+/// is zero-copy: each section's `Bytes` handle is shared with the dex's
+/// span table, so no string data is copied out of the container buffer.
+/// The context's [`VerifyPreset`] governs how much re-validation each dex
+/// gets, and its `use_lut` knob decides whether stored lookup tables are
+/// kept; both are tallied into [`AnalysisCtx::decode`].
+fn decode_rest(apk: Sapk, ctx: &mut AnalysisCtx<'_>) -> Result<(Manifest, Vec<Dex>), ApkError> {
     let manifest: Manifest = wireformat::decode(apk.manifest_bytes()?)?;
-    let dexes: Vec<Dex> = apk
+    let mut dexes: Vec<Dex> = Vec::new();
+    for s in apk
         .sections()
         .iter()
         .filter(|s| s.tag == wla_apk::SectionTag::Dex)
-        .map(|s| Dex::decode_bytes(s.data.clone()))
-        .collect::<Result<_, _>>()?;
+    {
+        let mut dex = Dex::decode_bytes_with(s.data.clone(), ctx.verify_preset)?;
+        match ctx.verify_preset {
+            VerifyPreset::All => ctx.decode.full += 1,
+            VerifyPreset::ChecksumOnly => ctx.decode.checksum_only += 1,
+            VerifyPreset::None => ctx.decode.trusted += 1,
+        }
+        if !ctx.use_lut {
+            dex.discard_lookup_table();
+        }
+        if dex.has_lookup_table() {
+            ctx.decode.lut_present += 1;
+        }
+        dexes.push(dex);
+    }
     if dexes.is_empty() {
         return Err(ApkError::MissingSection("dex"));
     }

@@ -35,7 +35,7 @@ pub use aggregate::{
 };
 pub use analyze::{
     analyze_app, analyze_app_bytes_timed_with, analyze_app_timed, analyze_app_timed_with,
-    AnalysisCtx, AppAnalysis, CtSiteSummary, StageTimings, WebViewSiteSummary,
+    AnalysisCtx, AppAnalysis, CtSiteSummary, DecodeCounters, StageTimings, WebViewSiteSummary,
 };
 pub use dataflow::{method_provenance, DataflowCounters};
 pub use oracle::aggregate_string_oracle;

@@ -34,14 +34,16 @@
 //! size, and scheduling — which keeps parallel and serial runs
 //! bit-identical.
 
-use crate::analyze::{analyze_app_timed_with, AnalysisCtx, AppAnalysis, StageTimings};
+use crate::analyze::{
+    analyze_app_timed_with, AnalysisCtx, AppAnalysis, DecodeCounters, StageTimings,
+};
 use crate::dataflow::DataflowCounters;
 use crate::stream::StreamCounters;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use wla_apk::ApkError;
+use wla_apk::{ApkError, VerifyPreset};
 use wla_callgraph::CallGraphCounters;
 use wla_corpus::playstore::AppMeta;
 use wla_intern::{Interner, LocalInterner, SymbolRemap, SymbolTable};
@@ -72,6 +74,17 @@ pub struct PipelineConfig {
     /// (default). `false` ablates to the linear pending-string heuristic
     /// — the bench knob behind EXPERIMENTS.md's provenance table.
     pub use_dataflow: bool,
+    /// Decode-time verification depth per container. Defaults to
+    /// [`VerifyPreset::All`] — the corruption-facing setting. The trusted
+    /// presets are *only* sound on corpora whose bytes were validated
+    /// end-to-end already (a just-generated corpus, a resume-stamped
+    /// shard with no planted corruption); a corrupt-fraction corpus under
+    /// a trusted preset will misclassify broken apps.
+    pub verify_preset: VerifyPreset,
+    /// Keep wire-format type lookup tables and bind virtual calls through
+    /// hash vtables (default). `false` ablates both to their linear /
+    /// binary-search counterparts.
+    pub use_lut: bool,
 }
 
 impl Default for PipelineConfig {
@@ -81,6 +94,8 @@ impl Default for PipelineConfig {
             batch: 0,
             stage_timings: true,
             use_dataflow: true,
+            verify_preset: VerifyPreset::All,
+            use_lut: true,
         }
     }
 }
@@ -208,6 +223,9 @@ pub struct PipelineStats {
     /// Constant-propagation counters (basic blocks, fixpoint iterations,
     /// resolved/unknown/conflict invokes), merged across workers.
     pub dataflow: DataflowCounters,
+    /// Dex-decode counters (per-preset decodes, lookup-table presence and
+    /// lazy rebuilds), merged across workers.
+    pub decode: DecodeCounters,
     /// Shard-streaming counters; all-zero for the in-memory path.
     pub stream: StreamCounters,
 }
@@ -305,6 +323,8 @@ pub(crate) struct WorkerYield {
     pub(crate) callgraph: CallGraphCounters,
     /// Constant-propagation counters for this worker's shard.
     pub(crate) dataflow: DataflowCounters,
+    /// Dex-decode counters for this worker's shard.
+    pub(crate) decode: DecodeCounters,
 }
 
 impl WorkerYield {
@@ -321,6 +341,7 @@ impl WorkerYield {
             label_misses: 0,
             callgraph: CallGraphCounters::default(),
             dataflow: DataflowCounters::default(),
+            decode: DecodeCounters::default(),
         }
     }
 }
@@ -367,6 +388,8 @@ where
                 scope.spawn(|| {
                     let mut ctx = AnalysisCtx::new(catalog);
                     ctx.use_dataflow = config.use_dataflow;
+                    ctx.verify_preset = config.verify_preset;
+                    ctx.use_lut = config.use_lut;
                     let mut y = WorkerYield::empty();
                     loop {
                         let start = next.fetch_add(batch, Ordering::Relaxed);
@@ -403,6 +426,7 @@ where
                     }
                     y.callgraph = ctx.callgraph_counters();
                     y.dataflow = ctx.dataflow;
+                    y.decode = ctx.decode;
                     y.lexicon = ctx.lexicon;
                     y.label_hits = ctx.labels.hits;
                     y.label_misses = ctx.labels.misses;
@@ -469,6 +493,7 @@ pub(crate) fn join_worker_yields(
         stats.interner.label_misses += y.label_misses;
         stats.callgraph.merge(&y.callgraph);
         stats.dataflow.merge(&y.dataflow);
+        stats.decode.merge(&y.decode);
         lexicons.push(y.lexicon);
     }
     merged.sort_unstable_by_key(|&(i, _, _)| i);
@@ -821,6 +846,15 @@ mod tests {
                 s.callgraph.bitset_reuses + s.callgraph.bitset_grows,
                 s.callgraph.graphs
             );
+            // Default preset is All: every dex decode is a full decode,
+            // every generator dex carries a stored lookup table, and no
+            // lazy rebuild should ever fire.
+            prop_assert_eq!(s.decode.checksum_only, 0);
+            prop_assert_eq!(s.decode.trusted, 0);
+            prop_assert!(s.decode.full >= s.analyzed as u64);
+            prop_assert_eq!(s.decode.lut_present, s.decode.full);
+            prop_assert_eq!(s.decode.lut_rebuilds, 0);
+            prop_assert!(s.decode.trusted_rate() == 0.0);
             if s.analyzed > 0 {
                 prop_assert!(s.callgraph.edges > 0);
                 prop_assert!(s.callgraph.edges_traversed > 0);

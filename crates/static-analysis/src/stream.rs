@@ -147,6 +147,8 @@ pub fn run_pipeline_streamed(
                 scope.spawn(|| {
                     let mut ctx = AnalysisCtx::new(catalog);
                     ctx.use_dataflow = config.pipeline.use_dataflow;
+                    ctx.verify_preset = config.pipeline.verify_preset;
+                    ctx.use_lut = config.pipeline.use_lut;
                     let mut y = WorkerYield::empty();
                     let mut pairs: Pairs = Vec::new();
                     let mut outcomes: Vec<ShardOutcome> = Vec::new();
@@ -173,6 +175,7 @@ pub fn run_pipeline_streamed(
                     }
                     y.callgraph = ctx.callgraph_counters();
                     y.dataflow = ctx.dataflow;
+                    y.decode = ctx.decode;
                     y.lexicon = ctx.lexicon;
                     y.label_hits = ctx.labels.hits;
                     y.label_misses = ctx.labels.misses;
@@ -282,7 +285,12 @@ fn stream_one_shard(
         Shard::open_buffered(path)
     };
     let shard = match opened {
-        Ok(shard) => shard,
+        Ok(mut shard) => {
+            // The open just revalidated the shard's file-level checksum, so
+            // its entry windows carry whatever trust the run configured.
+            shard.set_verify_preset(config.pipeline.verify_preset);
+            shard
+        }
         Err(e) => {
             outcome.failure = Some(e.kind());
             return outcome;

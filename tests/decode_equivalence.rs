@@ -78,6 +78,7 @@ proptest! {
             Just(CorruptionKind::ClobberMagic),
             any::<u8>().prop_map(|pos_num| CorruptionKind::ClobberRechecksum { pos_num }),
             any::<u8>().prop_map(|site_num| CorruptionKind::ClobberRegister { site_num }),
+            any::<u8>().prop_map(|slot_num| CorruptionKind::ClobberLookupTable { slot_num }),
         ],
     ) {
         for (i, blob) in dex_blobs(seed).iter().enumerate() {

@@ -51,6 +51,7 @@ proptest! {
             any::<u8>().prop_map(|pos_num| CorruptionKind::BitFlip { pos_num }),
             Just(CorruptionKind::ClobberMagic),
             any::<u8>().prop_map(|site_num| CorruptionKind::ClobberRegister { site_num }),
+            any::<u8>().prop_map(|slot_num| CorruptionKind::ClobberLookupTable { slot_num }),
         ],
     ) {
         let good = app_bytes(seed);
